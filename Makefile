@@ -1,0 +1,31 @@
+# Convenience targets for the common workflows.
+
+.PHONY: install test bench validate experiments tune examples clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+validate:
+	repro-validate --max-p 24
+
+experiments:
+	repro-bench all
+
+tune:
+	repro-tune --machine frontier --nodes 32 -o tuned-frontier32.json
+
+examples:
+	@for ex in examples/*.py; do \
+		echo "== $$ex =="; \
+		python $$ex || exit 1; \
+	done
+
+clean:
+	rm -rf build dist src/*.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

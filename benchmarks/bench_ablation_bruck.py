@@ -1,0 +1,9 @@
+"""Ablation (extension): the k-port Bruck exchange avoids the butterfly's
+fold/unfold latency on awkward process counts."""
+
+from conftest import run_and_check
+from repro.bench.ablations import ablation_bruck_vs_recmul
+
+
+def test_ablation_bruck(benchmark):
+    run_and_check(benchmark, ablation_bruck_vs_recmul)

@@ -1,0 +1,9 @@
+"""Ablation (extension): hierarchical two-level allreduce (cited [17])
+vs the paper's flat generalized algorithms on the 8-ppn machine."""
+
+from conftest import run_and_check
+from repro.bench.ablations import ablation_hierarchical
+
+
+def test_ablation_hierarchical(benchmark):
+    run_and_check(benchmark, ablation_hierarchical)

@@ -1,0 +1,9 @@
+"""Ablation: per-message software overhead bounds the useful k-nomial
+radix (isolates the Fig. 10a mechanism)."""
+
+from conftest import run_and_check
+from repro.bench.ablations import ablation_injection_overhead
+
+
+def test_ablation_injection(benchmark):
+    run_and_check(benchmark, ablation_injection_overhead)

@@ -1,0 +1,9 @@
+"""Ablation: the intranode link advantage is what k-ring converts into
+speedup (isolates the §II-B3 / Fig. 8c mechanism)."""
+
+from conftest import run_and_check
+from repro.bench.ablations import ablation_intranode_ratio
+
+
+def test_ablation_intranode(benchmark):
+    run_and_check(benchmark, ablation_intranode_ratio)

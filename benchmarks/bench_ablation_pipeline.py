@@ -1,0 +1,9 @@
+"""Ablation (extension): the chain bcast's segment count is a tunable
+with a closed-form optimum, mirroring the paper's radix methodology."""
+
+from conftest import run_and_check
+from repro.bench.ablations import ablation_pipeline_segments
+
+
+def test_ablation_pipeline(benchmark):
+    run_and_check(benchmark, ablation_pipeline_segments)

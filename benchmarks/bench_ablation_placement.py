@@ -1,0 +1,9 @@
+"""Ablation: dispersed rank placement eliminates k-ring's neighbor
+advantage (the paper's §VI-C3 explanation, tested causally)."""
+
+from conftest import run_and_check
+from repro.bench.ablations import ablation_placement
+
+
+def test_ablation_placement(benchmark):
+    run_and_check(benchmark, ablation_placement)

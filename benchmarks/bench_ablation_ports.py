@@ -1,0 +1,9 @@
+"""Ablation: NIC port count causally determines recursive multiplying's
+optimal radix (isolates the §VI-C2 mechanism)."""
+
+from conftest import run_and_check
+from repro.bench.ablations import ablation_nic_ports
+
+
+def test_ablation_ports(benchmark):
+    run_and_check(benchmark, ablation_nic_ports)

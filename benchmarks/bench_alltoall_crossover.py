@@ -1,0 +1,9 @@
+"""Ablation (extension, [12] lineage): Bruck digit routing vs pairwise
+exchange for all-to-all, and how the k-port radix moves the crossover."""
+
+from conftest import run_and_check
+from repro.bench.ablations import ablation_alltoall_crossover
+
+
+def test_ablation_alltoall(benchmark):
+    run_and_check(benchmark, ablation_alltoall_crossover)

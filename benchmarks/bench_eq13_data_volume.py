@@ -1,0 +1,8 @@
+"""Paper eqs. (13)/(14): k-ring inter-group data volume, byte-exact."""
+
+from conftest import run_and_check
+from repro.bench.experiments import eq13_data_volume
+
+
+def test_eq13(benchmark):
+    run_and_check(benchmark, eq13_data_volume)

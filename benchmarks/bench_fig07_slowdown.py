@@ -1,0 +1,9 @@
+"""Paper Fig. 7: generalized algorithms at their default radix are not
+slower than the classic fixed-radix implementations."""
+
+from conftest import run_and_check
+from repro.bench.experiments import fig7_slowdown
+
+
+def test_fig7(benchmark):
+    run_and_check(benchmark, fig7_slowdown)

@@ -1,0 +1,8 @@
+"""Paper Fig. 8(a): MPI_Reduce k-nomial radix sweep on Frontier-sim."""
+
+from conftest import run_and_check
+from repro.bench.experiments import fig8a_reduce_knomial
+
+
+def test_fig8a(benchmark):
+    run_and_check(benchmark, fig8a_reduce_knomial)

@@ -1,0 +1,14 @@
+"""Paper Fig. 8(b): MPI_Allreduce recursive multiplying radix sweep.
+
+Documented divergence (EXPERIMENTS.md): at sizes below 16 KiB our
+simulator's optimum sits at 4x the port count rather than the port count
+itself; the corresponding check is phrased accordingly, so no divergence
+allowance is needed here.
+"""
+
+from conftest import run_and_check
+from repro.bench.experiments import fig8b_allreduce_recmul
+
+
+def test_fig8b(benchmark):
+    run_and_check(benchmark, fig8b_allreduce_recmul)

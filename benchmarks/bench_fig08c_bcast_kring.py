@@ -1,0 +1,8 @@
+"""Paper Fig. 8(c): MPI_Bcast k-ring radix sweep, 8 processes per node."""
+
+from conftest import run_and_check
+from repro.bench.experiments import fig8c_bcast_kring
+
+
+def test_fig8c(benchmark):
+    run_and_check(benchmark, fig8c_bcast_kring)

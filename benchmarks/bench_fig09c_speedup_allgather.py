@@ -1,0 +1,8 @@
+"""Paper Fig. 9(c): MPI_Allgather best-algorithm speedup vs default/vendor."""
+
+from conftest import run_and_check
+from repro.bench.experiments import fig9_speedup
+
+
+def test_fig9c(benchmark):
+    run_and_check(benchmark, lambda: fig9_speedup("allgather"))

@@ -1,0 +1,9 @@
+"""Paper Fig. 10(a): MPI_Reduce k-nomial at 1024 nodes — the radix has an
+upper bound at scale (k = p loses to k = 128)."""
+
+from conftest import run_and_check
+from repro.bench.experiments import fig10a_scale_reduce
+
+
+def test_fig10a(benchmark):
+    run_and_check(benchmark, fig10a_scale_reduce)

@@ -1,0 +1,8 @@
+"""Paper Fig. 10(b): MPI_Allgather recursive multiplying at 1024 nodes."""
+
+from conftest import run_and_check
+from repro.bench.experiments import fig10bc_scale_recmul
+
+
+def test_fig10b(benchmark):
+    run_and_check(benchmark, lambda: fig10bc_scale_recmul("allgather"))

@@ -1,0 +1,8 @@
+"""Paper Fig. 10(c): MPI_Allreduce recursive multiplying at 1024 nodes."""
+
+from conftest import run_and_check
+from repro.bench.experiments import fig10bc_scale_recmul
+
+
+def test_fig10c(benchmark):
+    run_and_check(benchmark, lambda: fig10bc_scale_recmul("allreduce"))

@@ -1,0 +1,9 @@
+"""Paper Fig. 11(a): MPI_Reduce k-nomial on Polaris-sim — the Frontier
+trends replicate on different exascale hardware."""
+
+from conftest import run_and_check
+from repro.bench.experiments import fig11a_polaris_knomial
+
+
+def test_fig11a(benchmark):
+    run_and_check(benchmark, fig11a_polaris_knomial)

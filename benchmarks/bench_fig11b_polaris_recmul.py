@@ -1,0 +1,9 @@
+"""Paper Fig. 11(b): MPI_Allreduce recursive multiplying on Polaris-sim —
+optimal radix tracks the (two) NIC ports."""
+
+from conftest import run_and_check
+from repro.bench.experiments import fig11b_polaris_recmul
+
+
+def test_fig11b(benchmark):
+    run_and_check(benchmark, fig11b_polaris_recmul)

@@ -1,0 +1,9 @@
+"""Paper Fig. 11(c): MPI_Bcast k-ring on Polaris-sim — the radix shows
+minimal effect on flat (fully connected NVLink) nodes."""
+
+from conftest import run_and_check
+from repro.bench.experiments import fig11c_polaris_kring
+
+
+def test_fig11c(benchmark):
+    run_and_check(benchmark, fig11c_polaris_kring)

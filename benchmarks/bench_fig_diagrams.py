@@ -1,0 +1,9 @@
+"""Paper Figs. 1-6: the algorithm-structure diagrams, regenerated from
+the verified schedules themselves."""
+
+from conftest import run_and_check
+from repro.bench.experiments import fig_diagrams
+
+
+def test_fig_diagrams(benchmark):
+    run_and_check(benchmark, fig_diagrams)

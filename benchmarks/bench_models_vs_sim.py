@@ -1,0 +1,8 @@
+"""Paper eqs. (1)–(9): analytical models against the reference machine."""
+
+from conftest import run_and_check
+from repro.bench.experiments import models_vs_sim
+
+
+def test_models(benchmark):
+    run_and_check(benchmark, models_vs_sim)

@@ -1,0 +1,9 @@
+"""Paper §VI-G: the generated selection configuration beats both fixed
+policies across the sweep."""
+
+from conftest import run_and_check
+from repro.bench.experiments import selection_config
+
+
+def test_selection(benchmark):
+    run_and_check(benchmark, selection_config)

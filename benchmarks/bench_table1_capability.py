@@ -1,0 +1,8 @@
+"""Paper Table I: the kernel → generalized kernel → collective matrix."""
+
+from conftest import run_and_check
+from repro.bench.experiments import table1_capability
+
+
+def test_table1(benchmark):
+    run_and_check(benchmark, table1_capability)

@@ -1,0 +1,8 @@
+"""Paper §VI-H: run-to-run variance changes optimal parameter values."""
+
+from conftest import run_and_check
+from repro.bench.experiments import variance_study
+
+
+def test_variance(benchmark):
+    run_and_check(benchmark, variance_study)

@@ -1,0 +1,39 @@
+"""Shared machinery for the benchmark suite.
+
+Each ``bench_*`` file regenerates one of the paper's tables or figures via
+:mod:`repro.bench.experiments` and
+
+* prints the figure's rows/series (captured with ``-s`` or in the
+  pytest-benchmark summary),
+* asserts the paper's qualitative claims (the experiment's shape checks),
+* reports wall-clock cost through pytest-benchmark (one round — the
+  experiments are deterministic simulations, so statistical repetition
+  would only re-measure the same arithmetic).
+
+Run them with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import ExperimentResult
+
+
+def run_and_check(benchmark, fn, *, allow_divergences: int = 0) -> ExperimentResult:
+    """Benchmark one experiment and enforce its shape checks.
+
+    ``allow_divergences`` > 0 marks experiments with documented
+    divergences from the paper (see EXPERIMENTS.md); anything beyond the
+    allowance fails the bench.
+    """
+    result = benchmark.pedantic(fn, rounds=1, iterations=1)
+    print()
+    print(result.summary())
+    failures = [name for name, ok, _ in result.checks if not ok]
+    assert len(failures) <= allow_divergences, (
+        f"{result.exp_id}: unexpected divergences from the paper: {failures}"
+    )
+    return result

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Scenario: watching a generalized collective actually move bytes.
+
+For teaching (or debugging a new algorithm), this demo runs a k-ring
+allgather on 6 ranks with k = 3 — the exact configuration of the paper's
+Fig. 6 — three different ways:
+
+1. symbolically, printing each rank's program (who talks to whom, when);
+2. on real NumPy buffers, printing before/after;
+3. on the thread-based transport (one OS thread per rank), proving the
+   schedule is interleaving-safe.
+
+Run:  python examples/data_movement_demo.py
+"""
+
+import numpy as np
+
+from repro.core import build_schedule, verify
+from repro.core.schedule import RecvOp, SendOp
+from repro.runtime import (
+    execute,
+    execute_threaded,
+    initial_buffers,
+    make_inputs,
+)
+
+P, K, COUNT = 6, 3, 12
+
+# ----------------------------------------------------------------------
+# 1. The schedule, spelled out (paper Fig. 6: 2 intra + 1 inter + 2 intra
+# rounds; groups {0,1,2} and {3,4,5}).
+# ----------------------------------------------------------------------
+sched = build_schedule("allgather", "kring", P, k=K)
+print(f"{sched.describe()} — groups of {sched.meta['groups']}\n")
+for prog in sched.programs:
+    parts = []
+    for step in prog.steps:
+        ops = []
+        for op in step.ops:
+            if isinstance(op, SendOp):
+                ops.append(f"send{list(op.blocks)}→{op.peer}")
+            elif isinstance(op, RecvOp):
+                ops.append(f"recv{list(op.blocks)}←{op.peer}")
+        parts.append(" + ".join(ops))
+    print(f"rank {prog.rank}: " + "  |  ".join(parts))
+report = verify(sched)
+print(f"\nsymbolic verification: OK ({report.delivered_messages} messages)\n")
+
+# ----------------------------------------------------------------------
+# 2. Real data. Each rank contributes a 2-element block; afterwards every
+# rank holds the full 12-element concatenation.
+# ----------------------------------------------------------------------
+inputs = make_inputs("allgather", P, COUNT, rng=np.random.default_rng(7))
+buffers = initial_buffers(sched, inputs, COUNT)
+print("before (rank: buffer — negative sentinel = undefined slot):")
+for r, buf in enumerate(buffers):
+    print(f"  {r}: {buf.tolist()}")
+execute(sched, buffers)
+print("after:")
+for r, buf in enumerate(buffers):
+    print(f"  {r}: {buf.tolist()}")
+expected = np.concatenate(inputs)
+assert all(np.array_equal(buf, expected) for buf in buffers)
+print("every rank holds the gathered buffer ✓\n")
+
+# ----------------------------------------------------------------------
+# 3. Same schedule, six real threads, FIFO channels, OS-scheduled
+# interleaving — bit-identical outcome.
+# ----------------------------------------------------------------------
+threaded = initial_buffers(sched, inputs, COUNT)
+execute_threaded(sched, threaded)
+assert all(np.array_equal(a, b) for a, b in zip(buffers, threaded))
+print("threaded execution (6 OS threads) matches the lockstep result ✓")

@@ -1,0 +1,12 @@
+"""Legacy build shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so the
+package installs in environments without the ``wheel`` package (offline
+clusters, hermetic CI), where pip's PEP 517 editable path is unavailable:
+
+    python setup.py develop    # or: pip install -e . --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,134 @@
+"""repro — Generalized collective algorithms for the exascale era.
+
+A from-scratch Python reproduction of Wilkins et al., *Generalized
+Collective Algorithms for the Exascale Era* (IEEE CLUSTER 2023):
+variable-radix generalizations of the binomial tree (k-nomial), recursive
+doubling (recursive multiplying) and ring (k-ring) collective kernels,
+plus everything needed to evaluate them without an exascale machine —
+
+* :mod:`repro.core` — the generalized algorithms, compiled to an explicit
+  per-rank schedule IR, with a symbolic correctness validator;
+* :mod:`repro.runtime` — executors that move real NumPy data through the
+  schedules (lockstep and genuinely threaded);
+* :mod:`repro.simnet` — a discrete-event simulator of multi-port,
+  hierarchical, dragonfly-connected machines (Frontier-like and
+  Polaris-like configurations included);
+* :mod:`repro.models` — the paper's analytical α–β–γ cost models
+  (eqs. (1)–(14)) with fitting and optimal-radix prediction;
+* :mod:`repro.selection` — MPICH-style algorithm selection tables, the
+  default/vendor baseline policies, and the exhaustive tuner (§VI-G);
+* :mod:`repro.bench` — OSU-style measurement and one runnable experiment
+  per paper table/figure.
+
+Quickstart::
+
+    import repro
+
+    # Move real data through a generalized algorithm and check it:
+    run = repro.run_collective("allreduce", "recursive_multiplying",
+                               p=16, count=1024, k=4)
+
+    # Time the same algorithm on a simulated exascale machine:
+    machine = repro.frontier(nodes=128, ppn=1)
+    sched = repro.build_schedule("allreduce", "recursive_multiplying",
+                                 machine.nranks, k=4)
+    print(repro.simulate(sched, machine, nbytes=65536).time_us, "us")
+"""
+
+from .bench import (
+    ALL_EXPERIMENTS,
+    default_sizes,
+    osu_latency,
+    radix_latency_sweep,
+    run_experiment,
+    speedup_curves,
+)
+from .core import (
+    COLLECTIVES,
+    GENERALIZED_ALGORITHMS,
+    Schedule,
+    algorithms_for,
+    build_schedule,
+    verify,
+)
+from .errors import (
+    ExecutionError,
+    MachineError,
+    ModelError,
+    ReproError,
+    ScheduleError,
+    SelectionError,
+    ValidationError,
+)
+from .models import ModelParams, model_time, optimal_radix
+from .runtime import SUM, Comm, ReduceOp, Session, execute, execute_threaded, run_collective
+from .selection import (
+    SelectionTable,
+    fixed_policy,
+    mpich_policy,
+    tune,
+    vendor_policy,
+)
+from .simnet import (
+    MachineSpec,
+    NoiseModel,
+    frontier,
+    polaris,
+    reference,
+    simulate,
+    traffic_summary,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "Schedule",
+    "build_schedule",
+    "verify",
+    "COLLECTIVES",
+    "GENERALIZED_ALGORITHMS",
+    "algorithms_for",
+    # runtime
+    "run_collective",
+    "execute",
+    "execute_threaded",
+    "ReduceOp",
+    "SUM",
+    "Session",
+    "Comm",
+    # simnet
+    "MachineSpec",
+    "frontier",
+    "polaris",
+    "reference",
+    "simulate",
+    "traffic_summary",
+    "NoiseModel",
+    # models
+    "ModelParams",
+    "model_time",
+    "optimal_radix",
+    # selection
+    "SelectionTable",
+    "mpich_policy",
+    "vendor_policy",
+    "fixed_policy",
+    "tune",
+    # bench
+    "osu_latency",
+    "default_sizes",
+    "radix_latency_sweep",
+    "speedup_curves",
+    "run_experiment",
+    "ALL_EXPERIMENTS",
+    # errors
+    "ReproError",
+    "ScheduleError",
+    "ValidationError",
+    "ExecutionError",
+    "MachineError",
+    "SelectionError",
+    "ModelError",
+]

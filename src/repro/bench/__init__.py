@@ -1,0 +1,28 @@
+"""Benchmark harness: OSU-style measurement, radix sweeps, speedup curves,
+and the per-figure experiment definitions."""
+
+from .experiments import ALL_EXPERIMENTS, ExperimentResult, run_experiment
+from .osu import LatencyPoint, default_sizes, osu_latency, osu_latency_schedule
+from .report import format_size, format_table, geomean, speedup_str
+from .speedup import SpeedupCurve, SpeedupPoint, policy_latency, speedup_curves
+from .sweep import RadixSweep, radix_latency_sweep
+
+__all__ = [
+    "osu_latency",
+    "osu_latency_schedule",
+    "LatencyPoint",
+    "default_sizes",
+    "radix_latency_sweep",
+    "RadixSweep",
+    "speedup_curves",
+    "SpeedupCurve",
+    "SpeedupPoint",
+    "policy_latency",
+    "format_size",
+    "format_table",
+    "geomean",
+    "speedup_str",
+    "ExperimentResult",
+    "ALL_EXPERIMENTS",
+    "run_experiment",
+]

@@ -1,0 +1,121 @@
+"""OSU-microbenchmark-style latency measurement on the simulator.
+
+The paper measures with the OSU suite (§VI-B): per message size, warm up,
+run many timed iterations, report the average.  On a deterministic
+simulator one iteration suffices; with the run-to-run variance model
+enabled, this module re-simulates with per-trial noise seeds and reports
+avg/min/max exactly as OSU would — which is also how the §VI-H variance
+experiments are reproduced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..core.registry import build_schedule, info
+from ..core.schedule import Schedule
+from ..errors import ReproError
+from ..simnet.machine import MachineSpec
+from ..simnet.noise import NoiseModel
+from ..simnet.simulate import simulate
+
+__all__ = ["LatencyPoint", "osu_latency", "osu_latency_schedule", "default_sizes"]
+
+
+def default_sizes(lo: int = 8, hi: int = 4 * 1024 * 1024) -> List[int]:
+    """Power-of-two size grid, OSU's default style.
+
+    >>> default_sizes(8, 64)
+    [8, 16, 32, 64]
+    """
+    if lo < 1 or hi < lo:
+        raise ReproError(f"bad size range [{lo}, {hi}]")
+    sizes = []
+    n = lo
+    while n <= hi:
+        sizes.append(n)
+        n *= 2
+    return sizes
+
+
+@dataclass(frozen=True)
+class LatencyPoint:
+    """Latency statistics for one message size (microseconds)."""
+
+    nbytes: int
+    avg_us: float
+    min_us: float
+    max_us: float
+    trials: int
+
+
+def osu_latency_schedule(
+    schedule: Schedule,
+    machine: MachineSpec,
+    sizes: Sequence[int],
+    *,
+    trials: int = 1,
+    noise_sigma: float = 0.0,
+    seed: int = 0,
+) -> List[LatencyPoint]:
+    """Measure a pre-built schedule across a size sweep."""
+    if trials < 1:
+        raise ReproError(f"trials must be >= 1, got {trials}")
+    points = []
+    for nbytes in sizes:
+        times = []
+        for t in range(trials):
+            noise = (
+                NoiseModel(sigma=noise_sigma, seed=seed + t)
+                if noise_sigma > 0
+                else None
+            )
+            times.append(simulate(schedule, machine, nbytes, noise=noise).time_us)
+        points.append(
+            LatencyPoint(
+                nbytes=nbytes,
+                avg_us=sum(times) / len(times),
+                min_us=min(times),
+                max_us=max(times),
+                trials=trials,
+            )
+        )
+    return points
+
+
+def osu_latency(
+    collective: str,
+    algorithm: str,
+    machine: MachineSpec,
+    sizes: Sequence[int],
+    *,
+    k: Optional[int] = None,
+    root: int = 0,
+    trials: int = 1,
+    noise_sigma: float = 0.0,
+    seed: int = 0,
+) -> List[LatencyPoint]:
+    """Build + measure in one call (the common case).
+
+    >>> from repro.simnet import reference
+    >>> pts = osu_latency("bcast", "binomial", reference(8), [8, 64])
+    >>> [p.nbytes for p in pts]
+    [8, 64]
+    """
+    entry = info(collective, algorithm)
+    schedule = build_schedule(
+        collective,
+        algorithm,
+        machine.nranks,
+        k=k,
+        root=root if entry.takes_root else 0,
+    )
+    return osu_latency_schedule(
+        schedule,
+        machine,
+        sizes,
+        trials=trials,
+        noise_sigma=noise_sigma,
+        seed=seed,
+    )

@@ -1,0 +1,174 @@
+"""Speedup curves — the measurement behind paper Fig. 9.
+
+For each message size the paper reports the best generalized
+algorithm/radix against two baselines:
+
+* the *default-radix* baseline (the same kernel at its classic radix —
+  isolating the gain from generalization alone, the dark green line), and
+* the *vendor* baseline (what a production user gets from the system MPI —
+  the red line).
+
+:func:`speedup_curves` computes both, also recording which generalized
+algorithm and radix won each size (the paper's color overlay).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.registry import GENERALIZED_ALGORITHMS, build_schedule, info
+from ..errors import ReproError
+from ..selection.defaults import mpich_policy, vendor_policy
+from ..selection.table import Choice, SelectionTable
+from ..selection.tuner import radix_grid
+from ..simnet.machine import MachineSpec
+from ..simnet.noise import NoiseModel
+from ..simnet.simulate import simulate
+
+__all__ = ["SpeedupPoint", "SpeedupCurve", "speedup_curves", "policy_latency"]
+
+
+@dataclass(frozen=True)
+class SpeedupPoint:
+    """One message size's entry in a Fig. 9-style curve."""
+
+    nbytes: int
+    best_us: float
+    best_choice: Choice
+    baseline_us: float
+    vendor_us: float
+
+    @property
+    def speedup_vs_baseline(self) -> float:
+        return self.baseline_us / self.best_us
+
+    @property
+    def speedup_vs_vendor(self) -> float:
+        return self.vendor_us / self.best_us
+
+
+@dataclass
+class SpeedupCurve:
+    """A full Fig. 9-style curve for one collective."""
+
+    collective: str
+    machine: str
+    points: List[SpeedupPoint]
+
+    def max_speedup_vs_vendor(self) -> float:
+        return max(p.speedup_vs_vendor for p in self.points)
+
+    def max_speedup_vs_baseline(self) -> float:
+        return max(p.speedup_vs_baseline for p in self.points)
+
+    def winners(self) -> Dict[int, Choice]:
+        return {p.nbytes: p.best_choice for p in self.points}
+
+
+def policy_latency(
+    table: SelectionTable,
+    collective: str,
+    machine: MachineSpec,
+    nbytes: int,
+    *,
+    root: int = 0,
+    noise: Optional[NoiseModel] = None,
+) -> float:
+    """Latency (µs) of the algorithm a selection table picks."""
+    choice = table.select(collective, machine.nranks, nbytes)
+    entry = info(collective, choice.algorithm)
+    schedule = build_schedule(
+        collective,
+        choice.algorithm,
+        machine.nranks,
+        k=choice.k,
+        root=root if entry.takes_root else 0,
+    )
+    return simulate(schedule, machine, nbytes, noise=noise).time_us
+
+
+def speedup_curves(
+    collective: str,
+    machine: MachineSpec,
+    sizes: Sequence[int],
+    *,
+    baseline: Optional[SelectionTable] = None,
+    vendor: Optional[SelectionTable] = None,
+    candidates: Optional[Sequence[Tuple[str, Sequence[Optional[int]]]]] = None,
+    root: int = 0,
+    noise: Optional[NoiseModel] = None,
+) -> SpeedupCurve:
+    """Compute a Fig. 9-style speedup curve.
+
+    Parameters
+    ----------
+    baseline:
+        Selection table for the default comparison; defaults to the MPICH
+        policy (fixed-radix classics with standard cutoffs).
+    vendor:
+        Selection table for the vendor comparison; defaults to the Cray
+        MPI stand-in.
+    candidates:
+        ``(algorithm, ks)`` pairs to search for "our best" (use
+        ``[None]`` as the radix list for fixed algorithms).  Defaults to
+        every generalized algorithm registered for the collective over the
+        standard radix grid — the paper additionally includes its
+        exhaustive benchmark of the fixed algorithms, which the Fig. 9
+        experiment passes in explicitly.
+    """
+    p = machine.nranks
+    baseline = baseline or mpich_policy()
+    vendor = vendor or vendor_policy()
+    if candidates is None:
+        candidates = []
+        for coll, alg in GENERALIZED_ALGORITHMS:
+            if coll != collective:
+                continue
+            entry = info(coll, alg)
+            candidates.append((alg, radix_grid(p, min_k=entry.min_k)))
+    if not candidates:
+        raise ReproError(f"no candidate algorithms for {collective}")
+
+    # Pre-build schedules once per (algorithm, k); sizes reuse them.
+    built: List[Tuple[Choice, object]] = []
+    for alg, ks in candidates:
+        entry = info(collective, alg)
+        for k in ks:
+            built.append(
+                (
+                    Choice(alg, k),
+                    build_schedule(
+                        collective,
+                        alg,
+                        p,
+                        k=k,
+                        root=root if entry.takes_root else 0,
+                    ),
+                )
+            )
+
+    points = []
+    for nbytes in sizes:
+        best_us = float("inf")
+        best_choice: Optional[Choice] = None
+        for choice, schedule in built:
+            t = simulate(schedule, machine, nbytes, noise=noise).time_us
+            if t < best_us:
+                best_us = t
+                best_choice = choice
+        assert best_choice is not None
+        points.append(
+            SpeedupPoint(
+                nbytes=nbytes,
+                best_us=best_us,
+                best_choice=best_choice,
+                baseline_us=policy_latency(
+                    baseline, collective, machine, nbytes, root=root, noise=noise
+                ),
+                vendor_us=policy_latency(
+                    vendor, collective, machine, nbytes, root=root, noise=noise
+                ),
+            )
+        )
+    return SpeedupCurve(collective=collective, machine=machine.name, points=points)

@@ -1,0 +1,114 @@
+"""Radix sweeps — the measurement behind paper Figs. 8, 10, and 11.
+
+A :class:`RadixSweep` holds the full (k × message-size) latency surface
+for one generalized algorithm on one machine, with accessors for the
+views the paper plots: latency-vs-k at a size (Fig. 8), latency-vs-size at
+chosen radices against baselines (Fig. 10), and the optimal radix per
+size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.registry import build_schedule, info
+from ..errors import ReproError
+from ..simnet.machine import MachineSpec
+from ..simnet.noise import NoiseModel
+from ..simnet.simulate import simulate
+from ..selection.tuner import radix_grid
+
+__all__ = ["RadixSweep", "radix_latency_sweep"]
+
+
+@dataclass
+class RadixSweep:
+    """Latency surface ``times_us[k][nbytes]`` for one algorithm."""
+
+    collective: str
+    algorithm: str
+    machine: str
+    nranks: int
+    sizes: List[int]
+    ks: List[int]
+    times_us: Dict[int, Dict[int, float]] = field(default_factory=dict)
+
+    def latency(self, k: int, nbytes: int) -> float:
+        try:
+            return self.times_us[k][nbytes]
+        except KeyError:
+            raise ReproError(
+                f"sweep has no point (k={k}, n={nbytes})"
+            ) from None
+
+    def series_for_k(self, k: int) -> List[Tuple[int, float]]:
+        """(size, latency) series at a fixed radix — a Fig. 10 line."""
+        return [(n, self.latency(k, n)) for n in self.sizes]
+
+    def series_for_size(self, nbytes: int) -> List[Tuple[int, float]]:
+        """(k, latency) series at a fixed size — a Fig. 8 line."""
+        return [(k, self.latency(k, nbytes)) for k in self.ks]
+
+    def best_k(self, nbytes: int) -> int:
+        """Radix minimizing latency at a size (ties → smaller k)."""
+        return min(self.ks, key=lambda k: (self.latency(k, nbytes), k))
+
+    def best_k_per_size(self) -> Dict[int, int]:
+        return {n: self.best_k(n) for n in self.sizes}
+
+    def best_latency(self, nbytes: int) -> float:
+        return min(self.latency(k, nbytes) for k in self.ks)
+
+    def flatness(self, nbytes: int) -> float:
+        """max/min latency ratio across k at one size.
+
+        Near 1.0 means the radix barely matters — the quantity behind the
+        paper's "parameter value shows minimal effect" claim for k-ring on
+        Polaris (Fig. 11c).
+        """
+        series = [self.latency(k, nbytes) for k in self.ks]
+        return max(series) / min(series)
+
+
+def radix_latency_sweep(
+    collective: str,
+    algorithm: str,
+    machine: MachineSpec,
+    sizes: Sequence[int],
+    *,
+    ks: Optional[Sequence[int]] = None,
+    root: int = 0,
+    noise: Optional[NoiseModel] = None,
+) -> RadixSweep:
+    """Simulate a generalized algorithm across a (k × size) grid.
+
+    With ``ks=None`` the grid is :func:`repro.selection.tuner.radix_grid`
+    over the machine's rank count — the same grid the tuner and the
+    analytical profiles use.
+    """
+    entry = info(collective, algorithm)
+    if not entry.takes_k:
+        raise ReproError(
+            f"{collective}/{algorithm} is not a generalized algorithm"
+        )
+    p = machine.nranks
+    grid = list(ks) if ks is not None else radix_grid(p, min_k=entry.min_k)
+    sweep = RadixSweep(
+        collective=collective,
+        algorithm=algorithm,
+        machine=machine.name,
+        nranks=p,
+        sizes=list(sizes),
+        ks=grid,
+    )
+    for k in grid:
+        schedule = build_schedule(
+            collective, algorithm, p, k=k, root=root if entry.takes_root else 0
+        )
+        sweep.times_us[k] = {}
+        for nbytes in sizes:
+            sweep.times_us[k][nbytes] = simulate(
+                schedule, machine, nbytes, noise=noise
+            ).time_us
+    return sweep

@@ -1,0 +1,203 @@
+"""Command-line entry points.
+
+Three console scripts are installed with the package:
+
+``repro-bench``
+    Run one (or all) of the paper's experiments and print the figure data
+    and shape checks: ``repro-bench fig8b``, ``repro-bench --list``,
+    ``repro-bench all``.
+
+``repro-tune``
+    Generate a tuned MPICH-style selection configuration for a simulated
+    machine and write it as JSON: ``repro-tune --machine frontier
+    --nodes 32 -o tuned.json``.
+
+``repro-validate``
+    Symbolically verify schedules across a parameter grid (the quick
+    confidence check after modifying an algorithm):
+    ``repro-validate --collective allreduce --max-p 40``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .bench.experiments import ALL_EXPERIMENTS, run_experiment
+from .bench.osu import default_sizes
+from .core.registry import COLLECTIVES, algorithms_for, build_schedule, info
+from .core.validate import verify
+from .errors import ReproError
+from .selection.tuner import tune
+from .simnet.machines import by_name
+
+__all__ = ["main_bench", "main_tune", "main_validate"]
+
+
+def main_bench(argv: Optional[List[str]] = None) -> int:
+    """``repro-bench``: run paper experiments."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Regenerate the paper's tables and figures on the "
+        "simulated machines.",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        default=None,
+        help="experiment id (e.g. fig8b), or 'all'",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment ids and exit"
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="also write the full report to a file",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list or args.experiment is None:
+        for exp_id in sorted(ALL_EXPERIMENTS):
+            print(exp_id)
+        return 0
+
+    ids = sorted(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    failures = 0
+    sections = []
+    for exp_id in ids:
+        try:
+            result = run_experiment(exp_id)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        summary = result.summary()
+        print(summary)
+        print()
+        sections.append(summary)
+        if not result.all_ok:
+            failures += 1
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text("\n\n".join(sections) + "\n")
+        print(f"wrote report to {args.output}")
+    if failures:
+        print(f"{failures} experiment(s) diverged from the paper's claims",
+              file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main_tune(argv: Optional[List[str]] = None) -> int:
+    """``repro-tune``: generate a tuned selection configuration."""
+    parser = argparse.ArgumentParser(
+        prog="repro-tune",
+        description="Exhaustively sweep the simulator and emit an "
+        "MPICH-style selection configuration (paper §VI-G).",
+    )
+    parser.add_argument("--machine", default="frontier",
+                        choices=["frontier", "polaris", "reference"])
+    parser.add_argument("--nodes", type=int, default=32)
+    parser.add_argument("--ppn", type=int, default=1)
+    parser.add_argument("--min-bytes", type=int, default=8)
+    parser.add_argument("--max-bytes", type=int, default=1 << 22)
+    parser.add_argument("-o", "--output", default=None,
+                        help="write JSON here (default: stdout)")
+    args = parser.parse_args(argv)
+
+    try:
+        machine = by_name(args.machine, args.nodes, args.ppn)
+        sizes = [n for n in default_sizes(args.min_bytes, args.max_bytes)]
+        # Tuning every power of two is slow in simulation; every other
+        # power of two bounds the sweep while keeping cutoffs tight.
+        table = tune(machine, sizes[::2] + [sizes[-1]])
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.output:
+        table.save(args.output)
+        print(f"wrote {args.output}")
+        print(table.describe())
+    else:
+        print(table.to_json())
+    return 0
+
+
+def main_validate(argv: Optional[List[str]] = None) -> int:
+    """``repro-validate``: symbolic verification sweep."""
+    parser = argparse.ArgumentParser(
+        prog="repro-validate",
+        description="Symbolically verify collective schedules across a "
+        "(p, k, root) grid.",
+    )
+    parser.add_argument("--collective", default=None, choices=COLLECTIVES)
+    parser.add_argument("--algorithm", default=None)
+    parser.add_argument("--max-p", type=int, default=24)
+    parser.add_argument(
+        "--dump",
+        default=None,
+        metavar="PATH",
+        help="additionally write one verified schedule as JSON "
+        "(requires --collective, --algorithm and --dump-p)",
+    )
+    parser.add_argument("--dump-p", type=int, default=8)
+    parser.add_argument("--dump-k", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    if args.dump:
+        if not (args.collective and args.algorithm):
+            print("error: --dump needs --collective and --algorithm",
+                  file=sys.stderr)
+            return 2
+        from .core.serialize import save_schedule
+
+        try:
+            sched = build_schedule(
+                args.collective, args.algorithm, args.dump_p, k=args.dump_k
+            )
+            verify(sched)
+            save_schedule(sched, args.dump)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"verified and wrote {sched.describe()} to {args.dump}")
+        return 0
+
+    colls = [args.collective] if args.collective else list(COLLECTIVES)
+    count = 0
+    for coll in colls:
+        algs = [args.algorithm] if args.algorithm else algorithms_for(coll)
+        for alg in algs:
+            try:
+                entry = info(coll, alg)
+            except ReproError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            for p in range(1, args.max_p + 1):
+                ks = [None]
+                if entry.takes_k:
+                    ks = sorted({entry.min_k, 2, 3, 4, p, p + 1} - {0, 1}
+                                | ({1} if entry.min_k == 1 else set()))
+                    ks = [k for k in ks if k >= entry.min_k]
+                roots = [0, p - 1] if entry.takes_root and p > 1 else [0]
+                for k in ks:
+                    for root in roots:
+                        try:
+                            verify(build_schedule(coll, alg, p, k=k, root=root))
+                            count += 1
+                        except ReproError as exc:
+                            print(
+                                f"FAIL {coll}/{alg} p={p} k={k} root={root}: "
+                                f"{exc}",
+                                file=sys.stderr,
+                            )
+                            return 1
+    print(f"verified {count} schedules — all correct")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation helper
+    sys.exit(main_bench())

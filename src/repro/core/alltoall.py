@@ -1,0 +1,154 @@
+"""All-to-all algorithms: pairwise exchange and the k-port Bruck routing.
+
+The paper's related work closes with Fan et al. [12] generalizing Bruck's
+algorithm for all-to-all — the same radix-generalization move applied to
+the remaining heavyweight collective.  This module implements that
+lineage on the schedule IR:
+
+* :func:`pairwise_alltoall` — the classic ``p - 1``-round exchange: in
+  round ``t`` every rank sends its block for ``(r + t) mod p`` directly
+  and receives its block from ``(r - t) mod p``.  Every block moves
+  exactly once (bandwidth-optimal), but small messages pay ``p - 1``
+  latencies.
+* :func:`bruck_alltoall` — store-and-forward digit routing: block
+  ``(s, d)`` travels by the base-``k`` digits of ``(d - s) mod p``, so
+  everything arrives within ``⌈log_k p⌉`` rounds at the cost of each
+  block being forwarded up to ``⌈log_k p⌉`` times.  The radix trades
+  rounds against forwarding volume — the all-to-all analogue of the
+  paper's recursive multiplying trade-off.
+
+Block geometry: all-to-all needs ``p²`` logical blocks — block
+``s·p + d`` is the data rank ``s`` owes rank ``d``.  Buffers span the
+whole block space (each rank starts holding its row and must end holding
+its column); relay ranks legitimately carry third-party blocks in
+transit, which the contribution-set validator checks end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..errors import ScheduleError
+from .primitives import check_radix, empty_programs, ilog
+from .schedule import Op, RecvOp, Schedule, SendOp
+
+__all__ = ["pairwise_alltoall", "bruck_alltoall", "alltoall_block"]
+
+
+def alltoall_block(src: int, dst: int, p: int) -> int:
+    """Block id carrying rank ``src``'s data for rank ``dst``.
+
+    >>> alltoall_block(2, 1, 4)
+    9
+    """
+    if not (0 <= src < p and 0 <= dst < p):
+        raise ScheduleError(f"ranks ({src}, {dst}) out of range for p={p}")
+    return src * p + dst
+
+
+def pairwise_alltoall(p: int) -> Schedule:
+    """Pairwise-exchange all-to-all: ``p - 1`` rounds, every block moves
+    exactly once (cost ``(p-1)·(α + β·n/p²)`` per eq.-(8)-style counting)."""
+    if p < 1:
+        raise ScheduleError(f"p must be >= 1, got {p}")
+    programs = empty_programs(p)
+    for t in range(1, p):
+        for rank in range(p):
+            to = (rank + t) % p
+            frm = (rank - t) % p
+            programs[rank].add(
+                SendOp(peer=to, blocks=(alltoall_block(rank, to, p),)),
+                RecvOp(peer=frm, blocks=(alltoall_block(frm, rank, p),)),
+            )
+    return Schedule(
+        collective="alltoall",
+        algorithm="pairwise",
+        nranks=p,
+        nblocks=p * p,
+        programs=programs,
+        meta={"rounds": max(p - 1, 0)},
+    )
+
+
+def _digits(value: int, k: int, rounds: int) -> List[int]:
+    """Base-k digits of ``value``, least significant first, padded."""
+    out = []
+    for _ in range(rounds):
+        out.append(value % k)
+        value //= k
+    return out
+
+
+def bruck_alltoall(p: int, k: int = 2) -> Schedule:
+    """K-port Bruck all-to-all: ``⌈log_k p⌉`` rounds of digit routing.
+
+    Round ``i``: every rank forwards, to each partner ``j·k^i`` ahead of
+    it (``j = 1..k-1``), all blocks it currently holds whose remaining
+    displacement ``(dst - here) mod p`` has base-k digit ``i`` equal to
+    ``j``.  Messages aggregate many blocks, so small per-pair payloads
+    amortize latency — the small-message regime where [12]'s generalized
+    Bruck wins, reproduced by ``bench_alltoall_crossover.py``.
+    """
+    check_radix(k)
+    if p < 1:
+        raise ScheduleError(f"p must be >= 1, got {p}")
+    programs = empty_programs(p)
+    rounds = ilog(k, p)
+    # held[r] = blocks currently at rank r (as (src, dst) pairs).
+    held: List[List[Tuple[int, int]]] = [
+        [(r, d) for d in range(p)] for r in range(p)
+    ]
+    for i in range(rounds):
+        stride = k**i
+        outgoing: Dict[int, Dict[int, List[Tuple[int, int]]]] = {
+            r: {} for r in range(p)
+        }
+        for r in range(p):
+            keep = []
+            for (s, d) in held[r]:
+                digit = _digits((d - r) % p, k, rounds)[i]
+                if digit == 0:
+                    keep.append((s, d))
+                else:
+                    outgoing[r].setdefault(digit, []).append((s, d))
+            held[r] = keep
+        for r in range(p):
+            ops: List[Op] = []
+            for j in sorted(outgoing[r]):
+                peer = (r + j * stride) % p
+                blocks = tuple(
+                    sorted(alltoall_block(s, d, p) for s, d in outgoing[r][j])
+                )
+                if peer == r:
+                    # wrapped all the way around: the blocks stay local
+                    held[r].extend(outgoing[r][j])
+                    continue
+                ops.append(SendOp(peer=peer, blocks=blocks))
+            for j in sorted(
+                jj for jj in range(1, k)
+                if outgoing[(r - jj * stride) % p].get(jj)
+                and (r - jj * stride) % p != r
+            ):
+                src_rank = (r - j * stride) % p
+                incoming = outgoing[src_rank][j]
+                blocks = tuple(
+                    sorted(alltoall_block(s, d, p) for s, d in incoming)
+                )
+                ops.append(RecvOp(peer=src_rank, blocks=blocks))
+                held[r].extend(incoming)
+            programs[r].add_step(ops)
+    for r in range(p):
+        expect = sorted((s, r) for s in range(p))
+        if sorted(held[r]) != expect:
+            raise ScheduleError(
+                f"internal error: rank {r} ends holding {sorted(held[r])[:4]}..."
+            )
+    return Schedule(
+        collective="alltoall",
+        algorithm="bruck" if k == 2 else "bruck_kport",
+        nranks=p,
+        nblocks=p * p,
+        programs=programs,
+        k=k,
+        meta={"rounds": rounds},
+    )

@@ -1,0 +1,196 @@
+"""Block partitioning of collective buffers.
+
+Every schedule in :mod:`repro.core` moves data at *block* granularity: the
+collective buffer is split into ``nblocks`` contiguous blocks, and schedule
+operations name the block ids they carry.  This module owns the arithmetic
+for that partition.
+
+Two unit systems use the same partition logic:
+
+* the **data executors** (:mod:`repro.runtime`) partition *element counts*
+  so block ``b`` maps to a NumPy slice, and
+* the **network simulator** (:mod:`repro.simnet`) partitions *byte counts*
+  so each message's wire size can be computed.
+
+The partition follows the MPICH convention for non-divisible sizes: the
+first ``total % nblocks`` blocks are one unit larger than the rest, so
+block sizes differ by at most one and every block is non-empty whenever
+``total >= nblocks``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence, Tuple
+
+from ..errors import ScheduleError
+
+__all__ = ["BlockMap", "block_sizes", "block_offsets"]
+
+
+def block_sizes(total: int, nblocks: int) -> Tuple[int, ...]:
+    """Split ``total`` units into ``nblocks`` near-equal contiguous blocks.
+
+    The first ``total % nblocks`` blocks receive one extra unit, matching
+    MPICH's handling of counts that are not divisible by the communicator
+    size.
+
+    >>> block_sizes(10, 4)
+    (3, 3, 2, 2)
+    >>> block_sizes(4, 4)
+    (1, 1, 1, 1)
+    >>> block_sizes(2, 4)
+    (1, 1, 0, 0)
+    """
+    if nblocks <= 0:
+        raise ScheduleError(f"nblocks must be positive, got {nblocks}")
+    if total < 0:
+        raise ScheduleError(f"total must be non-negative, got {total}")
+    base, extra = divmod(total, nblocks)
+    return tuple(base + 1 if b < extra else base for b in range(nblocks))
+
+
+def block_offsets(sizes: Sequence[int]) -> Tuple[int, ...]:
+    """Exclusive prefix sum of ``sizes``: the start offset of each block.
+
+    >>> block_offsets((3, 3, 2, 2))
+    (0, 3, 6, 8)
+    """
+    offsets = []
+    acc = 0
+    for s in sizes:
+        offsets.append(acc)
+        acc += s
+    return tuple(offsets)
+
+
+@dataclass(frozen=True)
+class BlockMap:
+    """Immutable mapping from block ids to contiguous [offset, offset+size) ranges.
+
+    Parameters
+    ----------
+    total:
+        Total number of units (elements or bytes) in the collective buffer.
+    nblocks:
+        Number of blocks the buffer is split into.  Tree algorithms that
+        move whole buffers use ``nblocks == 1``; scatter/ring-family
+        algorithms use ``nblocks == p``.
+    """
+
+    total: int
+    nblocks: int
+
+    def __post_init__(self) -> None:
+        # Validate eagerly so downstream code can trust the invariants.
+        block_sizes(self.total, self.nblocks)
+
+    @property
+    def sizes(self) -> Tuple[int, ...]:
+        """Per-block sizes (computed, not stored, to keep the object tiny)."""
+        return block_sizes(self.total, self.nblocks)
+
+    @property
+    def offsets(self) -> Tuple[int, ...]:
+        """Per-block start offsets."""
+        return block_offsets(self.sizes)
+
+    def size_of(self, block: int) -> int:
+        """Size of a single block."""
+        self._check(block)
+        base, extra = divmod(self.total, self.nblocks)
+        return base + 1 if block < extra else base
+
+    def offset_of(self, block: int) -> int:
+        """Start offset of a single block (O(1), no prefix-sum walk)."""
+        self._check(block)
+        base, extra = divmod(self.total, self.nblocks)
+        if block < extra:
+            return block * (base + 1)
+        return extra * (base + 1) + (block - extra) * base
+
+    def range_of(self, block: int) -> Tuple[int, int]:
+        """``(start, stop)`` half-open range of a block."""
+        start = self.offset_of(block)
+        return start, start + self.size_of(block)
+
+    def bytes_of(self, blocks: Iterable[int]) -> int:
+        """Total size of a set of blocks (despite the name, unit-agnostic)."""
+        return sum(self.size_of(b) for b in blocks)
+
+    def slices(self) -> Iterator[Tuple[int, int, int]]:
+        """Iterate ``(block, start, stop)`` over all blocks."""
+        for b in range(self.nblocks):
+            start, stop = self.range_of(b)
+            yield b, start, stop
+
+    def _check(self, block: int) -> None:
+        if not 0 <= block < self.nblocks:
+            raise ScheduleError(
+                f"block {block} out of range for BlockMap(nblocks={self.nblocks})"
+            )
+
+
+@dataclass(frozen=True)
+class ExplicitBlockMap:
+    """Block partition with caller-supplied (possibly uneven, possibly
+    zero) block sizes — the geometry behind the v-variant collectives
+    (gatherv/scatterv), where each rank contributes a different count.
+
+    Implements the same interface as :class:`BlockMap`, so any schedule
+    can be executed or simulated against it: the algorithms name block
+    *ids*; only the unit arithmetic changes.
+    """
+
+    block_sizes_: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.block_sizes_:
+            raise ScheduleError("ExplicitBlockMap needs at least one block")
+        if any(s < 0 for s in self.block_sizes_):
+            raise ScheduleError(
+                f"block sizes must be non-negative: {self.block_sizes_}"
+            )
+
+    @property
+    def total(self) -> int:
+        return sum(self.block_sizes_)
+
+    @property
+    def nblocks(self) -> int:
+        return len(self.block_sizes_)
+
+    @property
+    def sizes(self) -> Tuple[int, ...]:
+        return tuple(self.block_sizes_)
+
+    @property
+    def offsets(self) -> Tuple[int, ...]:
+        return block_offsets(self.block_sizes_)
+
+    def size_of(self, block: int) -> int:
+        self._check(block)
+        return self.block_sizes_[block]
+
+    def offset_of(self, block: int) -> int:
+        self._check(block)
+        return sum(self.block_sizes_[:block])
+
+    def range_of(self, block: int) -> Tuple[int, int]:
+        start = self.offset_of(block)
+        return start, start + self.block_sizes_[block]
+
+    def bytes_of(self, blocks: Iterable[int]) -> int:
+        return sum(self.size_of(b) for b in blocks)
+
+    def slices(self) -> Iterator[Tuple[int, int, int]]:
+        for b in range(self.nblocks):
+            start, stop = self.range_of(b)
+            yield b, start, stop
+
+    def _check(self, block: int) -> None:
+        if not 0 <= block < self.nblocks:
+            raise ScheduleError(
+                f"block {block} out of range for "
+                f"ExplicitBlockMap(nblocks={self.nblocks})"
+            )

@@ -1,0 +1,183 @@
+"""Hierarchical (two-level) collectives — the Hasanov-style composition.
+
+The paper's k-ring is one answer to heterogeneous intranode/internode
+links; the other production answer — and the hierarchical strategy the
+paper cites as its inspiration ([17], Hasanov et al.) — is explicit
+two-level composition: reduce within each node to a leader over the fast
+fabric, run the internode collective among leaders only, then broadcast
+within each node.  This module builds that composition out of the
+library's existing kernels via a general *rank remapping* primitive, so
+any registered nblocks-1 allreduce can serve as the leader-level
+algorithm (including the generalized ones, radix and all).
+
+The ablation benchmark ``bench_hierarchical.py`` pits this against k-ring
+and flat recursive multiplying on the 8-process-per-node Frontier model —
+the three-way comparison the paper's §II-B3 discussion implies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..errors import ScheduleError
+from .knomial import knomial_bcast, knomial_reduce
+from .primitives import compose, empty_programs
+from .registry import build_schedule, info
+from .schedule import RankProgram, RecvOp, Schedule, SendOp
+
+__all__ = ["remap_ranks", "hierarchical_allreduce"]
+
+
+def remap_ranks(
+    schedule: Schedule, mapping: Sequence[int], nranks: int
+) -> Schedule:
+    """Embed a schedule built for a small group into a larger rank space.
+
+    ``mapping[i]`` is the global rank playing the schedule's rank ``i``;
+    unmapped global ranks get empty programs.  Everything else (blocks,
+    op structure) is preserved, which is what makes two-level composition
+    a pure reuse of the existing single-level builders.
+    """
+    if len(mapping) != schedule.nranks:
+        raise ScheduleError(
+            f"mapping covers {len(mapping)} ranks but schedule has "
+            f"{schedule.nranks}"
+        )
+    if len(set(mapping)) != len(mapping):
+        raise ScheduleError("rank mapping must be injective")
+    for g in mapping:
+        if not 0 <= g < nranks:
+            raise ScheduleError(f"mapped rank {g} out of range for {nranks}")
+
+    programs = empty_programs(nranks)
+    for local, prog in enumerate(schedule.programs):
+        target = RankProgram(rank=mapping[local])
+        for step in prog.steps:
+            ops = []
+            for op in step.ops:
+                if isinstance(op, SendOp):
+                    ops.append(SendOp(peer=mapping[op.peer], blocks=op.blocks))
+                elif isinstance(op, RecvOp):
+                    ops.append(
+                        RecvOp(
+                            peer=mapping[op.peer],
+                            blocks=op.blocks,
+                            reduce=op.reduce,
+                        )
+                    )
+                else:
+                    ops.append(op)
+            target.add_step(ops)
+        programs[mapping[local]] = target
+    return Schedule(
+        collective=schedule.collective,
+        algorithm=schedule.algorithm,
+        nranks=nranks,
+        nblocks=schedule.nblocks,
+        programs=programs,
+        root=mapping[schedule.root] if schedule.root is not None else None,
+        k=schedule.k,
+        meta={**schedule.meta, "remapped_from": schedule.nranks},
+    )
+
+
+def hierarchical_allreduce(
+    p: int,
+    ppn: int,
+    *,
+    intra_k: int = 2,
+    leader_algorithm: str = "recursive_multiplying",
+    leader_k: Optional[int] = None,
+) -> Schedule:
+    """Two-level allreduce: intranode k-nomial reduce → internode
+    allreduce among node leaders → intranode k-nomial bcast.
+
+    ``leader_algorithm`` may be any registered whole-buffer allreduce
+    (``recursive_doubling``, ``recursive_multiplying``, ``knomial``,
+    ``binomial``); block-partitioned ones (ring family, Rabenseifner)
+    use a different block geometry and are rejected.
+    """
+    if p < 1 or ppn < 1:
+        raise ScheduleError(f"need p >= 1 and ppn >= 1, got {p}, {ppn}")
+    if p % ppn != 0:
+        raise ScheduleError(
+            f"hierarchical composition needs ppn | p ({ppn} does not "
+            f"divide {p})"
+        )
+    nodes = p // ppn
+    entry = info("allreduce", leader_algorithm)
+    if leader_k is None:
+        leader_k = entry.default_k if entry.takes_k else None
+
+    phases: List[Schedule] = []
+
+    # Phase 1: each node's members reduce onto their leader (local rank 0).
+    if ppn > 1:
+        local_reduce = knomial_reduce(ppn, intra_k, root=0)
+        node_programs = empty_programs(p)
+        for node in range(nodes):
+            members = list(range(node * ppn, (node + 1) * ppn))
+            embedded = remap_ranks(local_reduce, members, p)
+            for r in members:
+                node_programs[r] = embedded.programs[r]
+        phases.append(
+            Schedule(
+                collective="allreduce",  # phase typing; composed below
+                algorithm="hierarchical",
+                nranks=p,
+                nblocks=1,
+                programs=node_programs,
+            )
+        )
+
+    # Phase 2: leaders run the internode allreduce.
+    if nodes > 1:
+        outer = build_schedule("allreduce", leader_algorithm, nodes, k=leader_k)
+        if outer.nblocks != 1:
+            raise ScheduleError(
+                f"leader algorithm {leader_algorithm!r} partitions the "
+                f"buffer (nblocks={outer.nblocks}); hierarchical "
+                f"composition needs a whole-buffer allreduce"
+            )
+        leaders = [node * ppn for node in range(nodes)]
+        phases.append(remap_ranks(outer, leaders, p))
+
+    # Phase 3: leaders broadcast the result within their nodes.
+    if ppn > 1:
+        local_bcast = knomial_bcast(ppn, intra_k, root=0)
+        node_programs = empty_programs(p)
+        for node in range(nodes):
+            members = list(range(node * ppn, (node + 1) * ppn))
+            embedded = remap_ranks(local_bcast, members, p)
+            for r in members:
+                node_programs[r] = embedded.programs[r]
+        phases.append(
+            Schedule(
+                collective="allreduce",
+                algorithm="hierarchical",
+                nranks=p,
+                nblocks=1,
+                programs=node_programs,
+            )
+        )
+
+    if not phases:  # p == 1
+        return Schedule(
+            collective="allreduce",
+            algorithm="hierarchical",
+            nranks=1,
+            nblocks=1,
+            programs=empty_programs(1),
+        )
+    sched = compose(
+        "allreduce",
+        "hierarchical",
+        phases,
+        k=leader_k,
+        meta={
+            "ppn": ppn,
+            "intra_k": intra_k,
+            "leader_algorithm": leader_algorithm,
+        },
+    )
+    return sched

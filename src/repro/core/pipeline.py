@@ -1,0 +1,94 @@
+"""Pipelined (segmented) collectives: the chain broadcast.
+
+The paper's generalization story is about exposing a structural parameter
+(the radix) that classic algorithms fix.  Pipelining is the *other*
+classic tunable the related work leans on (Awan et al.'s pipelined bcast
+for deep learning, §VII): split the buffer into ``segments`` chunks and
+stream them down a chain, so the whole chain works concurrently on
+different segments.  For very large broadcasts the chain is
+bandwidth-optimal: total cost ``(S + p - 2)·(α + β·n/S)``, minimized at
+``S* = √(n·β·(p-2)/α)`` — another knob/size trade exactly like the radix,
+and the segment-count sweep mirrors the paper's Fig. 8 methodology
+(``benchmarks/bench_pipeline_segments.py``).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ScheduleError
+from .blocks import BlockMap
+from .primitives import absolute_rank, check_root, empty_programs, relative_rank
+from .schedule import RankProgram, RecvOp, Schedule, SendOp
+
+__all__ = ["chain_bcast", "optimal_segments"]
+
+
+def chain_bcast(p: int, segments: int, *, root: int = 0) -> Schedule:
+    """Segmented chain broadcast.
+
+    The ranks form a line (in relative order from the root); each segment
+    flows down the chain one hop per step, with every rank forwarding
+    segment ``s`` while receiving segment ``s + 1`` — steady-state
+    bandwidth on every link simultaneously.
+
+    ``segments`` plays the role the radix plays for the paper's kernels:
+    more segments hide the chain's ``p - 2`` forwarding latencies behind
+    smaller per-hop transfers, at the cost of ``S`` extra message
+    latencies.
+    """
+    check_root(root, p)
+    if segments < 1:
+        raise ScheduleError(f"segments must be >= 1, got {segments}")
+    programs = empty_programs(p)
+    for rank in range(p):
+        relr = relative_rank(rank, root, p)
+        prev = absolute_rank(relr - 1, root, p) if relr > 0 else None
+        nxt = absolute_rank(relr + 1, root, p) if relr < p - 1 else None
+        prog = programs[rank]
+        if prev is None:
+            # Root: stream every segment downstream back to back.
+            for s in range(segments):
+                if nxt is not None:
+                    prog.add(SendOp(peer=nxt, blocks=(s,)))
+            continue
+        # Interior/tail ranks double-buffer: while forwarding segment s,
+        # the receive for segment s+1 is already posted — the overlap that
+        # gives the pipeline its (S + p - 2)-step steady state.
+        prog.add(RecvOp(peer=prev, blocks=(0,)))
+        for s in range(segments):
+            ops = []
+            if nxt is not None:
+                ops.append(SendOp(peer=nxt, blocks=(s,)))
+            if s + 1 < segments:
+                ops.append(RecvOp(peer=prev, blocks=(s + 1,)))
+            prog.add_step(ops)
+    return Schedule(
+        collective="bcast",
+        algorithm="chain" if segments == 1 else "pipelined_chain",
+        nranks=p,
+        nblocks=segments,
+        programs=programs,
+        root=root,
+        k=segments,
+        meta={"segments": segments},
+    )
+
+
+def optimal_segments(nbytes: float, p: int, alpha: float, beta: float) -> int:
+    """Closed-form optimal segment count ``S* = √(n·β·(p-2)/α)``.
+
+    Derived by minimizing ``(S + p - 2)(α + βn/S)`` over ``S``; clamped to
+    ``[1, nbytes]`` (a segment must carry at least a byte).
+
+    >>> optimal_segments(0, 8, 1e-6, 1e-9)
+    1
+    """
+    if p < 1:
+        raise ScheduleError(f"p must be >= 1, got {p}")
+    if nbytes < 0 or alpha <= 0 or beta < 0:
+        raise ScheduleError("need nbytes >= 0, alpha > 0, beta >= 0")
+    if p <= 2 or nbytes == 0:
+        return 1
+    s = math.sqrt(nbytes * beta * (p - 2) / alpha)
+    return max(1, min(int(round(s)), int(nbytes) or 1))

@@ -1,0 +1,173 @@
+"""Generic schedule runner: message matching shared by all executors.
+
+The runner walks every rank's program concurrently (cooperatively, in a
+progress loop), matching messages between (src, dst) pairs in FIFO order —
+the MPI non-overtaking rule.  It is parameterized over a :class:`DataModel`
+so the same matching logic drives:
+
+* the symbolic validator (:mod:`repro.core.validate`), whose payloads are
+  contribution sets, and
+* the NumPy data executor (:mod:`repro.runtime.executor`), whose payloads
+  are real array copies.
+
+Semantics implemented here (see :mod:`repro.core.schedule` for the
+contract):
+
+* when a rank *starts* a step, its sends snapshot the current local state
+  and are enqueued immediately (nonblocking sends with unlimited buffering);
+* local copies apply at step start, after the send snapshot;
+* the step completes when every receive has a matching in-flight message;
+  receives are applied in op order within the step;
+* a full pass over all unfinished ranks with no postings and no completions
+  is a deadlock, reported with the blocked ranks and what they wait for.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, Generic, List, Protocol, Tuple, TypeVar
+
+from ..errors import ExecutionError
+from .schedule import CopyOp, RecvOp, Schedule, SendOp
+
+__all__ = ["DataModel", "RunResult", "run_schedule"]
+
+P = TypeVar("P")  # payload type
+
+
+class DataModel(Protocol[P]):
+    """Pluggable data semantics for :func:`run_schedule`."""
+
+    def snapshot(self, rank: int, op: SendOp) -> P:
+        """Capture the payload a send carries, from rank's current state."""
+
+    def apply_recv(self, rank: int, op: RecvOp, payload: P) -> None:
+        """Store (or reduce, per ``op.reduce``) an incoming payload."""
+
+    def apply_copy(self, rank: int, op: CopyOp) -> None:
+        """Apply a local block copy."""
+
+
+@dataclass
+class _Message(Generic[P]):
+    """An in-flight message: the sender's block ids plus the payload."""
+
+    blocks: Tuple[int, ...]
+    payload: P
+
+
+@dataclass
+class RunResult:
+    """Bookkeeping returned by :func:`run_schedule`."""
+
+    delivered_messages: int
+    progress_passes: int
+
+
+def run_schedule(schedule: Schedule, model: DataModel[P]) -> RunResult:
+    """Run ``schedule`` against ``model``; raises on deadlock or mismatch."""
+    p = schedule.nranks
+    programs = schedule.programs
+    channels: Dict[Tuple[int, int], Deque[_Message[P]]] = {}
+    pc = [0] * p  # next step index per rank
+    posted = [False] * p
+    delivered = 0
+    passes = 0
+
+    def channel(src: int, dst: int) -> Deque[_Message[P]]:
+        key = (src, dst)
+        ch = channels.get(key)
+        if ch is None:
+            ch = channels[key] = deque()
+        return ch
+
+    unfinished = sum(1 for r in range(p) if programs[r].steps)
+    while unfinished:
+        passes += 1
+        changed = False
+        for rank in range(p):
+            steps = programs[rank].steps
+            if pc[rank] >= len(steps):
+                continue
+            step = steps[pc[rank]]
+            if not posted[rank]:
+                # Post: snapshot + enqueue sends, then apply local copies.
+                for op in step.ops:
+                    if isinstance(op, SendOp):
+                        channel(rank, op.peer).append(
+                            _Message(op.blocks, model.snapshot(rank, op))
+                        )
+                for op in step.ops:
+                    if isinstance(op, CopyOp):
+                        model.apply_copy(rank, op)
+                posted[rank] = True
+                changed = True
+
+            # Count how many messages this step needs from each peer, in op
+            # order, and check availability before consuming anything (a
+            # step is atomic at the waitall boundary).
+            recvs = [op for op in step.ops if isinstance(op, RecvOp)]
+            needed: Dict[int, int] = {}
+            for op in recvs:
+                needed[op.peer] = needed.get(op.peer, 0) + 1
+            ready = all(
+                len(channels.get((peer, rank), ())) >= cnt
+                for peer, cnt in needed.items()
+            )
+            if not ready:
+                continue
+
+            for op in recvs:
+                msg = channel(op.peer, rank).popleft()
+                if msg.blocks != op.blocks:
+                    raise ExecutionError(
+                        f"{schedule.describe()}: rank {rank} step {pc[rank]} "
+                        f"expected blocks {op.blocks} from rank {op.peer} "
+                        f"but the in-flight message carries {msg.blocks}"
+                    )
+                model.apply_recv(rank, op, msg.payload)
+                delivered += 1
+            pc[rank] += 1
+            posted[rank] = False
+            changed = True
+            if pc[rank] >= len(steps):
+                unfinished -= 1
+
+        if not changed and unfinished:
+            blocked = _describe_blocked(schedule, pc, channels)
+            raise ExecutionError(
+                f"{schedule.describe()}: deadlock — no rank can make "
+                f"progress.\n{blocked}"
+            )
+
+    leftovers = {k: len(v) for k, v in channels.items() if v}
+    if leftovers:
+        raise ExecutionError(
+            f"{schedule.describe()}: {sum(leftovers.values())} message(s) "
+            f"were sent but never received: {leftovers}"
+        )
+    return RunResult(delivered_messages=delivered, progress_passes=passes)
+
+
+def _describe_blocked(
+    schedule: Schedule,
+    pc: List[int],
+    channels: Dict[Tuple[int, int], Deque[Any]],
+) -> str:
+    """Build a human-readable deadlock report."""
+    lines = []
+    for rank, prog in enumerate(schedule.programs):
+        if pc[rank] >= len(prog.steps):
+            continue
+        step = prog.steps[pc[rank]]
+        waits = []
+        for op in step.ops:
+            if isinstance(op, RecvOp):
+                have = len(channels.get((op.peer, rank), ()))
+                waits.append(f"recv{list(op.blocks)}<-{op.peer}(have {have})")
+        lines.append(f"  rank {rank} at step {pc[rank]}: waiting on {waits}")
+        if len(lines) >= 16:
+            lines.append("  ... (truncated)")
+            break
+    return "\n".join(lines)

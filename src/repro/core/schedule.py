@@ -1,0 +1,286 @@
+"""Schedule intermediate representation (IR) for collective algorithms.
+
+Every collective algorithm in this package compiles to an explicit,
+static, per-rank *program*: a sequence of :class:`Step` objects, where each
+step posts a set of nonblocking operations concurrently and then waits for
+all of them (the ``isend``/``irecv``/``waitall`` idiom the paper's MPICH
+implementations use to exploit multi-port NICs and message buffering,
+§II-B2).
+
+The IR is deliberately tiny — three operation kinds cover every algorithm
+in the paper:
+
+* :class:`SendOp` — send the named blocks to a peer.
+* :class:`RecvOp` — receive the named blocks from a peer; with
+  ``reduce=True`` the incoming data is combined into the local blocks with
+  the collective's reduction operator instead of overwriting them.
+* :class:`CopyOp` — local block-to-block copy (used by e.g. gather roots
+  placing their own contribution, and Bruck-style rotations).
+
+Semantics contract shared by all executors and the simulator:
+
+1. All ops inside one step are posted concurrently; the step completes when
+   all complete ("waitall").
+2. Send data is snapshotted when the step *starts* (nonblocking send
+   semantics: later local writes don't alter in-flight messages).
+3. Messages between a given (src, dst) pair match in FIFO order across the
+   whole program (MPI non-overtaking rule on a single tag/communicator).
+4. Reduction receives are applied in the order they appear within the step,
+   making floating-point results deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..errors import ScheduleError
+from .blocks import BlockMap
+
+__all__ = [
+    "SendOp",
+    "RecvOp",
+    "CopyOp",
+    "Op",
+    "Step",
+    "RankProgram",
+    "Schedule",
+    "ScheduleStats",
+]
+
+
+@dataclass(frozen=True)
+class SendOp:
+    """Send ``blocks`` to ``peer``.
+
+    ``blocks`` is an ordered tuple of block ids; the wire message is their
+    concatenation in that order.  The matching :class:`RecvOp` must name
+    block tuples of identical total size (ids may differ only for
+    ``reduce`` receives of re-homed partials; for plain copies they must
+    match element-for-element so positional semantics hold).
+    """
+
+    peer: int
+    blocks: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.blocks:
+            raise ScheduleError("SendOp must carry at least one block")
+        if len(set(self.blocks)) != len(self.blocks):
+            raise ScheduleError(f"SendOp carries duplicate blocks: {self.blocks}")
+
+
+@dataclass(frozen=True)
+class RecvOp:
+    """Receive ``blocks`` from ``peer``.
+
+    With ``reduce=False`` the payload overwrites the local blocks.  With
+    ``reduce=True`` it is combined into them with the collective's
+    reduction operator (the receiving rank pays the γ·bytes compute cost in
+    the simulator).
+    """
+
+    peer: int
+    blocks: Tuple[int, ...]
+    reduce: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.blocks:
+            raise ScheduleError("RecvOp must name at least one block")
+        if len(set(self.blocks)) != len(self.blocks):
+            raise ScheduleError(f"RecvOp names duplicate blocks: {self.blocks}")
+
+
+@dataclass(frozen=True)
+class CopyOp:
+    """Local copy of block ``src`` into block ``dst`` (no network traffic)."""
+
+    src: int
+    dst: int
+
+
+Op = Union[SendOp, RecvOp, CopyOp]
+
+
+@dataclass(frozen=True)
+class Step:
+    """A set of operations posted concurrently, then waited on together."""
+
+    ops: Tuple[Op, ...]
+
+    def __post_init__(self) -> None:
+        if not self.ops:
+            raise ScheduleError("Step must contain at least one op")
+
+    @property
+    def sends(self) -> Tuple[SendOp, ...]:
+        return tuple(op for op in self.ops if isinstance(op, SendOp))
+
+    @property
+    def recvs(self) -> Tuple[RecvOp, ...]:
+        return tuple(op for op in self.ops if isinstance(op, RecvOp))
+
+    @property
+    def copies(self) -> Tuple[CopyOp, ...]:
+        return tuple(op for op in self.ops if isinstance(op, CopyOp))
+
+
+@dataclass
+class RankProgram:
+    """The ordered list of steps one rank executes."""
+
+    rank: int
+    steps: List[Step] = field(default_factory=list)
+
+    def add(self, *ops: Op) -> None:
+        """Append a step made of ``ops`` (convenience builder)."""
+        self.steps.append(Step(tuple(ops)))
+
+    def add_step(self, ops: Sequence[Op]) -> None:
+        """Append a step from a sequence of ops; empty sequences are ignored.
+
+        Algorithms frequently build op lists conditionally (e.g. "send to
+        children that exist"); tolerating empty lists here keeps their code
+        free of boilerplate guards.
+        """
+        ops = tuple(ops)
+        if ops:
+            self.steps.append(Step(ops))
+
+    def iter_ops(self) -> Iterator[Tuple[int, Op]]:
+        """Yield ``(step_index, op)`` over the whole program."""
+        for i, step in enumerate(self.steps):
+            for op in step.ops:
+                yield i, op
+
+
+@dataclass
+class Schedule:
+    """A complete collective schedule: one program per rank plus metadata.
+
+    Attributes
+    ----------
+    collective:
+        One of ``bcast | reduce | gather | scatter | allgather | allreduce
+        | reduce_scatter``.
+    algorithm:
+        Human-readable algorithm name (e.g. ``"knomial"``); radix is stored
+        separately in ``k``.
+    nranks:
+        Number of participating processes.
+    nblocks:
+        Granularity of the block partition this schedule assumes.  Whole
+        buffer tree algorithms use 1, scatter/ring-family use ``nranks``.
+    root:
+        Root rank for rooted collectives, ``None`` otherwise.
+    k:
+        Radix / group-size parameter, ``None`` for fixed algorithms.
+    """
+
+    collective: str
+    algorithm: str
+    nranks: int
+    nblocks: int
+    programs: List[RankProgram]
+    root: Optional[int] = None
+    k: Optional[int] = None
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.nranks < 1:
+            raise ScheduleError(f"nranks must be >= 1, got {self.nranks}")
+        if len(self.programs) != self.nranks:
+            raise ScheduleError(
+                f"expected {self.nranks} rank programs, got {len(self.programs)}"
+            )
+        for r, prog in enumerate(self.programs):
+            if prog.rank != r:
+                raise ScheduleError(f"program {r} has rank {prog.rank}")
+        self._check_ranges()
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+
+    def block_map(self, total: int) -> BlockMap:
+        """Partition ``total`` units (bytes or elements) into this
+        schedule's blocks."""
+        return BlockMap(total, self.nblocks)
+
+    def program(self, rank: int) -> RankProgram:
+        return self.programs[rank]
+
+    def describe(self) -> str:
+        """One-line human description used in reports and tracebacks."""
+        bits = [self.collective, self.algorithm, f"p={self.nranks}"]
+        if self.k is not None:
+            bits.append(f"k={self.k}")
+        if self.root is not None:
+            bits.append(f"root={self.root}")
+        return " ".join(bits)
+
+    def stats(self) -> "ScheduleStats":
+        """Aggregate message/step statistics (topology-agnostic)."""
+        total_msgs = 0
+        total_block_units = 0
+        max_steps = 0
+        max_concurrency = 0
+        reduce_msgs = 0
+        for prog in self.programs:
+            max_steps = max(max_steps, len(prog.steps))
+            for step in prog.steps:
+                sends = step.sends
+                recvs = step.recvs
+                total_msgs += len(sends)
+                max_concurrency = max(max_concurrency, len(sends) + len(recvs))
+                for s in sends:
+                    total_block_units += len(s.blocks)
+                reduce_msgs += sum(1 for r in recvs if r.reduce)
+        return ScheduleStats(
+            messages=total_msgs,
+            blocks_sent=total_block_units,
+            max_steps=max_steps,
+            max_concurrent_ops=max_concurrency,
+            reduce_receives=reduce_msgs,
+        )
+
+    # ------------------------------------------------------------------
+    # Internal validation
+    # ------------------------------------------------------------------
+
+    def _check_ranges(self) -> None:
+        for prog in self.programs:
+            for _, op in prog.iter_ops():
+                if isinstance(op, (SendOp, RecvOp)):
+                    if not 0 <= op.peer < self.nranks:
+                        raise ScheduleError(
+                            f"rank {prog.rank}: peer {op.peer} out of range "
+                            f"(p={self.nranks})"
+                        )
+                    if op.peer == prog.rank:
+                        raise ScheduleError(
+                            f"rank {prog.rank}: self-communication is not allowed"
+                        )
+                    bad = [b for b in op.blocks if not 0 <= b < self.nblocks]
+                    if bad:
+                        raise ScheduleError(
+                            f"rank {prog.rank}: blocks {bad} out of range "
+                            f"(nblocks={self.nblocks})"
+                        )
+                elif isinstance(op, CopyOp):
+                    for b in (op.src, op.dst):
+                        if not 0 <= b < self.nblocks:
+                            raise ScheduleError(
+                                f"rank {prog.rank}: copy block {b} out of range"
+                            )
+
+
+@dataclass(frozen=True)
+class ScheduleStats:
+    """Summary statistics of a schedule (see :meth:`Schedule.stats`)."""
+
+    messages: int
+    blocks_sent: int
+    max_steps: int
+    max_concurrent_ops: int
+    reduce_receives: int

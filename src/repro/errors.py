@@ -1,0 +1,65 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to distinguish schedule construction problems from
+verification failures or simulator misconfiguration.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ScheduleError",
+    "ValidationError",
+    "ExecutionError",
+    "MachineError",
+    "SelectionError",
+    "ModelError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ScheduleError(ReproError):
+    """Raised when a collective schedule cannot be constructed.
+
+    Typical causes: invalid radix (``k < 1``), a root rank outside
+    ``[0, p)``, or an unknown (collective, algorithm) pair.
+    """
+
+
+class ValidationError(ReproError):
+    """Raised when a schedule fails symbolic verification.
+
+    Carries enough context (rank, block, step index) to debug the
+    offending schedule; see :mod:`repro.core.validate`.
+    """
+
+
+class ExecutionError(ReproError):
+    """Raised when an executor cannot run a schedule.
+
+    Examples: unmatched send/receive pairs, buffer shape mismatches, or a
+    deadlocked threaded execution.
+    """
+
+
+class MachineError(ReproError):
+    """Raised for inconsistent machine specifications.
+
+    Examples: zero ports on a multi-node machine, negative latency, or a
+    rank count that does not fit the node/ppn geometry.
+    """
+
+
+class SelectionError(ReproError):
+    """Raised when an algorithm selection table is malformed or has no
+    entry covering a requested (collective, nranks, nbytes) triple."""
+
+
+class ModelError(ReproError):
+    """Raised when an analytical model is evaluated outside its domain
+    (e.g. ``p < 2`` or a radix the model does not define)."""

@@ -1,0 +1,156 @@
+"""Analytical cost models — paper equations (1) through (14).
+
+Besides the per-kernel modules, this package exposes
+:func:`model_time`, a uniform dispatcher mirroring
+:func:`repro.core.build_schedule`'s (collective, algorithm) naming, so
+benches can ask "what does the paper's model predict for this exact
+configuration?" in one call.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import ModelError
+from .alltoall import bruck_alltoall_time, pairwise_alltoall_time
+from .bruck import bruck_allgather_time, dissemination_barrier_time
+from .fit import FitResult, fit_params, fit_ptp
+from .knomial import (
+    binomial_allgather_time,
+    binomial_allreduce_time,
+    binomial_bcast_time,
+    binomial_gather_time,
+    binomial_reduce_time,
+    knomial_allgather_time,
+    knomial_allreduce_time,
+    knomial_bcast_time,
+    knomial_gather_time,
+    knomial_reduce_time,
+)
+from .optimal import RadixProfile, optimal_radix, optimal_radix_by_size, radix_profile
+from .params import ModelParams
+from .pipeline import chain_bcast_time
+from .recursive import (
+    recursive_doubling_allgather_time,
+    recursive_doubling_allreduce_time,
+    recursive_doubling_bcast_time,
+    recursive_multiplying_allgather_time,
+    recursive_multiplying_allreduce_time,
+    recursive_multiplying_bcast_time,
+    recursive_multiplying_round_time,
+)
+from .ring import (
+    kring_heterogeneous_time,
+    kring_inter_group_data,
+    kring_time,
+    ring_asymptotic_time,
+    ring_inter_group_data,
+    ring_round_time,
+    ring_time,
+)
+
+__all__ = [
+    "ModelParams",
+    "model_time",
+    "optimal_radix",
+    "optimal_radix_by_size",
+    "radix_profile",
+    "RadixProfile",
+    "fit_params",
+    "fit_ptp",
+    "FitResult",
+    "knomial_bcast_time",
+    "knomial_reduce_time",
+    "knomial_gather_time",
+    "knomial_allgather_time",
+    "knomial_allreduce_time",
+    "binomial_bcast_time",
+    "binomial_reduce_time",
+    "binomial_gather_time",
+    "binomial_allgather_time",
+    "binomial_allreduce_time",
+    "recursive_multiplying_allgather_time",
+    "recursive_multiplying_allreduce_time",
+    "recursive_multiplying_bcast_time",
+    "recursive_multiplying_round_time",
+    "recursive_doubling_allgather_time",
+    "recursive_doubling_allreduce_time",
+    "recursive_doubling_bcast_time",
+    "ring_round_time",
+    "ring_time",
+    "ring_asymptotic_time",
+    "kring_time",
+    "kring_heterogeneous_time",
+    "kring_inter_group_data",
+    "ring_inter_group_data",
+    "bruck_allgather_time",
+    "dissemination_barrier_time",
+    "chain_bcast_time",
+    "pairwise_alltoall_time",
+    "bruck_alltoall_time",
+]
+
+
+_DISPATCH = {
+    ("bcast", "binomial"): lambda n, p, k, pr: binomial_bcast_time(n, p, pr),
+    ("bcast", "knomial"): knomial_bcast_time,
+    ("bcast", "recursive_doubling"): lambda n, p, k, pr: recursive_doubling_bcast_time(n, p, pr),
+    ("bcast", "recursive_multiplying"): recursive_multiplying_bcast_time,
+    ("bcast", "ring"): lambda n, p, k, pr: ring_time(n, p, pr, collective="bcast"),
+    ("bcast", "kring"): lambda n, p, k, pr: kring_time(n, p, k, pr, collective="bcast"),
+    ("reduce", "binomial"): lambda n, p, k, pr: binomial_reduce_time(n, p, pr),
+    ("reduce", "knomial"): knomial_reduce_time,
+    ("gather", "binomial"): lambda n, p, k, pr: binomial_gather_time(n, p, pr),
+    ("gather", "knomial"): knomial_gather_time,
+    ("allgather", "binomial"): lambda n, p, k, pr: binomial_allgather_time(n, p, pr),
+    ("allgather", "knomial"): knomial_allgather_time,
+    ("allgather", "recursive_doubling"): lambda n, p, k, pr: recursive_doubling_allgather_time(n, p, pr),
+    ("allgather", "recursive_multiplying"): recursive_multiplying_allgather_time,
+    ("allgather", "ring"): lambda n, p, k, pr: ring_time(n, p, pr, collective="allgather"),
+    ("allgather", "kring"): lambda n, p, k, pr: kring_time(n, p, k, pr, collective="allgather"),
+    ("allreduce", "binomial"): lambda n, p, k, pr: binomial_allreduce_time(n, p, pr),
+    ("allreduce", "knomial"): knomial_allreduce_time,
+    ("allreduce", "recursive_doubling"): lambda n, p, k, pr: recursive_doubling_allreduce_time(n, p, pr),
+    ("allreduce", "recursive_multiplying"): recursive_multiplying_allreduce_time,
+    ("allreduce", "ring"): lambda n, p, k, pr: ring_time(n, p, pr, collective="allreduce"),
+    ("allreduce", "kring"): lambda n, p, k, pr: kring_time(n, p, k, pr, collective="allreduce"),
+    ("allgather", "bruck"): bruck_allgather_time,
+    ("barrier", "dissemination"): lambda n, p, k, pr: dissemination_barrier_time(p, 2, pr),
+    ("barrier", "k_dissemination"): lambda n, p, k, pr: dissemination_barrier_time(p, k, pr),
+    ("bcast", "pipelined_chain"): chain_bcast_time,
+    ("alltoall", "pairwise"): lambda n, p, k, pr: pairwise_alltoall_time(n, p, pr),
+    ("alltoall", "bruck"): bruck_alltoall_time,
+}
+
+
+def model_time(
+    collective: str,
+    algorithm: str,
+    n: float,
+    p: int,
+    params: ModelParams,
+    *,
+    k: Optional[int] = None,
+) -> float:
+    """Evaluate the paper's analytical model for a (collective, algorithm).
+
+    Radix-free algorithms ignore ``k``; generalized ones require it.
+
+    >>> from repro.models import ModelParams, model_time
+    >>> pr = ModelParams(alpha=1e-6, beta=1e-9)
+    >>> model_time("bcast", "binomial", 8, 16, pr) > 0
+    True
+    """
+    try:
+        fn = _DISPATCH[(collective, algorithm)]
+    except KeyError:
+        raise ModelError(
+            f"no analytical model for {collective}/{algorithm}"
+        ) from None
+    generalized = algorithm in (
+        "knomial", "recursive_multiplying", "kring", "bruck",
+        "k_dissemination", "pipelined_chain",
+    )
+    if generalized and k is None:
+        raise ModelError(f"{collective}/{algorithm} model requires a radix k")
+    return fn(n, p, k, params)

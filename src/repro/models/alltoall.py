@@ -1,0 +1,50 @@
+"""Analytical models for the all-to-all extensions.
+
+Size convention matches the rest of the package: ``n`` is the total block
+space (``p²`` blocks), so each rank owns ``n/p`` bytes of send data and
+each pair exchanges ``n/p²``.
+
+* Pairwise: every block moves exactly once —
+  ``T = (p-1)·(α + β·n/p²)``.
+* K-port Bruck: ``⌈log_k p⌉`` rounds; each round a rank forwards the
+  ``(k-1)/k`` fraction of its ``n/p`` bytes whose displacement digit is
+  nonzero — ``T = ⌈log_k p⌉·(α + β·(k-1)/k·n/p)``.
+
+The crossover between them (latency-bound small messages → Bruck,
+bandwidth-bound large → pairwise) is the all-to-all analogue of the
+paper's radix trade-offs and is measured by
+``benchmarks/bench_alltoall_crossover.py``.
+"""
+
+from __future__ import annotations
+
+from ..core.primitives import ilog
+from ..errors import ModelError
+from .params import ModelParams
+
+__all__ = ["pairwise_alltoall_time", "bruck_alltoall_time"]
+
+
+def pairwise_alltoall_time(n: float, p: int, params: ModelParams) -> float:
+    """``(p-1)·(α + β·n/p²)`` — one direct exchange per peer."""
+    if p < 1:
+        raise ModelError(f"p must be >= 1, got {p}")
+    if n < 0:
+        raise ModelError(f"n must be >= 0, got {n}")
+    if p == 1:
+        return 0.0
+    return (p - 1) * (params.alpha + params.beta * n / (p * p))
+
+
+def bruck_alltoall_time(n: float, p: int, k: int, params: ModelParams) -> float:
+    """``⌈log_k p⌉·(α + β·(k-1)/k·n/p)`` — digit routing with aggregation."""
+    if p < 1:
+        raise ModelError(f"p must be >= 1, got {p}")
+    if k < 2:
+        raise ModelError(f"k must be >= 2, got {k}")
+    if n < 0:
+        raise ModelError(f"n must be >= 0, got {n}")
+    if p == 1:
+        return 0.0
+    L = ilog(k, p)
+    return L * (params.alpha + params.beta * (k - 1) / k * n / p)

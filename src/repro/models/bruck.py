@@ -1,0 +1,41 @@
+"""Analytical models for the Bruck-family extensions.
+
+The k-port Bruck allgather shares recursive multiplying's telescoped
+bandwidth (each rank still lands exactly ``n(p-1)/p`` bytes) with the same
+``⌈log_k p⌉`` latency rounds, but — because the exchange truncates rather
+than folds — without the two extra fold/unfold latencies on non-smooth
+process counts.  The dissemination barrier is a pure-latency collective.
+"""
+
+from __future__ import annotations
+
+from ..core.primitives import ilog
+from ..errors import ModelError
+from .params import ModelParams
+
+__all__ = ["bruck_allgather_time", "dissemination_barrier_time"]
+
+
+def _check(p: int, k: int) -> None:
+    if p < 1:
+        raise ModelError(f"p must be >= 1, got {p}")
+    if k < 2:
+        raise ModelError(f"k must be >= 2, got {k}")
+
+
+def bruck_allgather_time(n: float, p: int, k: int, params: ModelParams) -> float:
+    """``⌈log_k p⌉·α + β·n·(p-1)/p`` for any ``p`` (no fold penalty)."""
+    _check(p, k)
+    if n < 0:
+        raise ModelError(f"n must be >= 0, got {n}")
+    if p == 1:
+        return 0.0
+    return params.alpha * ilog(k, p) + params.beta * n * (p - 1) / p
+
+
+def dissemination_barrier_time(p: int, k: int, params: ModelParams) -> float:
+    """``⌈log_k p⌉·α`` — rounds of zero-byte signals."""
+    _check(p, k)
+    if p == 1:
+        return 0.0
+    return params.alpha * ilog(k, p)

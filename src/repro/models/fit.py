@@ -1,0 +1,89 @@
+"""Least-squares fitting of (α, β, γ) from measured latencies.
+
+Every model in this package is *linear in its parameters*: for a fixed
+algorithm, process count, and radix, the predicted time is
+``a(n)·α + b(n)·β + c(n)·γ`` with coefficients depending only on the
+geometry.  Given measured (or simulated) latencies over a size sweep, the
+constants fall out of an ordinary least-squares solve — the standard way
+such models are calibrated against real systems, and how the model-vs-
+simulator benches recover effective α/β from simulator output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ModelError
+from .params import ModelParams
+
+__all__ = ["FitResult", "fit_params", "fit_ptp"]
+
+CoefFn = Callable[[float], Tuple[float, float, float]]
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """Outcome of a model fit."""
+
+    params: ModelParams
+    residual: float        # RMS residual (seconds)
+    relative_error: float  # RMS residual / RMS measurement
+
+    def describe(self) -> str:
+        a, b, g = self.params.alpha, self.params.beta, self.params.gamma
+        return (
+            f"α={a * 1e6:.3f}µs  β={b * 1e9:.4f}ns/B  γ={g * 1e9:.4f}ns/B  "
+            f"(rel. err {self.relative_error * 100:.1f}%)"
+        )
+
+
+def fit_params(
+    sizes: Sequence[float],
+    times: Sequence[float],
+    coef_fn: CoefFn,
+    *,
+    fit_gamma: bool = True,
+) -> FitResult:
+    """Solve ``times ≈ A·[α, β, γ]`` in the least-squares sense.
+
+    ``coef_fn(n)`` returns the (a, b, c) coefficients of one measurement;
+    e.g. for a binomial bcast on ``p`` ranks it is
+    ``(log2 p, n·log2 p, 0)``.  Negative fitted constants are clamped to
+    zero (they arise only when a term is absent from the data, e.g. γ for
+    a pure-movement collective).
+    """
+    if len(sizes) != len(times):
+        raise ModelError(
+            f"{len(sizes)} sizes but {len(times)} measurements"
+        )
+    if len(sizes) < 2:
+        raise ModelError("need at least two measurements to fit")
+    rows = [coef_fn(float(n)) for n in sizes]
+    A = np.asarray(rows, dtype=np.float64)
+    y = np.asarray(times, dtype=np.float64)
+    if not fit_gamma:
+        A = A[:, :2]
+    sol, *_ = np.linalg.lstsq(A, y, rcond=None)
+    sol = np.clip(sol, 0.0, None)
+    pred = A @ sol
+    resid = float(np.sqrt(np.mean((pred - y) ** 2)))
+    scale = float(np.sqrt(np.mean(y**2))) or 1.0
+    alpha, beta = float(sol[0]), float(sol[1])
+    gamma = float(sol[2]) if fit_gamma and A.shape[1] > 2 else 0.0
+    return FitResult(
+        params=ModelParams(alpha=alpha, beta=beta, gamma=gamma),
+        residual=resid,
+        relative_error=resid / scale,
+    )
+
+
+def fit_ptp(sizes: Sequence[float], times: Sequence[float]) -> FitResult:
+    """Fit a plain point-to-point ping latency curve ``α + β·n``.
+
+    The standard first step of calibrating the model to a machine — and a
+    sanity check that the simulator's transfers really are affine in size.
+    """
+    return fit_params(sizes, times, lambda n: (1.0, n, 0.0), fit_gamma=False)

@@ -1,0 +1,122 @@
+"""Analytical cost models for binomial and k-nomial trees (paper eqs. (1)–(3)).
+
+The binomial models are the exact ``k = 2`` evaluations of the k-nomial
+ones, mirroring how the schedule builders relate.  ``log_k(p)`` is the
+integer tree depth ``⌈log_k p⌉`` (the number of communication levels an
+actual k-nomial tree on ``p`` ranks has); the paper writes the continuous
+logarithm but measures integer rounds, and matching the discrete depth is
+what lets these models line up with the simulator on the reference
+machine.
+"""
+
+from __future__ import annotations
+
+from ..core.primitives import ilog
+from ..errors import ModelError
+from .params import ModelParams
+
+__all__ = [
+    "knomial_bcast_time",
+    "knomial_reduce_time",
+    "knomial_gather_time",
+    "knomial_allgather_time",
+    "knomial_allreduce_time",
+    "binomial_bcast_time",
+    "binomial_reduce_time",
+    "binomial_gather_time",
+    "binomial_allgather_time",
+    "binomial_allreduce_time",
+]
+
+
+def _check(n: float, p: int, k: int) -> None:
+    if p < 1:
+        raise ModelError(f"p must be >= 1, got {p}")
+    if n < 0:
+        raise ModelError(f"n must be >= 0, got {n}")
+    if k < 2:
+        raise ModelError(f"k must be >= 2, got {k}")
+
+
+def knomial_bcast_time(n: float, p: int, k: int, params: ModelParams) -> float:
+    """Eq. (3) bcast: ``L·α + (k-1)·n·L·β`` with ``L = ⌈log_k p⌉``."""
+    _check(n, p, k)
+    L = ilog(k, p)
+    return L * params.alpha + (k - 1) * n * L * params.beta
+
+
+def knomial_reduce_time(n: float, p: int, k: int, params: ModelParams) -> float:
+    """Eq. (3) reduce: bcast cost plus ``(k-1)·n·L·γ`` reduction work."""
+    _check(n, p, k)
+    L = ilog(k, p)
+    return (
+        L * params.alpha
+        + (k - 1) * n * L * params.beta
+        + (k - 1) * n * L * params.gamma
+    )
+
+
+def knomial_gather_time(n: float, p: int, k: int, params: ModelParams) -> float:
+    """Eq. (1) gather generalized: ``L·α + n·(p-1)/p·β``.
+
+    The bandwidth term is radix-independent — the root must land
+    ``n·(p-1)/p`` bytes regardless of tree shape.
+    """
+    _check(n, p, k)
+    if p == 1:
+        return 0.0
+    L = ilog(k, p)
+    return L * params.alpha + n * (p - 1) / p * params.beta
+
+
+def knomial_allgather_time(n: float, p: int, k: int, params: ModelParams) -> float:
+    """Eq. (3) allgather (gather + bcast):
+    ``L·α + (k-1)·n·(L + (p-1)/p)·β``."""
+    _check(n, p, k)
+    if p == 1:
+        return 0.0
+    L = ilog(k, p)
+    return L * params.alpha + (k - 1) * n * (L + (p - 1) / p) * params.beta
+
+
+def knomial_allreduce_time(n: float, p: int, k: int, params: ModelParams) -> float:
+    """Eq. (3) allreduce (reduce + bcast): allgather's bandwidth plus
+    ``(k-1)·n·L·γ``."""
+    _check(n, p, k)
+    if p == 1:
+        return 0.0
+    L = ilog(k, p)
+    return (
+        L * params.alpha
+        + (k - 1) * n * (L + (p - 1) / p) * params.beta
+        + (k - 1) * n * L * params.gamma
+    )
+
+
+# ----------------------------------------------------------------------
+# Binomial (eq. (1)/(2)) — exact k = 2 evaluations
+# ----------------------------------------------------------------------
+
+def binomial_bcast_time(n: float, p: int, params: ModelParams) -> float:
+    """Eq. (1) bcast: ``log2(p)·α + n·log2(p)·β``."""
+    return knomial_bcast_time(n, p, 2, params)
+
+
+def binomial_reduce_time(n: float, p: int, params: ModelParams) -> float:
+    """Eq. (1) reduce: bcast plus ``n·log2(p)·γ``."""
+    return knomial_reduce_time(n, p, 2, params)
+
+
+def binomial_gather_time(n: float, p: int, params: ModelParams) -> float:
+    """Eq. (1) gather: ``log2(p)·α + n·(p-1)/p·β``."""
+    return knomial_gather_time(n, p, 2, params)
+
+
+def binomial_allgather_time(n: float, p: int, params: ModelParams) -> float:
+    """Eq. (2) allgather: ``log2(p)·α + n·(log2 p + (p-1)/p)·β``."""
+    return knomial_allgather_time(n, p, 2, params)
+
+
+def binomial_allreduce_time(n: float, p: int, params: ModelParams) -> float:
+    """Eq. (2) allreduce: allgather plus ``n·log2(p)·γ``."""
+    return knomial_allreduce_time(n, p, 2, params)

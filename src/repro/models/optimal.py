@@ -1,0 +1,114 @@
+"""Model-predicted optimal radices (the paper's §III-D/§IV-D intuition).
+
+The paper uses its analytical models to *intuit* how the optimal radix
+moves with message size — large k for latency-bound sizes, small k for
+bandwidth-bound ones — then checks the intuition empirically.  This module
+provides that prediction: grid-minimize any model over the feasible radix
+range, and report the full profile so benches can overlay model-optimal
+against simulator-optimal k.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..errors import ModelError
+from .params import ModelParams
+
+__all__ = ["RadixProfile", "optimal_radix", "radix_profile"]
+
+ModelFn = Callable[[float, int, int, ModelParams], float]
+
+
+@dataclass(frozen=True)
+class RadixProfile:
+    """Model cost as a function of radix, for one (n, p)."""
+
+    n: float
+    p: int
+    costs: Tuple[Tuple[int, float], ...]  # (k, seconds), ascending k
+
+    @property
+    def best_k(self) -> int:
+        return min(self.costs, key=lambda kv: kv[1])[0]
+
+    @property
+    def best_time(self) -> float:
+        return min(t for _, t in self.costs)
+
+    def cost_of(self, k: int) -> float:
+        for kk, t in self.costs:
+            if kk == k:
+                return t
+        raise ModelError(f"radix {k} not in profile")
+
+
+def radix_profile(
+    model: ModelFn,
+    n: float,
+    p: int,
+    params: ModelParams,
+    *,
+    ks: Sequence[int] = (),
+    min_k: int = 2,
+) -> RadixProfile:
+    """Evaluate ``model`` over a radix grid.
+
+    With no explicit ``ks``, the grid is every power of two from ``min_k``
+    to ``p`` plus ``p`` itself and the classic near-optimal radices 3 and
+    5 — the same grid the empirical sweeps use, so profiles compare
+    one-to-one.
+    """
+    if p < 1:
+        raise ModelError(f"p must be >= 1, got {p}")
+    if not ks:
+        grid = set()
+        k = min_k
+        while k < p:
+            grid.add(k)
+            k *= 2
+        grid.add(max(p, min_k))
+        for extra in (3, 5):
+            if min_k <= extra <= p:
+                grid.add(extra)
+        ks = sorted(grid)
+    costs = tuple((k, model(n, p, k, params)) for k in ks)
+    return RadixProfile(n=n, p=p, costs=costs)
+
+
+def optimal_radix(
+    model: ModelFn,
+    n: float,
+    p: int,
+    params: ModelParams,
+    *,
+    ks: Sequence[int] = (),
+    min_k: int = 2,
+) -> int:
+    """The radix minimizing ``model`` over the grid (ties → smallest k,
+    matching the paper's preference for the cheaper fan-out when costs are
+    within noise)."""
+    profile = radix_profile(model, n, p, params, ks=ks, min_k=min_k)
+    best = min(t for _, t in profile.costs)
+    for k, t in profile.costs:
+        if t == best:
+            return k
+    raise ModelError("unreachable")
+
+
+def optimal_radix_by_size(
+    model: ModelFn,
+    sizes: Sequence[float],
+    p: int,
+    params: ModelParams,
+    *,
+    ks: Sequence[int] = (),
+    min_k: int = 2,
+) -> Dict[float, int]:
+    """Optimal radix per message size — the model-side version of the
+    paper's Fig. 8 sweeps."""
+    return {
+        n: optimal_radix(model, n, p, params, ks=ks, min_k=min_k)
+        for n in sizes
+    }

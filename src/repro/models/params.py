@@ -1,0 +1,57 @@
+"""Parameters of the (α, β, γ) cost model (paper §III-B).
+
+The paper models a point-to-point message of ``n`` bytes as
+``τ = α + β·n`` — startup latency plus per-byte cost — and charges
+reductions ``γ`` per byte.  All analytical models in this package take a
+:class:`ModelParams` carrying those three constants (seconds, seconds per
+byte, seconds per byte).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ModelError
+from ..simnet.machine import MachineSpec
+
+__all__ = ["ModelParams"]
+
+
+@dataclass(frozen=True)
+class ModelParams:
+    """The (α, β, γ) constants of the paper's cost model."""
+
+    alpha: float
+    beta: float
+    gamma: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("alpha", "beta", "gamma"):
+            if getattr(self, name) < 0:
+                raise ModelError(f"{name} must be >= 0")
+
+    def ptp(self, n: float) -> float:
+        """Point-to-point message cost ``α + β·n``."""
+        return self.alpha + self.beta * n
+
+    @classmethod
+    def from_machine(cls, machine: MachineSpec, *, link: str = "inter") -> "ModelParams":
+        """Extract model constants from a machine spec.
+
+        ``link`` selects which link class the single-link model should
+        describe (``"inter"`` or ``"intra"``); the paper's models are
+        link-homogeneous, so pick the class the algorithm is bound by.
+        """
+        if link == "inter":
+            return cls(
+                alpha=machine.alpha_inter,
+                beta=machine.beta_inter,
+                gamma=machine.gamma,
+            )
+        if link == "intra":
+            return cls(
+                alpha=machine.alpha_intra,
+                beta=machine.beta_intra,
+                gamma=machine.gamma,
+            )
+        raise ModelError(f"link must be 'inter' or 'intra', got {link!r}")

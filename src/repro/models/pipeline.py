@@ -1,0 +1,32 @@
+"""Analytical model for the pipelined chain broadcast.
+
+Classic pipeline arithmetic: with ``S`` segments over a ``p``-rank chain,
+the last segment leaves the root at step ``S - 1`` and needs ``p - 1``
+more hops, each costing ``α + β·n/S``:
+
+    T(n, p, S) = (S + p - 2) · (α + β·n/S)
+
+Differentiating gives the optimum ``S* = √(n·β·(p-2)/α)`` implemented in
+:func:`repro.core.pipeline.optimal_segments`; for ``n → ∞`` the chain
+approaches the bandwidth bound ``β·n`` like the ring (eq. (10)).
+"""
+
+from __future__ import annotations
+
+from ..errors import ModelError
+from .params import ModelParams
+
+__all__ = ["chain_bcast_time"]
+
+
+def chain_bcast_time(n: float, p: int, segments: int, params: ModelParams) -> float:
+    """``(S + p - 2)·(α + β·n/S)`` — the segmented chain broadcast."""
+    if p < 1:
+        raise ModelError(f"p must be >= 1, got {p}")
+    if segments < 1:
+        raise ModelError(f"segments must be >= 1, got {segments}")
+    if n < 0:
+        raise ModelError(f"n must be >= 0, got {n}")
+    if p == 1:
+        return 0.0
+    return (segments + p - 2) * (params.alpha + params.beta * n / segments)

@@ -1,0 +1,102 @@
+"""Analytical models for recursive doubling/multiplying (paper eqs. (4)–(7))."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.primitives import ilog
+from ..errors import ModelError
+from .params import ModelParams
+
+__all__ = [
+    "recursive_multiplying_allgather_time",
+    "recursive_multiplying_allreduce_time",
+    "recursive_multiplying_bcast_time",
+    "recursive_multiplying_round_time",
+    "recursive_doubling_allgather_time",
+    "recursive_doubling_allreduce_time",
+    "recursive_doubling_bcast_time",
+]
+
+
+def _check(n: float, p: int, k: int) -> None:
+    if p < 1:
+        raise ModelError(f"p must be >= 1, got {p}")
+    if n < 0:
+        raise ModelError(f"n must be >= 0, got {n}")
+    if k < 2:
+        raise ModelError(f"k must be >= 2, got {k}")
+
+
+def recursive_multiplying_allgather_time(
+    n: float, p: int, k: int, params: ModelParams
+) -> float:
+    """Eq. (6) allgather/bcast: ``α·⌈log_k p⌉ + β·n·(p-1)/p``.
+
+    The bandwidth term telescopes to the optimum regardless of radix; the
+    radix only trades rounds (α) against per-round fan-out.
+    """
+    _check(n, p, k)
+    if p == 1:
+        return 0.0
+    return params.alpha * ilog(k, p) + params.beta * n * (p - 1) / p
+
+
+def recursive_multiplying_bcast_time(
+    n: float, p: int, k: int, params: ModelParams
+) -> float:
+    """Eq. (6) treats bcast identically to allgather (the scatter phase is
+    folded into the same α/β budget)."""
+    return recursive_multiplying_allgather_time(n, p, k, params)
+
+
+def recursive_multiplying_allreduce_time(
+    n: float, p: int, k: int, params: ModelParams
+) -> float:
+    """Eq. (6) allreduce: ``⌈log_k p⌉ · (α + (β+γ)·(k-1)·n)``.
+
+    Each round every process exchanges full vectors with ``k-1`` partners
+    and reduces their contributions.
+    """
+    _check(n, p, k)
+    if p == 1:
+        return 0.0
+    L = ilog(k, p)
+    return L * (params.alpha + (params.beta + params.gamma) * (k - 1) * n)
+
+
+def recursive_multiplying_round_time(
+    n: float, p: int, k: int, i: int, params: ModelParams, *, collective: str
+) -> float:
+    """Eq. (7): cost of round ``i`` (1-indexed).
+
+    * allgather/bcast: ``α + β·n·(k-1)·k^(i-1)/p`` — geometric data growth;
+    * allreduce: ``α + (β+γ)·(k-1)·n`` — full vectors every round.
+    """
+    _check(n, p, k)
+    if i < 1 or i > ilog(k, max(p, 2)):
+        raise ModelError(f"round {i} out of range for p={p}, k={k}")
+    if collective in ("allgather", "bcast"):
+        return params.alpha + params.beta * n * (k - 1) * k ** (i - 1) / p
+    if collective == "allreduce":
+        return params.alpha + (params.beta + params.gamma) * (k - 1) * n
+    raise ModelError(f"eq. (7) has no {collective!r} case")
+
+
+# ----------------------------------------------------------------------
+# Recursive doubling (eq. (4)/(5)) — exact k = 2 evaluations
+# ----------------------------------------------------------------------
+
+def recursive_doubling_allgather_time(n: float, p: int, params: ModelParams) -> float:
+    """Eq. (4) allgather/bcast: ``α·log2 p + β·n·(p-1)/p``."""
+    return recursive_multiplying_allgather_time(n, p, 2, params)
+
+
+def recursive_doubling_bcast_time(n: float, p: int, params: ModelParams) -> float:
+    """Eq. (4): bcast is modeled identically to allgather."""
+    return recursive_multiplying_bcast_time(n, p, 2, params)
+
+
+def recursive_doubling_allreduce_time(n: float, p: int, params: ModelParams) -> float:
+    """Eq. (4) allreduce: ``log2(p) · (α + (β+γ)·n)``."""
+    return recursive_multiplying_allreduce_time(n, p, 2, params)

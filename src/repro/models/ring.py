@@ -1,0 +1,126 @@
+"""Analytical models for ring and k-ring (paper eqs. (8)–(14)).
+
+The paper's homogeneous k-ring model (eq. (12)) collapses to the classic
+ring — ``(p-1)·T_i`` regardless of ``k`` — which is exactly why the
+analytic intuition "shows no clear benefit" (§V-D) while the measured
+Frontier results do: the benefit appears only once intra-group rounds run
+on the faster intranode links.  :func:`kring_heterogeneous_time` adds the
+two-link-class refinement that captures it, and
+:func:`kring_inter_group_data` / :func:`ring_inter_group_data` transcribe
+the traffic formulas (13)/(14).
+"""
+
+from __future__ import annotations
+
+from ..errors import ModelError
+from .params import ModelParams
+
+__all__ = [
+    "ring_round_time",
+    "ring_time",
+    "ring_asymptotic_time",
+    "kring_time",
+    "kring_heterogeneous_time",
+    "kring_inter_group_data",
+    "ring_inter_group_data",
+]
+
+
+def _check(n: float, p: int) -> None:
+    if p < 1:
+        raise ModelError(f"p must be >= 1, got {p}")
+    if n < 0:
+        raise ModelError(f"n must be >= 0, got {n}")
+
+
+def ring_round_time(
+    n: float, p: int, params: ModelParams, *, collective: str = "allgather"
+) -> float:
+    """Eq. (9): single-round cost ``α + β·n/p`` (+ ``γ·n/p`` for allreduce)."""
+    _check(n, p)
+    t = params.alpha + params.beta * n / p
+    if collective == "allreduce":
+        t += params.gamma * n / p
+    elif collective not in ("allgather", "bcast"):
+        raise ModelError(f"eq. (9) has no {collective!r} case")
+    return t
+
+
+def ring_time(
+    n: float, p: int, params: ModelParams, *, collective: str = "allgather"
+) -> float:
+    """Eq. (8): ``(p-1) · T_i``."""
+    _check(n, p)
+    return (p - 1) * ring_round_time(n, p, params, collective=collective)
+
+
+def ring_asymptotic_time(
+    n: float, params: ModelParams, *, collective: str = "allgather"
+) -> float:
+    """Eq. (10): the large-message limit ``β·n`` (+ ``γ·n``), independent
+    of latency and process count."""
+    if n < 0:
+        raise ModelError(f"n must be >= 0, got {n}")
+    t = params.beta * n
+    if collective == "allreduce":
+        t += params.gamma * n
+    elif collective not in ("allgather", "bcast"):
+        raise ModelError(f"eq. (10) has no {collective!r} case")
+    return t
+
+
+def _groups(p: int, k: int) -> int:
+    if k < 1:
+        raise ModelError(f"k must be >= 1, got {k}")
+    return -(-p // k)  # ceil division
+
+
+def kring_time(
+    n: float, p: int, k: int, params: ModelParams, *, collective: str = "allgather"
+) -> float:
+    """Eq. (11)/(12): ``g(k-1)`` intra rounds + ``(g-1)`` inter rounds with
+    a single link class — algebraically ``(p-1)·T_i`` when ``k | p``, the
+    paper's point that the homogeneous model predicts no k-ring benefit."""
+    _check(n, p)
+    g = _groups(p, k)
+    t_i = ring_round_time(n, p, params, collective=collective)
+    return g * (k - 1) * t_i + (g - 1) * t_i
+
+
+def kring_heterogeneous_time(
+    n: float,
+    p: int,
+    k: int,
+    intra: ModelParams,
+    inter: ModelParams,
+    *,
+    collective: str = "allgather",
+) -> float:
+    """Two-link-class refinement of eq. (11): intra rounds priced on the
+    intranode link, inter rounds on the NIC.
+
+    ``T = g·(k-1)·T_i(intra) + (g-1)·T_i(inter)`` — this is the model that
+    explains the measured k-ring win on Frontier (k = ppn aligns group
+    boundaries with node boundaries) and its absence on Polaris (where
+    ``α_intra ≈ α_inter`` leaves rounds latency-equal).
+    """
+    _check(n, p)
+    g = _groups(p, k)
+    t_intra = ring_round_time(n, p, intra, collective=collective)
+    t_inter = ring_round_time(n, p, inter, collective=collective)
+    return g * (k - 1) * t_intra + (g - 1) * t_inter
+
+
+def kring_inter_group_data(n: float, p: int, k: int) -> float:
+    """Eq. (13): bytes a group sends+receives across group boundaries,
+    ``2n(p-k)/p``."""
+    _check(n, p)
+    if k < 1 or k > p:
+        raise ModelError(f"k must be in [1, p], got {k}")
+    return 2.0 * n * (p - k) / p
+
+
+def ring_inter_group_data(n: float, p: int) -> float:
+    """Eq. (14): classic ring inter-group traffic, ``2n(p-1)/p`` — the
+    ``k = 1`` evaluation of eq. (13)."""
+    return kring_inter_group_data(n, p, 1)

@@ -1,0 +1,33 @@
+"""Algorithm selection — MPICH-style tuning tables, default policies, and
+the exhaustive tuner (paper §VI-G)."""
+
+from .defaults import (
+    ALLGATHER_CUTOFF,
+    ALLREDUCE_SHORT_CUTOFF,
+    BCAST_MEDIUM_CUTOFF,
+    BCAST_SHORT_CUTOFF,
+    REDUCE_SHORT_CUTOFF,
+    fixed_policy,
+    mpich_policy,
+    vendor_policy,
+)
+from .table import Choice, Rule, SelectionTable
+from .tuner import SweepEntry, radix_grid, sweep_collective, tune
+
+__all__ = [
+    "Choice",
+    "Rule",
+    "SelectionTable",
+    "mpich_policy",
+    "vendor_policy",
+    "fixed_policy",
+    "tune",
+    "sweep_collective",
+    "radix_grid",
+    "SweepEntry",
+    "BCAST_SHORT_CUTOFF",
+    "BCAST_MEDIUM_CUTOFF",
+    "ALLREDUCE_SHORT_CUTOFF",
+    "ALLGATHER_CUTOFF",
+    "REDUCE_SHORT_CUTOFF",
+]

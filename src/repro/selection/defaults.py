@@ -1,0 +1,124 @@
+"""Built-in selection policies: the baselines of the paper's evaluation.
+
+Two fixed policies play the roles of the paper's comparison points
+(§VI-B):
+
+* :func:`mpich_policy` — the open-source default cutoffs: binomial for
+  small messages, recursive doubling (or scatter+allgather) for medium,
+  ring/Rabenseifner for large.  When the paper "fixes MPICH's algorithm
+  selection to the non-generalized version of the comparative algorithm",
+  this is the selection being fixed.
+* :func:`vendor_policy` — the proprietary-vendor stand-in (Cray MPI's
+  role).  It shares MPICH's small/medium behaviour but *never switches
+  MPI_Reduce off the binomial tree*, reproducing the mis-selection the
+  paper infers from its >4.5× large-reduce speedup over Cray MPI
+  (Fig. 9a), and it holds recursive doubling for allreduce up to a larger
+  cutoff than is optimal.
+
+Cutoff constants follow MPICH's collective selection logic (Thakur et al.
+[36]/[37]: 12 KiB bcast short cutoff, 512 KiB bcast medium cutoff, 2 KiB
+allreduce short cutoff, 80 KiB allgather cutoff).
+"""
+
+from __future__ import annotations
+
+from .table import Choice, Rule, SelectionTable
+
+__all__ = [
+    "mpich_policy",
+    "vendor_policy",
+    "fixed_policy",
+    "BCAST_SHORT_CUTOFF",
+    "BCAST_MEDIUM_CUTOFF",
+    "ALLREDUCE_SHORT_CUTOFF",
+    "ALLGATHER_CUTOFF",
+    "REDUCE_SHORT_CUTOFF",
+]
+
+BCAST_SHORT_CUTOFF = 12 * 1024
+BCAST_MEDIUM_CUTOFF = 512 * 1024
+ALLREDUCE_SHORT_CUTOFF = 2 * 1024
+ALLGATHER_CUTOFF = 80 * 1024
+REDUCE_SHORT_CUTOFF = 64 * 1024
+
+
+def mpich_policy() -> SelectionTable:
+    """The MPICH-default fixed-radix selection.
+
+    One deliberate deviation from stock MPICH: the large-message bcast and
+    allgather stay on the recursive-doubling family instead of switching
+    to ring/van-de-Geijn.  Ring's real-world advantage is congestion-free
+    neighbor traffic; our dragonfly model does not penalize the butterfly
+    patterns enough for ring ever to win at 1 process per node, so using
+    ring as the large-message baseline would inflate every Fig. 9 speedup
+    against a strawman (see EXPERIMENTS.md).  The recursive-doubling
+    baseline keeps the comparison honest.
+    """
+    t = SelectionTable(name="mpich-default")
+    # Bcast: binomial short, scatter + recursive-doubling allgather long.
+    t.add(Rule("bcast", Choice("binomial"), max_bytes=BCAST_SHORT_CUTOFF))
+    t.add(Rule("bcast", Choice("recursive_doubling"), min_bytes=BCAST_SHORT_CUTOFF))
+    # Reduce: binomial short, Rabenseifner (reduce-scatter + gather) long.
+    t.add(Rule("reduce", Choice("binomial"), max_bytes=REDUCE_SHORT_CUTOFF))
+    t.add(
+        Rule("reduce", Choice("reduce_scatter_gather"), min_bytes=REDUCE_SHORT_CUTOFF)
+    )
+    # Allreduce: recursive doubling short, Rabenseifner long.
+    t.add(
+        Rule(
+            "allreduce",
+            Choice("recursive_doubling"),
+            max_bytes=ALLREDUCE_SHORT_CUTOFF,
+        )
+    )
+    t.add(
+        Rule(
+            "allreduce",
+            Choice("reduce_scatter_allgather"),
+            min_bytes=ALLREDUCE_SHORT_CUTOFF,
+        )
+    )
+    # Allgather: recursive doubling (see docstring).
+    t.add(Rule("allgather", Choice("recursive_doubling")))
+    # Rooted helpers.
+    t.fallback["gather"] = Choice("binomial")
+    t.fallback["scatter"] = Choice("binomial")
+    t.fallback["reduce_scatter"] = Choice("recursive_halving")
+    t.fallback["barrier"] = Choice("dissemination")
+    t.fallback["alltoall"] = Choice("pairwise")
+    return t
+
+
+def vendor_policy() -> SelectionTable:
+    """The proprietary-vendor stand-in ("Cray MPI" role, §VI-B).
+
+    Differences from :func:`mpich_policy`, each mirroring a behaviour the
+    paper observed or inferred on Frontier:
+
+    * MPI_Reduce stays binomial at *every* size — the inferred
+      mis-selection behind the paper's 4.5× large-message reduce speedup;
+    * MPI_Allreduce holds recursive doubling to 64 KiB before switching —
+      "Cray MPI is likely using a sub-optimal algorithm" in the mid range.
+    """
+    t = SelectionTable(name="vendor")
+    t.add(Rule("bcast", Choice("binomial"), max_bytes=BCAST_SHORT_CUTOFF))
+    t.add(Rule("bcast", Choice("recursive_doubling"), min_bytes=BCAST_SHORT_CUTOFF))
+    t.add(Rule("reduce", Choice("binomial")))
+    t.add(Rule("allreduce", Choice("recursive_doubling"), max_bytes=64 * 1024))
+    t.add(Rule("allreduce", Choice("reduce_scatter_allgather"), min_bytes=64 * 1024))
+    t.add(Rule("allgather", Choice("recursive_doubling")))
+    t.fallback["gather"] = Choice("binomial")
+    t.fallback["scatter"] = Choice("binomial")
+    t.fallback["reduce_scatter"] = Choice("recursive_halving")
+    t.fallback["barrier"] = Choice("dissemination")
+    t.fallback["alltoall"] = Choice("pairwise")
+    return t
+
+
+def fixed_policy(collective: str, algorithm: str, k: int | None = None) -> SelectionTable:
+    """A one-rule policy pinning a collective to one algorithm — how the
+    paper isolates generalization gains ("we fixed MPICH's algorithm
+    selection to the non-generalized version", §VI-B)."""
+    t = SelectionTable(name=f"fixed-{collective}-{algorithm}")
+    t.add(Rule(collective, Choice(algorithm, k)))
+    return t

@@ -1,0 +1,218 @@
+"""Algorithm selection tables — the MPICH tuning-file mechanism (§VI-G).
+
+MPICH picks collective algorithms from a JSON selection configuration
+keyed on communicator size and message size; the paper ships a new
+configuration that routes exascale-relevant cases to the generalized
+algorithms with tuned radices.  This module is that mechanism: an ordered
+rule list, first match wins, JSON round-trippable, validated against the
+algorithm registry at load time.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.registry import COLLECTIVES, info
+from ..errors import SelectionError
+
+__all__ = ["Rule", "Choice", "SelectionTable"]
+
+_INF = float("inf")
+
+
+@dataclass(frozen=True)
+class Choice:
+    """An algorithm plus (optionally) its radix."""
+
+    algorithm: str
+    k: Optional[int] = None
+
+    def describe(self) -> str:
+        return self.algorithm if self.k is None else f"{self.algorithm}(k={self.k})"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One selection rule: a (collective, ranks, bytes) region → a Choice.
+
+    Ranges are half-open on the right with ``None`` meaning unbounded:
+    ``min_bytes=0, max_bytes=65536`` covers messages strictly under 64 KiB.
+    """
+
+    collective: str
+    choice: Choice
+    min_ranks: int = 1
+    max_ranks: Optional[int] = None
+    min_bytes: int = 0
+    max_bytes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.collective not in COLLECTIVES:
+            raise SelectionError(f"unknown collective {self.collective!r}")
+        if self.min_ranks < 1:
+            raise SelectionError("min_ranks must be >= 1")
+        if self.max_ranks is not None and self.max_ranks <= self.min_ranks:
+            raise SelectionError(
+                f"empty rank range [{self.min_ranks}, {self.max_ranks})"
+            )
+        if self.min_bytes < 0:
+            raise SelectionError("min_bytes must be >= 0")
+        if self.max_bytes is not None and self.max_bytes <= self.min_bytes:
+            raise SelectionError(
+                f"empty byte range [{self.min_bytes}, {self.max_bytes})"
+            )
+        # Validate the choice against the registry eagerly: a typo in a
+        # tuning file should fail at load, not at the first collective.
+        from ..errors import ScheduleError
+
+        try:
+            entry = info(self.collective, self.choice.algorithm)
+        except ScheduleError as exc:
+            raise SelectionError(str(exc)) from exc
+        if self.choice.k is not None and not entry.takes_k:
+            raise SelectionError(
+                f"{self.collective}/{self.choice.algorithm} takes no radix"
+            )
+
+    def matches(self, nranks: int, nbytes: int) -> bool:
+        if nranks < self.min_ranks:
+            return False
+        if self.max_ranks is not None and nranks >= self.max_ranks:
+            return False
+        if nbytes < self.min_bytes:
+            return False
+        if self.max_bytes is not None and nbytes >= self.max_bytes:
+            return False
+        return True
+
+
+@dataclass
+class SelectionTable:
+    """An ordered, first-match-wins list of selection rules.
+
+    ``fallback`` supplies per-collective defaults when no rule matches
+    (mirroring MPICH's built-in defaults under a partial tuning file).
+    """
+
+    rules: List[Rule] = field(default_factory=list)
+    fallback: Dict[str, Choice] = field(default_factory=dict)
+    name: str = "unnamed"
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def select(self, collective: str, nranks: int, nbytes: int) -> Choice:
+        """The algorithm this table picks for a configuration."""
+        if collective not in COLLECTIVES:
+            raise SelectionError(f"unknown collective {collective!r}")
+        for rule in self.rules:
+            if rule.collective == collective and rule.matches(nranks, nbytes):
+                return rule.choice
+        if collective in self.fallback:
+            return self.fallback[collective]
+        raise SelectionError(
+            f"table {self.name!r} has no rule for {collective} at "
+            f"p={nranks}, n={nbytes} and no fallback"
+        )
+
+    def add(self, rule: Rule) -> "SelectionTable":
+        """Append a rule (builder style)."""
+        self.rules.append(rule)
+        return self
+
+    def coverage_errors(
+        self,
+        collective: str,
+        nranks: int,
+        sizes: Sequence[int],
+    ) -> List[int]:
+        """Sizes in ``sizes`` this table cannot select for (should be
+        empty for a production table)."""
+        missing = []
+        for n in sizes:
+            try:
+                self.select(collective, nranks, n)
+            except SelectionError:
+                missing.append(n)
+        return missing
+
+    # ------------------------------------------------------------------
+    # JSON round trip (the "one environment variable" file of §VI-G)
+    # ------------------------------------------------------------------
+
+    def to_json(self) -> str:
+        payload = {
+            "name": self.name,
+            "rules": [
+                {
+                    "collective": r.collective,
+                    "algorithm": r.choice.algorithm,
+                    "k": r.choice.k,
+                    "min_ranks": r.min_ranks,
+                    "max_ranks": r.max_ranks,
+                    "min_bytes": r.min_bytes,
+                    "max_bytes": r.max_bytes,
+                }
+                for r in self.rules
+            ],
+            "fallback": {
+                coll: {"algorithm": c.algorithm, "k": c.k}
+                for coll, c in self.fallback.items()
+            },
+        }
+        return json.dumps(payload, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SelectionTable":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SelectionError(f"malformed selection JSON: {exc}") from exc
+        if not isinstance(payload, dict) or "rules" not in payload:
+            raise SelectionError("selection JSON must be an object with 'rules'")
+        table = cls(name=str(payload.get("name", "unnamed")))
+        for raw in payload["rules"]:
+            table.add(
+                Rule(
+                    collective=raw["collective"],
+                    choice=Choice(raw["algorithm"], raw.get("k")),
+                    min_ranks=raw.get("min_ranks", 1),
+                    max_ranks=raw.get("max_ranks"),
+                    min_bytes=raw.get("min_bytes", 0),
+                    max_bytes=raw.get("max_bytes"),
+                )
+            )
+        for coll, raw in payload.get("fallback", {}).items():
+            if coll not in COLLECTIVES:
+                raise SelectionError(f"fallback for unknown collective {coll!r}")
+            table.fallback[coll] = Choice(raw["algorithm"], raw.get("k"))
+            info(coll, raw["algorithm"])  # validate
+        return table
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(self.to_json())
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "SelectionTable":
+        return cls.from_json(Path(path).read_text())
+
+    # ------------------------------------------------------------------
+
+    def describe(self) -> str:
+        """Multi-line human-readable dump (for reports and the CLI)."""
+        lines = [f"selection table {self.name!r}: {len(self.rules)} rules"]
+        for r in self.rules:
+            hi_r = "inf" if r.max_ranks is None else str(r.max_ranks)
+            hi_b = "inf" if r.max_bytes is None else str(r.max_bytes)
+            lines.append(
+                f"  {r.collective:14s} p∈[{r.min_ranks},{hi_r}) "
+                f"n∈[{r.min_bytes},{hi_b}) → {r.choice.describe()}"
+            )
+        for coll, c in sorted(self.fallback.items()):
+            lines.append(f"  {coll:14s} fallback → {c.describe()}")
+        return "\n".join(lines)

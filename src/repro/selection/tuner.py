@@ -1,0 +1,174 @@
+"""Exhaustive tuner: sweep the simulator, emit a selection table (§VI-G).
+
+The paper "exhaustively benchmarked every algorithm in MPICH to determine
+the optimal algorithm-parameters" and distilled the result into a new
+MPICH selection configuration.  This module does the same against the
+simulated machine: sweep every registered algorithm (generalized ones over
+a radix grid) across a message-size grid, take the argmin per size, and
+merge adjacent sizes with identical winners into compact byte-range rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.registry import algorithms_for, build_schedule, info
+from ..errors import SelectionError
+from ..simnet.machine import MachineSpec
+from ..simnet.noise import NoiseModel
+from ..simnet.simulate import simulate
+from .table import Choice, Rule, SelectionTable
+
+__all__ = ["radix_grid", "sweep_collective", "SweepEntry", "tune"]
+
+
+def radix_grid(p: int, *, min_k: int = 2, extras: Sequence[int] = (3, 5)) -> List[int]:
+    """The radix grid the paper's sweeps use: powers of two from ``min_k``
+    through ``p``, plus ``p`` itself and the odd near-optimal radices.
+
+    >>> radix_grid(16)
+    [2, 3, 4, 5, 8, 16]
+    >>> radix_grid(8, min_k=1)
+    [1, 2, 3, 4, 5, 8]
+    """
+    if p < 1:
+        raise SelectionError(f"p must be >= 1, got {p}")
+    grid = set()
+    k = max(min_k, 1)
+    while k <= p:
+        grid.add(k)
+        k *= 2
+    grid.add(max(p, min_k))
+    for extra in extras:
+        if min_k <= extra <= p:
+            grid.add(extra)
+    return sorted(grid)
+
+
+@dataclass(frozen=True)
+class SweepEntry:
+    """One simulated configuration."""
+
+    choice: Choice
+    nbytes: int
+    time: float  # seconds
+
+
+@dataclass
+class SweepResult:
+    """All configurations simulated for one collective on one machine."""
+
+    collective: str
+    machine: str
+    entries: List[SweepEntry] = field(default_factory=list)
+
+    def best(self, nbytes: int) -> SweepEntry:
+        candidates = [e for e in self.entries if e.nbytes == nbytes]
+        if not candidates:
+            raise SelectionError(
+                f"no sweep entries for {self.collective} at n={nbytes}"
+            )
+        return min(candidates, key=lambda e: e.time)
+
+    def times_for(self, choice: Choice) -> Dict[int, float]:
+        return {
+            e.nbytes: e.time
+            for e in self.entries
+            if e.choice == choice
+        }
+
+
+def sweep_collective(
+    collective: str,
+    machine: MachineSpec,
+    sizes: Sequence[int],
+    *,
+    algorithms: Optional[Sequence[str]] = None,
+    root: int = 0,
+    noise: Optional[NoiseModel] = None,
+    skip: Sequence[str] = ("linear",),
+) -> SweepResult:
+    """Simulate every (algorithm, radix, size) combination.
+
+    ``skip`` drops algorithms never worth tuning over (linear is
+    quadratically bad at these scales); pass ``skip=()`` to include them.
+    """
+    p = machine.nranks
+    names = list(algorithms) if algorithms else algorithms_for(collective)
+    result = SweepResult(collective=collective, machine=machine.name)
+    for name in names:
+        if name in skip:
+            continue
+        entry = info(collective, name)
+        if entry.takes_k:
+            ks: List[Optional[int]] = list(
+                radix_grid(p, min_k=entry.min_k)
+            )
+        else:
+            ks = [None]
+        for k in ks:
+            schedule = build_schedule(
+                collective, name, p, k=k, root=root if entry.takes_root else 0
+            )
+            for nbytes in sizes:
+                sim = simulate(schedule, machine, nbytes, noise=noise)
+                result.entries.append(
+                    SweepEntry(
+                        choice=Choice(name, k),
+                        nbytes=nbytes,
+                        time=sim.time,
+                    )
+                )
+    return result
+
+
+def tune(
+    machine: MachineSpec,
+    sizes: Sequence[int],
+    *,
+    collectives: Sequence[str] = ("bcast", "reduce", "allgather", "allreduce"),
+    noise: Optional[NoiseModel] = None,
+    name: Optional[str] = None,
+) -> SelectionTable:
+    """Produce a selection table tuned for ``machine``.
+
+    Per collective: winner per size, then adjacent sizes with identical
+    winners merge into one rule.  The byte-range boundaries sit at the
+    sweep sizes themselves (the winner measured at size ``s`` governs
+    ``[s, next_s)``), the first rule extends to 0 and the last is
+    unbounded — matching how MPICH cutoff tables are written.
+    """
+    sorted_sizes = sorted(set(int(s) for s in sizes))
+    if not sorted_sizes:
+        raise SelectionError("tune needs at least one message size")
+    table = SelectionTable(name=name or f"tuned-{machine.name}")
+    for collective in collectives:
+        sweep = sweep_collective(collective, machine, sorted_sizes, noise=noise)
+        winners: List[Tuple[int, Choice]] = [
+            (n, sweep.best(n).choice) for n in sorted_sizes
+        ]
+        # Merge runs of identical winners into byte ranges.
+        runs: List[Tuple[int, Optional[int], Choice]] = []
+        start_idx = 0
+        for i in range(1, len(winners) + 1):
+            if i == len(winners) or winners[i][1] != winners[start_idx][1]:
+                lo = 0 if start_idx == 0 else winners[start_idx][0]
+                hi = None if i == len(winners) else winners[i][0]
+                runs.append((lo, hi, winners[start_idx][1]))
+                start_idx = i
+        for lo, hi, choice in runs:
+            table.add(
+                Rule(
+                    collective,
+                    choice,
+                    min_bytes=lo,
+                    max_bytes=hi,
+                )
+            )
+    table.fallback["gather"] = Choice("binomial")
+    table.fallback["scatter"] = Choice("binomial")
+    table.fallback["reduce_scatter"] = Choice("recursive_halving")
+    table.fallback["barrier"] = Choice("dissemination")
+    table.fallback["alltoall"] = Choice("pairwise")
+    return table

@@ -1,0 +1,34 @@
+"""Discrete-event network simulator — the reproduction's stand-in for
+Frontier and Polaris hardware (see DESIGN.md §2 for the substitution
+rationale)."""
+
+from .engine import Engine, Event, Resource, Timeout
+from .machine import DragonflySpec, GiBps, MachineSpec, us
+from .machines import by_name, frontier, polaris, reference
+from .noise import NoiseModel
+from .simulate import SimResult, TrafficSummary, simulate, traffic_summary
+from .trace import TimelineStats, timeline_stats, to_chrome_trace, write_chrome_trace
+
+__all__ = [
+    "Engine",
+    "Event",
+    "Resource",
+    "Timeout",
+    "MachineSpec",
+    "DragonflySpec",
+    "us",
+    "GiBps",
+    "frontier",
+    "polaris",
+    "reference",
+    "by_name",
+    "NoiseModel",
+    "simulate",
+    "SimResult",
+    "traffic_summary",
+    "TrafficSummary",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "timeline_stats",
+    "TimelineStats",
+]

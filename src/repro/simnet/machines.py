@@ -1,0 +1,162 @@
+"""Machine configurations: Frontier-like, Polaris-like, and a model-exact
+reference machine.
+
+These encode the hardware facts the paper's evaluation hinges on (§VI-B):
+
+**Frontier (OLCF)** — 9,408 nodes, 1× EPYC 7A53 + 4× MI250X (8 logical
+GPUs) per node, four 200 Gb/s Slingshot links per node (one per GCD pair),
+GPUs linked by Infinity Fabric, dragonfly topology.  Experiments use 32,
+128, and 1024 nodes with 1 or 8 processes per node.
+
+**Polaris (ALCF)** — 560 nodes, 1× EPYC 7543P + 4× A100 per node, GPUs
+fully connected by NVLink (dedicated per-pair links), two Slingshot ports
+per node, dragonfly topology.
+
+Numbers are calibrated to public microbenchmark figures for these systems
+(MPI small-message latency ≈ 2 µs internode; 200 Gb/s ≈ 23 GiB/s effective
+per port; NIC message processing in the 50–100 ns range; GPU-aware MPI
+intranode latency notably *not* better than internode on Polaris, but
+several times better on Frontier's same-package GCD pairs) — absolute
+simulated times are indicative only; the reproduction targets orderings
+and ratios, as documented in EXPERIMENTS.md.
+
+The :func:`reference` machine strips away every feature the paper's
+analytical models ignore (ports=1, zero per-message and injection
+overheads, uniform links), so simulated times collapse to the α–β–γ
+models of eqs. (1)–(12) — the agreement is checked by
+``benchmarks/bench_models_vs_sim.py``.
+"""
+
+from __future__ import annotations
+
+from ..errors import MachineError
+from .machine import DragonflySpec, GiBps, MachineSpec, us
+
+__all__ = ["frontier", "polaris", "reference", "by_name"]
+
+
+def frontier(
+    nodes: int = 128,
+    ppn: int = 1,
+    *,
+    dragonfly_groups: bool = True,
+) -> MachineSpec:
+    """Frontier-like machine (§VI-B): 4 NIC ports/node, fast shared
+    Infinity Fabric intranode, dragonfly internode.
+
+    ``ppn=1`` models the paper's 1-process-per-node runs; ``ppn=8`` the
+    MPI-per-GPU programming model (8 GCDs).
+    """
+    if ppn not in (1, 2, 4, 8):
+        raise MachineError(f"frontier ppn must be 1, 2, 4 or 8, got {ppn}")
+    nodes_per_group = 16 if nodes % 16 == 0 else nodes
+    return MachineSpec(
+        name=f"frontier-{nodes}x{ppn}",
+        nodes=nodes,
+        ppn=ppn,
+        # Slingshot-11: ~2 µs MPI latency, 200 Gb/s ≈ 23 GiB/s per port.
+        alpha_inter=us(2.0),
+        beta_inter=GiBps(23.0),
+        nic_ports=4,
+        port_msg_overhead=us(0.06),
+        # Infinity Fabric between GCDs: low latency (same package for the
+        # paired GCD, one hop otherwise), ~4x NIC bandwidth per channel,
+        # but a shared fabric — 8 concurrent channels per node.
+        alpha_intra=us(0.45),
+        beta_intra=GiBps(90.0),
+        intra_kind="shared",
+        intra_channels=8,
+        intra_msg_overhead=us(0.02),
+        injection_overhead=us(0.015),
+        # GPU-side reduction throughput as seen by the MPI reduction path.
+        gamma=GiBps(40.0),
+        dragonfly=DragonflySpec(
+            nodes_per_group=nodes_per_group,
+            alpha_global=us(0.4),
+            global_channels=4 * nodes_per_group if dragonfly_groups else None,
+        ),
+    )
+
+
+def polaris(
+    nodes: int = 128,
+    ppn: int = 1,
+    *,
+    dragonfly_groups: bool = True,
+) -> MachineSpec:
+    """Polaris-like machine (§VI-B): 2 NIC ports/node, fully connected
+    dedicated NVLink intranode whose *latency* matches the NIC (the
+    architectural difference behind k-ring's flat Fig. 11c).
+    """
+    if ppn not in (1, 2, 4):
+        raise MachineError(f"polaris ppn must be 1, 2 or 4, got {ppn}")
+    nodes_per_group = 16 if nodes % 16 == 0 else nodes
+    return MachineSpec(
+        name=f"polaris-{nodes}x{ppn}",
+        nodes=nodes,
+        ppn=ppn,
+        alpha_inter=us(2.2),
+        beta_inter=GiBps(21.0),
+        nic_ports=2,
+        port_msg_overhead=us(0.07),
+        # NVLink: dedicated per-pair links, huge bandwidth, but GPU-aware
+        # MPI latency over NVLink is no better than over the NIC.
+        alpha_intra=us(2.0),
+        beta_intra=GiBps(150.0),
+        intra_kind="dedicated",
+        intra_msg_overhead=us(0.02),
+        injection_overhead=us(0.02),
+        gamma=GiBps(40.0),
+        dragonfly=DragonflySpec(
+            nodes_per_group=nodes_per_group,
+            alpha_global=us(0.5),
+            global_channels=2 * nodes_per_group if dragonfly_groups else None,
+        ),
+    )
+
+
+def reference(
+    p: int,
+    *,
+    alpha: float = us(2.0),
+    beta: float = GiBps(23.0),
+    gamma: float = GiBps(40.0),
+) -> MachineSpec:
+    """Model-exact reference machine: the α–β–γ world of the paper's
+    analytical models (§III–V).
+
+    One rank per node, a single NIC port, and zero software overheads:
+    ``k - 1`` concurrent messages from one rank serialize their ``n·β``
+    terms while sharing a single pipelined ``α`` — precisely the per-level
+    cost ``α + (k-1)·n·β`` of eq. (3).
+    """
+    return MachineSpec(
+        name=f"reference-{p}",
+        nodes=p,
+        ppn=1,
+        alpha_inter=alpha,
+        beta_inter=beta,
+        nic_ports=1,
+        port_msg_overhead=0.0,
+        alpha_intra=alpha,
+        beta_intra=beta,
+        intra_kind="dedicated",
+        injection_overhead=0.0,
+        gamma=gamma,
+        dragonfly=None,
+    )
+
+
+def by_name(name: str, nodes: int, ppn: int) -> MachineSpec:
+    """String dispatch used by the CLI (``frontier``/``polaris``/``reference``)."""
+    if name == "frontier":
+        return frontier(nodes, ppn)
+    if name == "polaris":
+        return polaris(nodes, ppn)
+    if name == "reference":
+        if ppn != 1:
+            raise MachineError("reference machine is 1 rank per node")
+        return reference(nodes)
+    raise MachineError(
+        f"unknown machine {name!r}; known: frontier, polaris, reference"
+    )

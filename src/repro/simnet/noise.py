@@ -1,0 +1,62 @@
+"""Run-to-run variance model (paper §VI-H).
+
+The paper reports significant run-to-run variance on Frontier — enough to
+change which algorithm and radix win a given configuration — and frames
+its conclusions as heuristics for that reason.  :class:`NoiseModel`
+reproduces the phenomenon: each message's cost is multiplied by an i.i.d.
+lognormal factor, seeded so a given (seed, message index) pair is
+deterministic and simulations stay reproducible.
+
+Lognormal is the conventional choice for network-service-time jitter: it
+is multiplicative, strictly positive, and right-skewed (occasional slow
+messages, never negative ones).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import MachineError
+
+__all__ = ["NoiseModel"]
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Seeded lognormal per-message perturbation.
+
+    Parameters
+    ----------
+    sigma:
+        Standard deviation of the underlying normal.  0.1 ≈ ±10% typical
+        jitter; 0.3 reproduces the paper's "optimal k changes between
+        runs" regime.
+    seed:
+        RNG seed; two models with the same (sigma, seed) produce identical
+        factor sequences.
+    """
+
+    sigma: float
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise MachineError(f"noise sigma must be >= 0, got {self.sigma}")
+
+    def factor(self, index: int) -> float:
+        """Multiplicative cost factor for message ``index``.
+
+        Mean-one lognormal (``exp(N(-σ²/2, σ²))``), so noise perturbs but
+        does not bias aggregate cost.  Uses a counter-based construction
+        (hash the index into a fresh Generator) so factors are random-
+        access — the simulator draws them in nondeterministic order.
+        """
+        if self.sigma == 0:
+            return 1.0
+        rng = np.random.default_rng((self.seed << 32) ^ (index * 2654435761 % 2**31))
+        return float(
+            math.exp(rng.normal(-0.5 * self.sigma**2, self.sigma))
+        )

@@ -1,0 +1,357 @@
+"""Simulate a collective schedule on a modeled machine.
+
+Maps the schedule IR onto the DES engine: one process per rank walks its
+program paying per-op injection overhead and waiting on step completions;
+one process per message waits for both endpoints to post, competes for the
+link resources its path needs (NIC ports, intranode fabric channels,
+dragonfly global channels), holds them for the serialization time, and
+delivers after the wire latency, charging receive-side reduction compute
+where applicable.
+
+Cost recipe per message of ``n`` bytes (all terms from the
+:class:`~repro.simnet.machine.MachineSpec`):
+
+========================  ====================================================
+phase                      cost
+========================  ====================================================
+posting (per endpoint)     ``injection_overhead`` (serial on the rank's CPU)
+port/channel occupancy     ``msg_overhead + n·β`` on every pool on the path
+wire latency               ``α`` (+ ``α_global`` across dragonfly groups)
+reduction (reduce recvs)   ``γ·n`` serialized on the receiving rank
+========================  ====================================================
+
+Ports are held only for the *serialization* time, so latencies pipeline
+across back-to-back messages — the LogGP-style decomposition that lets a
+k-nomial root overlap ``k-1`` small sends (§II-B2) while still charging
+``⌈(k-1)/ports⌉`` bandwidth waves for large ones.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..core.schedule import CopyOp, RecvOp, Schedule, SendOp
+from ..errors import MachineError
+from .engine import Acquire, AllOf, Engine, Event, Resource, Timeout
+from .machine import MachineSpec
+from .noise import NoiseModel
+
+__all__ = ["SimResult", "simulate", "traffic_summary", "TrafficSummary"]
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulated collective."""
+
+    time: float                      # makespan (seconds)
+    rank_times: List[float]          # per-rank completion times
+    messages: int                    # point-to-point messages delivered
+    intra_messages: int
+    inter_messages: int
+    global_messages: int             # subset of inter crossing dragonfly groups
+    intra_bytes: int
+    inter_bytes: int
+    timeline: Optional[List[Tuple]] = None  # (src, dst, bytes, t_xfer, t_done, link)
+
+    @property
+    def time_us(self) -> float:
+        """Makespan in microseconds (the unit the paper plots)."""
+        return self.time * 1e6
+
+
+class _Msg:
+    __slots__ = (
+        "src",
+        "dst",
+        "nbytes",
+        "reduce",
+        "index",
+        "send_posted",
+        "recv_posted",
+        "send_done",
+        "recv_done",
+    )
+
+    def __init__(self, engine: Engine, src: int, dst: int, nbytes: int,
+                 reduce: bool, index: int) -> None:
+        self.src = src
+        self.dst = dst
+        self.nbytes = nbytes
+        self.reduce = reduce
+        self.index = index
+        self.send_posted = Event(engine)
+        self.recv_posted = Event(engine)
+        self.send_done = Event(engine)
+        self.recv_done = Event(engine)
+
+
+def simulate(
+    schedule: Schedule,
+    machine: MachineSpec,
+    nbytes: int,
+    *,
+    noise: Optional[NoiseModel] = None,
+    collect_timeline: bool = False,
+    block_map=None,
+) -> SimResult:
+    """Simulate ``schedule`` moving ``nbytes`` (total buffer size) on
+    ``machine``; returns the makespan and traffic accounting.
+
+    The machine must host exactly ``schedule.nranks`` processes — build
+    machines with the right ``nodes × ppn`` geometry (see
+    :mod:`repro.simnet.machines`).
+    """
+    p = schedule.nranks
+    if machine.nranks != p:
+        raise MachineError(
+            f"{machine.name} hosts {machine.nranks} ranks but schedule "
+            f"{schedule.describe()} needs {p}"
+        )
+    if nbytes < 0:
+        raise MachineError(f"nbytes must be >= 0, got {nbytes}")
+
+    if block_map is None:
+        blocks = schedule.block_map(nbytes)
+    else:
+        if block_map.nblocks != schedule.nblocks:
+            raise MachineError(
+                f"block map has {block_map.nblocks} blocks but the "
+                f"schedule uses {schedule.nblocks}"
+            )
+        blocks = block_map
+    engine = Engine()
+    df = machine.dragonfly
+
+    send_ports = [
+        Resource(engine, machine.nic_ports, f"sendport[{n}]")
+        for n in range(machine.nodes)
+    ]
+    recv_ports = [
+        Resource(engine, machine.nic_ports, f"recvport[{n}]")
+        for n in range(machine.nodes)
+    ]
+    intra_fabric: Optional[List[Resource]] = None
+    if machine.intra_kind == "shared" and machine.ppn > 1:
+        intra_fabric = [
+            Resource(engine, machine.intra_channels, f"fabric[{n}]")
+            for n in range(machine.nodes)
+        ]
+    compute = [Resource(engine, 1, f"compute[{r}]") for r in range(p)]
+    egress: Optional[List[Resource]] = None
+    ingress: Optional[List[Resource]] = None
+    if df is not None and df.global_channels is not None:
+        ngroups = machine.nodes // df.nodes_per_group
+        egress = [
+            Resource(engine, df.global_channels, f"egress[{g}]")
+            for g in range(ngroups)
+        ]
+        ingress = [
+            Resource(engine, df.global_channels, f"ingress[{g}]")
+            for g in range(ngroups)
+        ]
+
+    # ------------------------------------------------------------------
+    # Match sends and receives into messages (FIFO per channel), mirroring
+    # the data executors' matching exactly.
+    # ------------------------------------------------------------------
+    send_q: Dict[Tuple[int, int], Deque[_Msg]] = {}
+    recv_q: Dict[Tuple[int, int], Deque[_Msg]] = {}
+    messages: List[_Msg] = []
+    pending_recvs: Dict[Tuple[int, int], List[RecvOp]] = {}
+    for prog in schedule.programs:
+        for _, op in prog.iter_ops():
+            if isinstance(op, RecvOp):
+                pending_recvs.setdefault((op.peer, prog.rank), []).append(op)
+    recv_cursor: Dict[Tuple[int, int], int] = {}
+    for prog in schedule.programs:
+        for _, op in prog.iter_ops():
+            if isinstance(op, SendOp):
+                key = (prog.rank, op.peer)
+                idx = recv_cursor.get(key, 0)
+                rlist = pending_recvs.get(key, [])
+                if idx >= len(rlist):
+                    raise MachineError(
+                        f"{schedule.describe()}: unmatched send "
+                        f"{prog.rank}->{op.peer}"
+                    )
+                recv_cursor[key] = idx + 1
+                rop = rlist[idx]
+                msg = _Msg(
+                    engine,
+                    src=prog.rank,
+                    dst=op.peer,
+                    nbytes=blocks.bytes_of(op.blocks),
+                    reduce=rop.reduce,
+                    index=len(messages),
+                )
+                messages.append(msg)
+                send_q.setdefault(key, deque()).append(msg)
+                recv_q.setdefault(key, deque()).append(msg)
+    for key, rlist in pending_recvs.items():
+        if recv_cursor.get(key, 0) != len(rlist):
+            raise MachineError(
+                f"{schedule.describe()}: unmatched receive on channel {key}"
+            )
+
+    # ------------------------------------------------------------------
+    # Traffic accounting and optional timeline
+    # ------------------------------------------------------------------
+    stats = {
+        "intra_messages": 0,
+        "inter_messages": 0,
+        "global_messages": 0,
+        "intra_bytes": 0,
+        "inter_bytes": 0,
+    }
+    timeline: Optional[List[Tuple]] = [] if collect_timeline else None
+    rank_times = [0.0] * p
+
+    o = machine.injection_overhead
+
+    def rank_proc(rank: int):
+        prog = schedule.programs[rank]
+        for step in prog.steps:
+            waits: List[Event] = []
+            for op in step.ops:
+                if isinstance(op, SendOp):
+                    if o:
+                        yield Timeout(o)
+                    msg = send_q[(rank, op.peer)].popleft()
+                    msg.send_posted.trigger()
+                    waits.append(msg.send_done)
+                elif isinstance(op, RecvOp):
+                    if o:
+                        yield Timeout(o)
+                    msg = recv_q[(op.peer, rank)].popleft()
+                    msg.recv_posted.trigger()
+                    waits.append(msg.recv_done)
+                # CopyOp: modeled as free (intra-GPU memcpy is off the
+                # critical path at collective granularity).
+            if waits:
+                yield AllOf(waits)
+        rank_times[rank] = engine.now
+
+    def transfer_proc(msg: _Msg):
+        yield AllOf([msg.send_posted, msg.recv_posted])
+        factor = noise.factor(msg.index) if noise is not None else 1.0
+        src_node = machine.node_of(msg.src)
+        dst_node = machine.node_of(msg.dst)
+        if src_node == dst_node:
+            link = "intra"
+            stats["intra_messages"] += 1
+            stats["intra_bytes"] += msg.nbytes
+            hold = (
+                machine.intra_msg_overhead + msg.nbytes * machine.beta_intra
+            ) * factor
+            if intra_fabric is not None:
+                yield Acquire(intra_fabric[src_node])
+                t0 = engine.now
+                yield Timeout(hold)
+                intra_fabric[src_node].release()
+            else:
+                t0 = engine.now
+                yield Timeout(hold)
+            msg.send_done.trigger()
+            alpha = machine.alpha_intra * factor
+        else:
+            crossing = machine.crosses_groups(msg.src, msg.dst)
+            link = "global" if crossing else "inter"
+            stats["inter_messages"] += 1
+            stats["inter_bytes"] += msg.nbytes
+            if crossing:
+                stats["global_messages"] += 1
+            hold = (
+                machine.port_msg_overhead + msg.nbytes * machine.beta_inter
+            ) * factor
+            # Fixed global acquisition order prevents hold-and-wait cycles.
+            yield Acquire(send_ports[src_node])
+            yield Acquire(recv_ports[dst_node])
+            held: List[Resource] = [send_ports[src_node], recv_ports[dst_node]]
+            if crossing and egress is not None and ingress is not None:
+                g_src = machine.group_of(src_node)
+                g_dst = machine.group_of(dst_node)
+                yield Acquire(egress[g_src])
+                yield Acquire(ingress[g_dst])
+                held += [egress[g_src], ingress[g_dst]]
+            t0 = engine.now
+            yield Timeout(hold)
+            for res in reversed(held):
+                res.release()
+            msg.send_done.trigger()
+            alpha = machine.alpha_inter * factor
+            if crossing and df is not None:
+                alpha += df.alpha_global * factor
+        yield Timeout(alpha)
+        if msg.reduce and machine.gamma > 0 and msg.nbytes > 0:
+            yield Acquire(compute[msg.dst])
+            yield Timeout(machine.gamma * msg.nbytes * factor)
+            compute[msg.dst].release()
+        if timeline is not None:
+            timeline.append((msg.src, msg.dst, msg.nbytes, t0, engine.now, link))
+        msg.recv_done.trigger()
+
+    for msg in messages:
+        engine.process(transfer_proc(msg), name=f"xfer{msg.index}")
+    for rank in range(p):
+        engine.process(rank_proc(rank), name=f"rank{rank}")
+
+    makespan = engine.run()
+    return SimResult(
+        time=makespan,
+        rank_times=rank_times,
+        messages=len(messages),
+        intra_messages=stats["intra_messages"],
+        inter_messages=stats["inter_messages"],
+        global_messages=stats["global_messages"],
+        intra_bytes=stats["intra_bytes"],
+        inter_bytes=stats["inter_bytes"],
+        timeline=timeline,
+    )
+
+
+@dataclass(frozen=True)
+class TrafficSummary:
+    """Static traffic analysis of a schedule on a machine (no simulation).
+
+    Used by the data-volume benches that reproduce paper eqs. (13)/(14):
+    k-ring's inter-group traffic reduction.
+    """
+
+    messages: int
+    intra_messages: int
+    inter_messages: int
+    intra_bytes: int
+    inter_bytes: int
+
+
+def traffic_summary(
+    schedule: Schedule, machine: MachineSpec, nbytes: int
+) -> TrafficSummary:
+    """Count messages/bytes by link class without running the simulator."""
+    if machine.nranks != schedule.nranks:
+        raise MachineError(
+            f"{machine.name} hosts {machine.nranks} ranks but schedule "
+            f"needs {schedule.nranks}"
+        )
+    blocks = schedule.block_map(nbytes)
+    msgs = intra_m = inter_m = intra_b = inter_b = 0
+    for prog in schedule.programs:
+        for _, op in prog.iter_ops():
+            if isinstance(op, SendOp):
+                msgs += 1
+                size = blocks.bytes_of(op.blocks)
+                if machine.same_node(prog.rank, op.peer):
+                    intra_m += 1
+                    intra_b += size
+                else:
+                    inter_m += 1
+                    inter_b += size
+    return TrafficSummary(
+        messages=msgs,
+        intra_messages=intra_m,
+        inter_messages=inter_m,
+        intra_bytes=intra_b,
+        inter_bytes=inter_b,
+    )

@@ -1,0 +1,126 @@
+"""Timeline analysis and Chrome-trace export for simulated collectives.
+
+``simulate(..., collect_timeline=True)`` records every message's transfer
+window; this module turns those records into
+
+* a ``chrome://tracing`` / Perfetto-compatible JSON file (one track per
+  rank, message arrows as duration events) for visual inspection of how a
+  schedule fills the network, and
+* quantitative utilization summaries (per-link-class busy time, longest
+  idle gap, per-rank receive load) used by the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from ..errors import MachineError
+from .simulate import SimResult
+
+__all__ = ["to_chrome_trace", "write_chrome_trace", "timeline_stats", "TimelineStats"]
+
+TimelineEvent = Tuple[int, int, int, float, float, str]  # src,dst,bytes,t0,t1,link
+
+
+def _require_timeline(result: SimResult) -> List[TimelineEvent]:
+    if result.timeline is None:
+        raise MachineError(
+            "SimResult has no timeline — simulate with collect_timeline=True"
+        )
+    return list(result.timeline)
+
+
+def to_chrome_trace(result: SimResult, *, time_scale: float = 1e6) -> Dict:
+    """Convert a timeline into the Chrome trace-event JSON structure.
+
+    Each message becomes a duration event on its *source* rank's track
+    (pid 0, tid = rank), named ``src->dst (link)``, with byte count and
+    link class in ``args``.  Times are scaled to microseconds by default.
+    """
+    events = []
+    for src, dst, nbytes, t0, t1, link in _require_timeline(result):
+        events.append(
+            {
+                "name": f"{src}->{dst} ({link})",
+                "cat": link,
+                "ph": "X",
+                "ts": t0 * time_scale,
+                "dur": max((t1 - t0) * time_scale, 1e-3),
+                "pid": 0,
+                "tid": src,
+                "args": {"bytes": nbytes, "dst": dst, "link": link},
+            }
+        )
+    for rank, end in enumerate(result.rank_times):
+        events.append(
+            {
+                "name": "rank done",
+                "cat": "completion",
+                "ph": "i",
+                "ts": end * time_scale,
+                "pid": 0,
+                "tid": rank,
+                "s": "t",
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    result: SimResult, path: Union[str, Path], *, time_scale: float = 1e6
+) -> Path:
+    """Write the Chrome trace to ``path``; returns the path.
+
+    Open the file at ``chrome://tracing`` or https://ui.perfetto.dev.
+    """
+    path = Path(path)
+    path.write_text(json.dumps(to_chrome_trace(result, time_scale=time_scale)))
+    return path
+
+
+@dataclass(frozen=True)
+class TimelineStats:
+    """Quantitative summary of a simulated timeline."""
+
+    makespan: float
+    busy_time: Dict[str, float]        # per link class, summed transfer time
+    max_concurrent: int                # peak simultaneous transfers
+    per_rank_recv_bytes: Tuple[int, ...]
+    recv_imbalance: float              # max/mean inbound bytes (1.0 = even)
+
+    def utilization(self, link: str) -> float:
+        """Aggregate transfer-seconds per second of makespan for a link
+        class (can exceed 1.0: many links run in parallel)."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.busy_time.get(link, 0.0) / self.makespan
+
+
+def timeline_stats(result: SimResult, nranks: int) -> TimelineStats:
+    """Compute :class:`TimelineStats` from a collected timeline."""
+    timeline = _require_timeline(result)
+    busy: Dict[str, float] = {}
+    recv_bytes = [0] * nranks
+    boundaries: List[Tuple[float, int]] = []
+    for src, dst, nbytes, t0, t1, link in timeline:
+        busy[link] = busy.get(link, 0.0) + (t1 - t0)
+        recv_bytes[dst] += nbytes
+        boundaries.append((t0, 1))
+        boundaries.append((t1, -1))
+    boundaries.sort()
+    live = peak = 0
+    for _, delta in boundaries:
+        live += delta
+        peak = max(peak, live)
+    mean_recv = sum(recv_bytes) / nranks if nranks else 0.0
+    imbalance = (max(recv_bytes) / mean_recv) if mean_recv else 1.0
+    return TimelineStats(
+        makespan=result.time,
+        busy_time=busy,
+        max_concurrent=peak,
+        per_rank_recv_bytes=tuple(recv_bytes),
+        recv_imbalance=imbalance,
+    )

@@ -1,0 +1,38 @@
+"""Shared fixtures and parameter grids for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simnet import MachineSpec, frontier, polaris, reference
+
+#: Process counts covering the paper's corner cases: powers of two, powers
+#: of odd radices, primes, and mixed composites.
+INTERESTING_P = [1, 2, 3, 4, 5, 6, 7, 8, 9, 12, 15, 16, 17, 24, 27, 31, 32]
+
+#: Radices covering degenerate (k >= p), default, odd, and port-multiple values.
+INTERESTING_K = [2, 3, 4, 5, 8]
+
+
+@pytest.fixture(scope="session")
+def tiny_frontier() -> MachineSpec:
+    """A 4-node, 2-ppn Frontier-like machine (8 ranks) for fast sims."""
+    return frontier(4, 2)
+
+
+@pytest.fixture(scope="session")
+def small_frontier() -> MachineSpec:
+    """A 16-node, 1-ppn Frontier-like machine."""
+    return frontier(16, 1)
+
+
+@pytest.fixture(scope="session")
+def small_polaris() -> MachineSpec:
+    """An 8-node, 4-ppn Polaris-like machine (32 ranks)."""
+    return polaris(8, 4)
+
+
+@pytest.fixture(scope="session")
+def ref16() -> MachineSpec:
+    """The model-exact reference machine with 16 ranks."""
+    return reference(16)

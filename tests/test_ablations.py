@@ -1,0 +1,68 @@
+"""Tests for the ablation studies (:mod:`repro.bench.ablations`) and the
+rank-placement machinery they rely on.
+
+The full ablations run in the benchmark suite; here they run at reduced
+scale to keep the test suite fast, plus direct unit tests of placement.
+"""
+
+import pytest
+
+from repro.bench.ablations import (
+    ablation_bruck_vs_recmul,
+    ablation_intranode_ratio,
+    ablation_placement,
+)
+from repro.errors import MachineError
+from repro.simnet.machines import frontier
+
+
+class TestPlacement:
+    def test_block_packs_consecutive_ranks(self):
+        m = frontier(4, 2)
+        assert [m.node_of(r) for r in range(8)] == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_round_robin_disperses(self):
+        m = frontier(4, 2).with_(placement="round_robin")
+        assert [m.node_of(r) for r in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_invalid_placement_rejected(self):
+        with pytest.raises(MachineError, match="placement"):
+            frontier(4, 2).with_(placement="random")
+
+    def test_placement_changes_link_classification(self):
+        from repro.core.registry import build_schedule
+        from repro.simnet.simulate import traffic_summary
+
+        sched = build_schedule("allgather", "kring", 8, k=2)
+        block = traffic_summary(sched, frontier(4, 2), 1024)
+        rr = traffic_summary(
+            sched, frontier(4, 2).with_(placement="round_robin"), 1024
+        )
+        # neighbors are co-located under block placement, never under RR
+        assert block.intra_messages > rr.intra_messages
+        assert rr.intra_messages == 0
+
+
+class TestAblationsSmall:
+    def test_intranode_ratio_small(self):
+        res = ablation_intranode_ratio(nodes=4, ppn=4, nbytes=1 << 20,
+                                       speedups=(1.0, 4.0))
+        assert res.all_ok, res.summary()
+
+    def test_placement_small(self):
+        # 8 nodes minimum: at 4 nodes, round-robin co-locates rank r with
+        # r+4, turning inter-group rounds intranode and muddying the
+        # contrast the ablation isolates.
+        res = ablation_placement(nodes=8, ppn=4, nbytes=1 << 20,
+                                 ks=(1, 2, 4, 8))
+        assert res.all_ok, res.summary()
+
+    def test_bruck_small(self):
+        res = ablation_bruck_vs_recmul(ps=(8, 11), k=4)
+        assert res.all_ok, res.summary()
+
+    def test_results_render(self):
+        res = ablation_bruck_vs_recmul(ps=(8,), k=2)
+        text = res.summary()
+        assert "recmul µs" in text
+        assert res.exp_id == "ablation-bruck"

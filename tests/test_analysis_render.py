@@ -1,0 +1,185 @@
+"""Tests for schedule analysis and the Fig. 1–6 renderers
+(:mod:`repro.core.analysis`, :mod:`repro.core.render`)."""
+
+import pytest
+
+from repro.core.analysis import (
+    critical_path_bytes,
+    critical_path_rounds,
+    volume_profile,
+)
+from repro.core.registry import build_schedule
+from repro.core.render import (
+    render_knomial_tree,
+    render_kring_rounds,
+    render_rounds,
+)
+from repro.errors import ScheduleError
+
+
+class TestCriticalPathRounds:
+    def test_knomial_bcast_depth(self):
+        """α coefficient: exact powers give log_k(p) rounds."""
+        assert critical_path_rounds(build_schedule("bcast", "binomial", 8)) == 3
+        assert critical_path_rounds(
+            build_schedule("bcast", "knomial", 27, k=3)
+        ) == 3
+        assert critical_path_rounds(
+            build_schedule("bcast", "knomial", 16, k=16)
+        ) == 1
+
+    def test_ring_allgather_p_minus_1(self):
+        assert critical_path_rounds(
+            build_schedule("allgather", "ring", 9)
+        ) == 8
+
+    def test_ring_allreduce_2p_minus_2(self):
+        assert critical_path_rounds(
+            build_schedule("allreduce", "ring", 6)
+        ) == 10
+
+    def test_recursive_multiplying_rounds(self):
+        assert critical_path_rounds(
+            build_schedule("allreduce", "recursive_multiplying", 16, k=4)
+        ) == 2
+
+    def test_fold_adds_two_rounds(self):
+        smooth = critical_path_rounds(
+            build_schedule("allreduce", "recursive_multiplying", 16, k=4)
+        )
+        folded = critical_path_rounds(
+            build_schedule("allreduce", "recursive_multiplying", 17, k=4)
+        )
+        assert folded == smooth + 2
+
+    def test_bruck_alltoall_log_rounds(self):
+        assert critical_path_rounds(
+            build_schedule("alltoall", "bruck", 16, k=4)
+        ) == 2
+
+    def test_linear_bcast_has_depth_one(self):
+        """The linear bcast's dependency depth is 1 — every leaf hears
+        directly from the root.  Its (p-1)·α cost is entirely sender
+        *occupancy*, not chain depth, which is exactly why trees beat it:
+        they trade occupancy for a log-depth chain."""
+        assert critical_path_rounds(build_schedule("bcast", "linear", 7)) == 1
+        # occupancy shows up in the bytes measure instead: the root must
+        # serialize all six copies through its single port
+        assert critical_path_bytes(
+            build_schedule("bcast", "linear", 7), 700
+        ) == 6 * 700
+
+    def test_barrier_rounds(self):
+        assert critical_path_rounds(
+            build_schedule("barrier", "k_dissemination", 27, k=3)
+        ) == 3
+
+    def test_single_rank_is_zero(self):
+        assert critical_path_rounds(build_schedule("bcast", "binomial", 1)) == 0
+
+
+class TestCriticalPathBytes:
+    def test_knomial_bcast_beta_coefficient(self):
+        """β coefficient on one port: (k-1)·n·log_k(p) — eq. (3)."""
+        n = 900
+        sched = build_schedule("bcast", "knomial", 27, k=3)
+        assert critical_path_bytes(sched, n) == 2 * n * 3
+
+    def test_ring_allgather_optimal_volume(self):
+        """Bandwidth optimality (eq. (10)): the heaviest serialization
+        chain moves exactly n·(p-1)/p bytes — each rank forwards one
+        block per round through its single port."""
+        n, p = 800, 8
+        sched = build_schedule("allgather", "ring", p)
+        assert critical_path_bytes(sched, n) == n * (p - 1) // p
+
+    def test_monotone_in_nbytes(self):
+        sched = build_schedule("allreduce", "recursive_doubling", 8)
+        assert critical_path_bytes(sched, 4096) >= critical_path_bytes(
+            sched, 1024
+        )
+
+    def test_negative_rejected(self):
+        sched = build_schedule("bcast", "binomial", 4)
+        with pytest.raises(ScheduleError):
+            critical_path_bytes(sched, -1)
+
+
+class TestVolumeProfile:
+    def test_bcast_conservation(self):
+        n = 64 * 7
+        sched = build_schedule("bcast", "binomial", 8)
+        prof = volume_profile(sched, n)
+        # every non-root receives the full buffer exactly once
+        assert all(
+            prof.received_bytes[r] == n for r in range(1, 8)
+        )
+        assert prof.total_bytes == 7 * n
+
+    def test_ring_allgather_balanced(self):
+        prof = volume_profile(build_schedule("allgather", "ring", 8), 800)
+        assert prof.max_rank_sent == min(prof.sent_bytes.values())
+
+    def test_gather_root_receives_everything(self):
+        n = 80
+        prof = volume_profile(build_schedule("gather", "binomial", 8), n)
+        assert prof.received_bytes[0] == n - n // 8
+        assert prof.sent_bytes[0] == 0
+
+
+class TestRenderers:
+    def test_fig1_binomial_tree_on_6(self):
+        """Fig. 1: binomial gather tree on 6 processes — depth 3, root
+        children {1, 2, 4}."""
+        text = render_knomial_tree(6, 2)
+        lines = text.splitlines()
+        assert lines[0] == "0"
+        # direct children of the root
+        direct = [l for l in lines if l.startswith("├── ") or l.startswith("└── ")]
+        assert sorted(int(l.split()[-1]) for l in direct) == [1, 2, 4]
+
+    def test_fig2_trinomial_tree_on_6(self):
+        """Fig. 2: trinomial tree on 6 processes — 0 parents {1,2,3},
+        3 parents {4,5}; depth 2 instead of 3."""
+        text = render_knomial_tree(6, 3)
+        assert text.splitlines()[0] == "0"
+        assert "3" in text and "4" in text
+        # depth = max indentation level must be 2 (8 spaces of prefix max)
+        max_depth = max(
+            (len(l) - len(l.lstrip("│ ├└─"))) for l in text.splitlines()
+        )
+        assert "│   ├── 4" in text or "    ├── 4" in text
+
+    def test_root_rotation(self):
+        text = render_knomial_tree(4, 2, root=2)
+        assert text.splitlines()[0] == "2"
+        assert "0" in text and "3" in text
+
+    def test_render_rounds_recdbl(self):
+        """Fig. 3: recursive doubling on 4 ranks — 2 rounds, partners at
+        distance 1 then 2."""
+        sched = build_schedule("allgather", "recursive_doubling", 4)
+        text = render_rounds(sched)
+        assert "round 1:" in text and "round 2:" in text
+        round1 = [l for l in text.splitlines() if "round 1" in l][0]
+        assert "0→1" in round1 and "2→3" in round1
+        round2 = [l for l in text.splitlines() if "round 2" in l][0]
+        assert "0→2" in round2
+
+    def test_render_rounds_truncates(self):
+        sched = build_schedule("allgather", "ring", 8)
+        text = render_rounds(sched, max_rounds=2)
+        assert "round 3" not in text
+
+    def test_fig6_kring_round_structure(self):
+        """Fig. 6: p=6, k=3 — rounds 1-2 intra, round 3 inter, rounds 4-5
+        intra."""
+        text = render_kring_rounds(6, 3)
+        lines = text.splitlines()
+        assert "(intra)" in lines[1] and "(intra)" in lines[2]
+        assert "(inter)" in lines[3]
+        assert "(intra)" in lines[4] and "(intra)" in lines[5]
+
+    def test_invalid_p(self):
+        with pytest.raises(ScheduleError):
+            render_knomial_tree(0, 2)

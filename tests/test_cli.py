@@ -1,0 +1,126 @@
+"""Tests for the command-line entry points (:mod:`repro.cli`)."""
+
+import json
+
+import pytest
+
+from repro.cli import main_bench, main_tune, main_validate
+
+
+class TestBench:
+    def test_list(self, capsys):
+        assert main_bench(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig8a" in out and "table1" in out
+
+    def test_no_args_lists(self, capsys):
+        assert main_bench([]) == 0
+        assert "fig9a" in capsys.readouterr().out
+
+    def test_run_table1(self, capsys):
+        assert main_bench(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert "knomial" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main_bench(["fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_eq13(self, capsys):
+        assert main_bench(["eq13"]) == 0
+        assert "eq. (13)" in capsys.readouterr().out
+
+
+class TestTune:
+    def test_writes_json(self, tmp_path, capsys):
+        out_file = tmp_path / "tuned.json"
+        rc = main_tune(
+            [
+                "--machine", "frontier", "--nodes", "4", "--ppn", "1",
+                "--min-bytes", "8", "--max-bytes", "4096",
+                "-o", str(out_file),
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(out_file.read_text())
+        assert payload["rules"]
+        out = capsys.readouterr().out
+        assert "wrote" in out
+
+    def test_stdout_json(self, capsys):
+        rc = main_tune(
+            ["--machine", "reference", "--nodes", "4",
+             "--min-bytes", "8", "--max-bytes", "512"]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"].startswith("tuned-")
+
+    def test_bad_machine_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main_tune(["--machine", "summit"])
+
+    def test_reference_requires_ppn_1(self, capsys):
+        rc = main_tune(["--machine", "reference", "--ppn", "2"])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestValidate:
+    def test_full_sweep_small(self, capsys):
+        assert main_validate(["--max-p", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "all correct" in out
+
+    def test_single_collective(self, capsys):
+        assert main_validate(["--collective", "reduce", "--max-p", "9"]) == 0
+
+    def test_single_algorithm(self, capsys):
+        rc = main_validate(
+            ["--collective", "allreduce", "--algorithm", "kring",
+             "--max-p", "8"]
+        )
+        assert rc == 0
+
+    def test_unknown_algorithm(self, capsys):
+        rc = main_validate(
+            ["--collective", "bcast", "--algorithm", "nope", "--max-p", "4"]
+        )
+        assert rc == 2
+
+
+class TestValidateDump:
+    def test_dump_writes_verified_schedule(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "kring.json"
+        rc = main_validate(
+            ["--collective", "allreduce", "--algorithm", "kring",
+             "--dump", str(path), "--dump-p", "8", "--dump-k", "4"]
+        )
+        assert rc == 0
+        payload = json.loads(path.read_text())
+        assert payload["collective"] == "allreduce"
+        assert len(payload["programs"]) == 8
+
+    def test_dump_requires_algorithm(self, tmp_path, capsys):
+        rc = main_validate(["--dump", str(tmp_path / "x.json")])
+        assert rc == 2
+        assert "needs" in capsys.readouterr().err
+
+    def test_dump_invalid_config(self, tmp_path, capsys):
+        rc = main_validate(
+            ["--collective", "bcast", "--algorithm", "binomial",
+             "--dump", str(tmp_path / "x.json"), "--dump-k", "4"]
+        )
+        assert rc == 2
+
+
+class TestBenchOutput:
+    def test_report_written_to_file(self, tmp_path, capsys):
+        path = tmp_path / "report.txt"
+        rc = main_bench(["table1", "-o", str(path)])
+        assert rc == 0
+        text = path.read_text()
+        assert "table1" in text and "PASS" in text

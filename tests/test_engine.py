@@ -1,0 +1,205 @@
+"""Tests for the DES core (:mod:`repro.simnet.engine`)."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.simnet.engine import Acquire, AllOf, Engine, Event, Resource, Timeout
+
+
+class TestClockAndTimeouts:
+    def test_timeouts_advance_clock(self):
+        eng = Engine()
+        log = []
+
+        def proc():
+            yield Timeout(1.5)
+            log.append(eng.now)
+            yield Timeout(2.5)
+            log.append(eng.now)
+
+        eng.process(proc())
+        assert eng.run() == 4.0
+        assert log == [1.5, 4.0]
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(MachineError):
+            Timeout(-1)
+
+    def test_scheduling_into_past_rejected(self):
+        eng = Engine()
+        eng.now = 5.0
+        with pytest.raises(MachineError):
+            eng.call_at(4.0, lambda: None)
+
+    def test_tie_break_is_fifo(self):
+        eng = Engine()
+        order = []
+        eng.call_at(1.0, lambda: order.append("a"))
+        eng.call_at(1.0, lambda: order.append("b"))
+        eng.run()
+        assert order == ["a", "b"]
+
+
+class TestEvents:
+    def test_event_wakes_waiter(self):
+        eng = Engine()
+        ev = Event(eng)
+        log = []
+
+        def waiter():
+            yield ev
+            log.append(eng.now)
+
+        def firer():
+            yield Timeout(3.0)
+            ev.trigger()
+
+        eng.process(waiter())
+        eng.process(firer())
+        eng.run()
+        assert log == [3.0]
+
+    def test_pre_triggered_event_resumes_immediately(self):
+        eng = Engine()
+        ev = Event(eng)
+        ev.trigger()
+        log = []
+
+        def waiter():
+            yield ev
+            log.append(eng.now)
+
+        eng.process(waiter())
+        eng.run()
+        assert log == [0.0]
+
+    def test_double_trigger_rejected(self):
+        eng = Engine()
+        ev = Event(eng)
+        ev.trigger()
+        with pytest.raises(MachineError):
+            ev.trigger()
+
+    def test_all_of_waits_for_every_child(self):
+        eng = Engine()
+        done = []
+
+        def proc():
+            yield AllOf([Timeout(1.0), Timeout(5.0), Timeout(2.0)])
+            done.append(eng.now)
+
+        eng.process(proc())
+        eng.run()
+        assert done == [5.0]
+
+    def test_all_of_empty_completes(self):
+        eng = Engine()
+        done = []
+
+        def proc():
+            yield AllOf([])
+            done.append(True)
+
+        eng.process(proc())
+        eng.run()
+        assert done == [True]
+
+
+class TestResources:
+    def test_capacity_serializes(self):
+        """Three 1-second jobs over a 1-unit resource take 3 seconds."""
+        eng = Engine()
+        res = Resource(eng, 1, "r")
+        ends = []
+
+        def job():
+            yield Acquire(res)
+            yield Timeout(1.0)
+            res.release()
+            ends.append(eng.now)
+
+        for _ in range(3):
+            eng.process(job())
+        eng.run()
+        assert ends == [1.0, 2.0, 3.0]
+
+    def test_capacity_two_overlaps(self):
+        eng = Engine()
+        res = Resource(eng, 2, "r")
+        ends = []
+
+        def job():
+            yield Acquire(res)
+            yield Timeout(1.0)
+            res.release()
+            ends.append(eng.now)
+
+        for _ in range(4):
+            eng.process(job())
+        eng.run()
+        assert ends == [1.0, 1.0, 2.0, 2.0]
+
+    def test_fifo_grant_order(self):
+        eng = Engine()
+        res = Resource(eng, 1, "r")
+        order = []
+
+        def job(name, delay):
+            yield Timeout(delay)
+            yield Acquire(res)
+            order.append(name)
+            yield Timeout(10.0)
+            res.release()
+
+        eng.process(job("first", 0.0))
+        eng.process(job("second", 1.0))
+        eng.process(job("third", 2.0))
+        eng.run()
+        assert order == ["first", "second", "third"]
+
+    def test_release_below_zero_rejected(self):
+        eng = Engine()
+        res = Resource(eng, 1, "r")
+        with pytest.raises(MachineError):
+            res.release()
+
+    def test_wait_statistics(self):
+        eng = Engine()
+        res = Resource(eng, 1, "r")
+
+        def job():
+            yield Acquire(res)
+            yield Timeout(2.0)
+            res.release()
+
+        eng.process(job())
+        eng.process(job())
+        eng.run()
+        assert res.total_grants == 2
+        assert res.total_wait == 2.0
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(MachineError):
+            Resource(Engine(), 0, "r")
+
+
+class TestDeadlockDetection:
+    def test_blocked_process_reported(self):
+        eng = Engine()
+        ev = Event(eng)  # never triggered
+
+        def proc():
+            yield ev
+
+        eng.process(proc())
+        with pytest.raises(MachineError, match="deadlock"):
+            eng.run()
+
+    def test_clean_run_reports_no_pending(self):
+        eng = Engine()
+
+        def proc():
+            yield Timeout(1.0)
+
+        eng.process(proc())
+        assert eng.run() == 1.0

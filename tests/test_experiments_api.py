@@ -1,0 +1,79 @@
+"""Tests for the experiment framework itself (:mod:`repro.bench.experiments`).
+
+The heavyweight experiment bodies run in ``benchmarks/``; these cover the
+framework: result bookkeeping, the registry, and the small fast
+experiments end to end.
+"""
+
+import pytest
+
+from repro.bench.experiments import (
+    ALL_EXPERIMENTS,
+    ExperimentResult,
+    eq13_data_volume,
+    fig7_slowdown,
+    fig_diagrams,
+    run_experiment,
+    table1_capability,
+)
+from repro.errors import ReproError
+
+
+class TestExperimentResult:
+    def test_check_accumulates(self):
+        res = ExperimentResult("x", "t", "c", "body")
+        res.check("a", True, "fine")
+        res.check("b", False, "broken")
+        assert not res.all_ok
+        assert [n for n, ok, _ in res.checks if not ok] == ["b"]
+
+    def test_summary_marks_divergence(self):
+        res = ExperimentResult("x", "t", "c", "body")
+        res.check("good", True)
+        res.check("bad", False, "detail")
+        text = res.summary()
+        assert "[PASS] good" in text
+        assert "[DIVERGES] bad — detail" in text
+        assert "body" in text
+
+    def test_all_ok_vacuously_true(self):
+        assert ExperimentResult("x", "t", "c", "body").all_ok
+
+
+class TestRegistry:
+    def test_run_experiment_dispatch(self):
+        res = run_experiment("table1")
+        assert res.exp_id == "table1"
+
+    def test_unknown_experiment_lists_known(self):
+        with pytest.raises(ReproError, match="fig8a"):
+            run_experiment("fig99")
+
+    def test_all_ids_are_kebab_or_fig(self):
+        for exp_id in ALL_EXPERIMENTS:
+            assert exp_id.replace("-", "").replace("_", "").isalnum()
+
+    def test_every_entry_is_callable(self):
+        for fn in ALL_EXPERIMENTS.values():
+            assert callable(fn)
+
+
+class TestFastExperiments:
+    """The cheap experiments run fully inside the test suite."""
+
+    def test_table1_passes(self):
+        assert table1_capability().all_ok
+
+    def test_fig_diagrams_passes(self):
+        res = fig_diagrams()
+        assert res.all_ok, res.summary()
+        assert "Fig. 6" in res.text
+
+    def test_eq13_small_passes(self):
+        res = eq13_data_volume(p=24)
+        assert res.all_ok, res.summary()
+
+    def test_fig7_small_passes(self):
+        res = fig7_slowdown(nodes=8, sizes=[64, 65536])
+        assert res.all_ok, res.summary()
+        assert res.data["worst_slowdown"] <= 1.0 + 1e-9

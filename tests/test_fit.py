@@ -1,0 +1,97 @@
+"""Tests for (α, β, γ) least-squares fitting (:mod:`repro.models.fit`)."""
+
+import math
+
+import pytest
+
+from repro.errors import ModelError
+from repro.models.fit import fit_params, fit_ptp
+from repro.models.params import ModelParams
+from repro.simnet.machines import reference
+from repro.simnet.simulate import simulate
+from repro.core.registry import build_schedule
+
+
+class TestSyntheticRecovery:
+    def test_ptp_fit_recovers_exact_constants(self):
+        alpha, beta = 2.5e-6, 4e-10
+        sizes = [2**i for i in range(3, 22)]
+        times = [alpha + beta * n for n in sizes]
+        fit = fit_ptp(sizes, times)
+        assert fit.params.alpha == pytest.approx(alpha, rel=1e-6)
+        assert fit.params.beta == pytest.approx(beta, rel=1e-6)
+        assert fit.relative_error < 1e-9
+
+    def test_three_parameter_fit(self):
+        """β and γ are only separable when the coefficient columns are
+        linearly independent — mixing measurements from two process counts
+        (different L = log2 p, same γ structure) achieves that, matching
+        how real calibrations pool multi-scale runs."""
+        alpha, beta, gamma = 1e-6, 2e-10, 7e-11
+        rows = []
+        times = []
+        for p in (4, 64):
+            L = math.log2(p)
+            for i in range(3, 22):
+                n = 2**i
+                rows.append((L, L * n, n))
+                times.append(L * alpha + L * n * beta + n * gamma)
+        # encode the per-row coefficients via an index lookup
+        coef = dict(zip(range(len(rows)), rows))
+        fit = fit_params(
+            list(range(len(rows))),
+            times,
+            lambda idx: coef[int(idx)],
+            fit_gamma=True,
+        )
+        assert fit.params.alpha == pytest.approx(alpha, rel=1e-5)
+        assert fit.params.beta == pytest.approx(beta, rel=1e-4)
+        assert fit.params.gamma == pytest.approx(gamma, rel=1e-3)
+
+    def test_noisy_fit_close(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        alpha, beta = 2e-6, 1e-9
+        sizes = [2**i for i in range(3, 22)]
+        times = [
+            (alpha + beta * n) * float(rng.normal(1.0, 0.01)) for n in sizes
+        ]
+        fit = fit_ptp(sizes, times)
+        assert fit.params.beta == pytest.approx(beta, rel=0.05)
+        assert fit.relative_error < 0.05
+
+    def test_negative_solutions_clamped(self):
+        # Times decreasing in n would imply β < 0; the fit clamps to 0.
+        sizes = [10, 20, 40]
+        times = [3.0, 2.0, 1.0]
+        fit = fit_ptp(sizes, times)
+        assert fit.params.beta == 0.0
+
+
+class TestValidation:
+    def test_length_mismatch(self):
+        with pytest.raises(ModelError):
+            fit_ptp([1, 2], [1.0])
+
+    def test_too_few_points(self):
+        with pytest.raises(ModelError):
+            fit_ptp([1], [1.0])
+
+
+class TestAgainstSimulator:
+    def test_recovers_reference_machine_constants(self):
+        """Fitting the binomial bcast model to reference-machine sims must
+        return the machine's own α and β."""
+        p = 16
+        machine = reference(p)
+        L = 4.0  # ceil(log2 16)
+        sizes = [2**i for i in range(3, 21)]
+        sched = build_schedule("bcast", "binomial", p)
+        times = [simulate(sched, machine, n).time for n in sizes]
+        fit = fit_params(
+            sizes, times, lambda n: (L, L * n, 0.0), fit_gamma=False
+        )
+        assert fit.params.alpha == pytest.approx(machine.alpha_inter, rel=0.01)
+        assert fit.params.beta == pytest.approx(machine.beta_inter, rel=0.01)
+        assert "α=" in fit.describe()

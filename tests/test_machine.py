@@ -1,0 +1,124 @@
+"""Tests for machine specifications (:mod:`repro.simnet.machine` and
+:mod:`repro.simnet.machines`)."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.simnet.machine import DragonflySpec, GiBps, MachineSpec, us
+from repro.simnet.machines import by_name, frontier, polaris, reference
+
+
+class TestUnits:
+    def test_us(self):
+        assert us(2.0) == 2e-6
+
+    def test_gibps_is_seconds_per_byte(self):
+        assert GiBps(1.0) == 1.0 / 1024**3
+
+    def test_gibps_rejects_nonpositive(self):
+        with pytest.raises(MachineError):
+            GiBps(0)
+
+
+class TestMachineSpec:
+    def test_rank_geometry(self):
+        m = frontier(4, 8)
+        assert m.nranks == 32
+        assert m.node_of(0) == 0
+        assert m.node_of(7) == 0
+        assert m.node_of(8) == 1
+        assert m.same_node(0, 7)
+        assert not m.same_node(7, 8)
+
+    def test_rank_out_of_range(self):
+        with pytest.raises(MachineError):
+            frontier(2, 1).node_of(2)
+
+    def test_dragonfly_groups(self):
+        m = frontier(32, 1)  # 16 nodes per group → 2 groups
+        assert m.group_of(0) == 0
+        assert m.group_of(15) == 0
+        assert m.group_of(16) == 1
+        assert m.crosses_groups(0, 16)
+        assert not m.crosses_groups(0, 15)
+
+    def test_no_dragonfly_single_group(self):
+        m = reference(8)
+        assert m.group_of(5) == 0
+        assert not m.crosses_groups(0, 7)
+
+    def test_with_derives_variant(self):
+        m = frontier(4, 1)
+        m2 = m.with_(nic_ports=1)
+        assert m2.nic_ports == 1
+        assert m.nic_ports == 4  # original untouched
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(MachineError):
+            MachineSpec(
+                name="bad", nodes=2, ppn=1,
+                alpha_inter=-1.0, beta_inter=1e-9,
+            )
+
+    def test_bad_intra_kind_rejected(self):
+        with pytest.raises(MachineError):
+            MachineSpec(
+                name="bad", nodes=2, ppn=1,
+                alpha_inter=1e-6, beta_inter=1e-9, intra_kind="magic",
+            )
+
+    def test_dragonfly_must_tile_nodes(self):
+        with pytest.raises(MachineError):
+            MachineSpec(
+                name="bad", nodes=10, ppn=1,
+                alpha_inter=1e-6, beta_inter=1e-9,
+                dragonfly=DragonflySpec(nodes_per_group=4),
+            )
+
+    def test_describe_mentions_geometry(self):
+        desc = frontier(8, 2).describe()
+        assert "8 nodes" in desc and "2 ppn" in desc
+
+
+class TestConfigs:
+    def test_frontier_matches_paper_facts(self):
+        """§VI-B: four NIC links per node, eight GPUs, dragonfly."""
+        m = frontier(128, 8)
+        assert m.nic_ports == 4
+        assert m.ppn == 8
+        assert m.dragonfly is not None
+        assert m.intra_kind == "shared"
+        # intranode links must be meaningfully faster (the k-ring premise)
+        assert m.beta_intra < m.beta_inter / 2
+        assert m.alpha_intra < m.alpha_inter / 2
+
+    def test_polaris_matches_paper_facts(self):
+        """§VI-B: two NIC ports, four fully connected GPUs."""
+        m = polaris(128, 4)
+        assert m.nic_ports == 2
+        assert m.ppn == 4
+        assert m.intra_kind == "dedicated"
+        # the Fig. 11c premise: NVLink latency is NOT better than the NIC's
+        assert m.alpha_intra >= m.alpha_inter * 0.8
+
+    def test_reference_is_overhead_free(self):
+        m = reference(16)
+        assert m.nic_ports == 1
+        assert m.injection_overhead == 0
+        assert m.port_msg_overhead == 0
+        assert m.dragonfly is None
+
+    def test_invalid_ppn_rejected(self):
+        with pytest.raises(MachineError):
+            frontier(4, 3)
+        with pytest.raises(MachineError):
+            polaris(4, 8)
+
+    def test_by_name_dispatch(self):
+        assert by_name("frontier", 8, 1).name.startswith("frontier")
+        assert by_name("polaris", 8, 1).name.startswith("polaris")
+        assert by_name("reference", 8, 1).name.startswith("reference")
+        with pytest.raises(MachineError):
+            by_name("summit", 8, 1)
+        with pytest.raises(MachineError):
+            by_name("reference", 8, 2)

@@ -1,0 +1,212 @@
+"""Tests for the analytical cost models (:mod:`repro.models`)."""
+
+import pytest
+
+from repro.core.registry import build_schedule
+from repro.errors import ModelError
+from repro.models import (
+    ModelParams,
+    binomial_allgather_time,
+    binomial_bcast_time,
+    binomial_reduce_time,
+    knomial_allreduce_time,
+    knomial_bcast_time,
+    knomial_reduce_time,
+    kring_heterogeneous_time,
+    kring_inter_group_data,
+    kring_time,
+    model_time,
+    recursive_doubling_allreduce_time,
+    recursive_multiplying_allgather_time,
+    recursive_multiplying_allreduce_time,
+    recursive_multiplying_round_time,
+    ring_asymptotic_time,
+    ring_inter_group_data,
+    ring_time,
+)
+from repro.simnet.machines import reference
+from repro.simnet.simulate import simulate
+
+PR = ModelParams(alpha=2e-6, beta=1e-9, gamma=5e-10)
+
+
+class TestKnomialModels:
+    def test_binomial_is_knomial_k2(self):
+        for n in (8, 1024, 1 << 20):
+            assert binomial_bcast_time(n, 64, PR) == knomial_bcast_time(
+                n, 64, 2, PR
+            )
+
+    def test_bcast_alpha_term_shrinks_with_k(self):
+        """Eq. (3) at n=0: pure latency, fewer levels with larger radix."""
+        t2 = knomial_bcast_time(0, 64, 2, PR)
+        t8 = knomial_bcast_time(0, 64, 8, PR)
+        t64 = knomial_bcast_time(0, 64, 64, PR)
+        assert t2 > t8 > t64
+        assert t64 == pytest.approx(PR.alpha)
+
+    def test_bcast_beta_term_grows_with_k(self):
+        """Large messages penalize wide radices: (k-1)·n·β per level."""
+        n = 1 << 22
+        assert knomial_bcast_time(n, 64, 32, PR) > knomial_bcast_time(
+            n, 64, 2, PR
+        )
+
+    def test_reduce_includes_gamma(self):
+        extra = knomial_reduce_time(1000, 16, 4, PR) - knomial_bcast_time(
+            1000, 16, 4, PR
+        )
+        assert extra == pytest.approx(3 * 1000 * 2 * PR.gamma)
+
+    def test_allreduce_exceeds_bcast(self):
+        assert knomial_allreduce_time(1000, 16, 4, PR) > knomial_bcast_time(
+            1000, 16, 4, PR
+        )
+
+    def test_p1_is_free_where_defined(self):
+        assert binomial_allgather_time(100, 1, PR) == 0.0
+
+    def test_bad_inputs(self):
+        with pytest.raises(ModelError):
+            knomial_bcast_time(8, 0, 2, PR)
+        with pytest.raises(ModelError):
+            knomial_bcast_time(-1, 8, 2, PR)
+        with pytest.raises(ModelError):
+            knomial_bcast_time(8, 8, 1, PR)
+
+
+class TestRecursiveModels:
+    def test_allgather_bandwidth_is_radix_free(self):
+        """Eq. (6): only the α term depends on k."""
+        n = 1 << 20
+        t4 = recursive_multiplying_allgather_time(n, 64, 4, PR)
+        t2 = recursive_multiplying_allgather_time(n, 64, 2, PR)
+        assert t2 - t4 == pytest.approx(3 * PR.alpha)
+
+    def test_allreduce_tradeoff(self):
+        """Small n: fewer rounds win; large n: per-round fan-out hurts."""
+        small = 8
+        assert recursive_multiplying_allreduce_time(
+            small, 64, 8, PR
+        ) < recursive_multiplying_allreduce_time(small, 64, 2, PR)
+        big = 1 << 22
+        assert recursive_multiplying_allreduce_time(
+            big, 64, 8, PR
+        ) > recursive_multiplying_allreduce_time(big, 64, 2, PR)
+
+    def test_round_time_geometric_growth(self):
+        """Eq. (7): allgather round data grows by k each round."""
+        r1 = recursive_multiplying_round_time(
+            1 << 20, 27, 3, 1, PR, collective="allgather"
+        )
+        r2 = recursive_multiplying_round_time(
+            1 << 20, 27, 3, 2, PR, collective="allgather"
+        )
+        assert (r2 - PR.alpha) == pytest.approx(3 * (r1 - PR.alpha))
+
+    def test_round_out_of_range(self):
+        with pytest.raises(ModelError):
+            recursive_multiplying_round_time(8, 8, 2, 9, PR,
+                                             collective="allgather")
+
+    def test_doubling_is_k2(self):
+        assert recursive_doubling_allreduce_time(
+            512, 32, PR
+        ) == recursive_multiplying_allreduce_time(512, 32, 2, PR)
+
+
+class TestRingModels:
+    def test_ring_time_p_minus_1_rounds(self):
+        t = ring_time(1024, 8, PR)
+        assert t == pytest.approx(7 * (PR.alpha + PR.beta * 1024 / 8))
+
+    def test_allreduce_round_includes_gamma(self):
+        diff = ring_time(800, 8, PR, collective="allreduce") - ring_time(
+            800, 8, PR, collective="allgather"
+        )
+        assert diff == pytest.approx(7 * PR.gamma * 800 / 8)
+
+    def test_asymptotic_limit(self):
+        """Eq. (10): for huge n, T(n,p) → βn regardless of p."""
+        n = 1 << 30
+        full = ring_time(n, 128, PR)
+        asym = ring_asymptotic_time(n, PR)
+        assert full / asym == pytest.approx(1.0, rel=0.02)
+
+    def test_homogeneous_kring_equals_ring_when_k_divides_p(self):
+        """Eq. (12): the single-link-class k-ring model collapses."""
+        for k in (1, 2, 4, 8):
+            assert kring_time(4096, 8, k, PR) == pytest.approx(
+                ring_time(4096, 8, PR)
+            )
+
+    def test_heterogeneous_kring_shows_the_benefit(self):
+        intra = ModelParams(alpha=2e-7, beta=1e-10)
+        inter = ModelParams(alpha=2e-6, beta=1e-9)
+        het = kring_heterogeneous_time(1 << 20, 64, 8, intra, inter)
+        hom = ring_time(1 << 20, 64, inter)
+        assert het < hom
+
+    def test_data_volume_formulas(self):
+        """Eqs. (13)/(14) and their k=1 coincidence."""
+        assert kring_inter_group_data(1000, 10, 5) == pytest.approx(
+            2 * 1000 * 5 / 10
+        )
+        assert ring_inter_group_data(1000, 10) == pytest.approx(
+            kring_inter_group_data(1000, 10, 1)
+        )
+        # monotone decreasing in k
+        vols = [kring_inter_group_data(1 << 20, 64, k) for k in (1, 2, 4, 8)]
+        assert vols == sorted(vols, reverse=True)
+
+    def test_data_volume_domain(self):
+        with pytest.raises(ModelError):
+            kring_inter_group_data(8, 4, 5)
+
+
+class TestDispatcher:
+    def test_known_pairs_evaluate(self):
+        assert model_time("bcast", "binomial", 64, 16, PR) > 0
+        assert model_time("allreduce", "kring", 64, 16, PR, k=4) > 0
+
+    def test_generalized_requires_k(self):
+        with pytest.raises(ModelError, match="radix"):
+            model_time("bcast", "knomial", 64, 16, PR)
+
+    def test_unknown_pair(self):
+        with pytest.raises(ModelError, match="no analytical model"):
+            model_time("gather", "ring", 64, 16, PR)
+
+
+class TestModelSimAgreement:
+    """On the reference machine the simulator realizes the models'
+    assumptions exactly — the quantitative backbone of the paper's 'models
+    are fairly accurate' claim (§VI-F)."""
+
+    @pytest.mark.parametrize(
+        "collective,algorithm,k",
+        [
+            ("bcast", "binomial", None),
+            ("bcast", "knomial", 4),
+            ("reduce", "binomial", None),
+            ("allgather", "recursive_doubling", None),
+            ("allreduce", "recursive_doubling", None),
+            ("allgather", "ring", None),
+        ],
+    )
+    @pytest.mark.parametrize("nbytes", [8, 4096, 1 << 20])
+    def test_exact_agreement(self, collective, algorithm, k, nbytes):
+        # p = 64 is simultaneously a perfect binomial (2^6) and a perfect
+        # 4-nomial (4^3) population — the models assume full trees.
+        p = 64
+        machine = reference(p)
+        params = ModelParams(
+            alpha=machine.alpha_inter,
+            beta=machine.beta_inter,
+            gamma=machine.gamma,
+        )
+        predicted = model_time(collective, algorithm, nbytes, p, params, k=k)
+        simulated = simulate(
+            build_schedule(collective, algorithm, p, k=k), machine, nbytes
+        ).time
+        assert simulated == pytest.approx(predicted, rel=0.02)

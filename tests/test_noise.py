@@ -1,0 +1,58 @@
+"""Tests for the run-to-run variance model (:mod:`repro.simnet.noise`)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import MachineError
+from repro.simnet.noise import NoiseModel
+
+
+class TestFactor:
+    def test_deterministic_per_index_and_seed(self):
+        m = NoiseModel(sigma=0.3, seed=5)
+        assert m.factor(7) == m.factor(7)
+        assert NoiseModel(sigma=0.3, seed=5).factor(7) == m.factor(7)
+
+    def test_varies_across_indices(self):
+        m = NoiseModel(sigma=0.3, seed=5)
+        factors = {m.factor(i) for i in range(16)}
+        assert len(factors) == 16
+
+    def test_varies_across_seeds(self):
+        a = NoiseModel(sigma=0.3, seed=1).factor(3)
+        b = NoiseModel(sigma=0.3, seed=2).factor(3)
+        assert a != b
+
+    def test_sigma_zero_is_identity(self):
+        m = NoiseModel(sigma=0.0, seed=9)
+        assert all(m.factor(i) == 1.0 for i in range(10))
+
+    def test_strictly_positive(self):
+        m = NoiseModel(sigma=1.0, seed=0)
+        assert all(m.factor(i) > 0 for i in range(200))
+
+    def test_mean_one_construction(self):
+        """The lognormal is centered so noise perturbs but does not bias:
+        the sample mean over many messages must sit near 1."""
+        m = NoiseModel(sigma=0.2, seed=3)
+        samples = np.array([m.factor(i) for i in range(4000)])
+        assert samples.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_spread_grows_with_sigma(self):
+        tight = np.array([NoiseModel(0.1, 1).factor(i) for i in range(500)])
+        wide = np.array([NoiseModel(0.5, 1).factor(i) for i in range(500)])
+        assert wide.std() > tight.std() * 2
+
+    def test_log_normality_shape(self):
+        """log(factors) should look normal with the requested σ."""
+        sigma = 0.4
+        m = NoiseModel(sigma, seed=11)
+        logs = np.log([m.factor(i) for i in range(4000)])
+        assert logs.std() == pytest.approx(sigma, rel=0.1)
+        assert logs.mean() == pytest.approx(-0.5 * sigma**2, abs=0.03)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(MachineError):
+            NoiseModel(sigma=-0.5)

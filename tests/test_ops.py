@@ -1,0 +1,130 @@
+"""Tests for reduction operators (:mod:`repro.runtime.ops`)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.runtime.ops import (
+    ALL_OPS,
+    BAND,
+    BOR,
+    BXOR,
+    LAND,
+    LOR,
+    MAX,
+    MIN,
+    PROD,
+    SUM,
+    by_name,
+)
+
+
+class TestApply:
+    def test_sum_in_place(self):
+        acc = np.array([1, 2, 3], dtype=np.int64)
+        SUM.apply(acc, np.array([10, 20, 30], dtype=np.int64))
+        assert acc.tolist() == [11, 22, 33]
+
+    def test_max_min(self):
+        acc = np.array([5, 1], dtype=np.int64)
+        MAX.apply(acc, np.array([3, 9], dtype=np.int64))
+        assert acc.tolist() == [5, 9]
+        MIN.apply(acc, np.array([4, 4], dtype=np.int64))
+        assert acc.tolist() == [4, 4]
+
+    def test_prod(self):
+        acc = np.array([2, 3], dtype=np.int64)
+        PROD.apply(acc, np.array([5, 7], dtype=np.int64))
+        assert acc.tolist() == [10, 21]
+
+    def test_bitwise(self):
+        acc = np.array([0b1100], dtype=np.int64)
+        BAND.apply(acc, np.array([0b1010], dtype=np.int64))
+        assert acc.tolist() == [0b1000]
+        BOR.apply(acc, np.array([0b0011], dtype=np.int64))
+        assert acc.tolist() == [0b1011]
+        BXOR.apply(acc, np.array([0b1111], dtype=np.int64))
+        assert acc.tolist() == [0b0100]
+
+    def test_logical(self):
+        acc = np.array([0, 2, 0], dtype=np.int64)
+        LOR.apply(acc, np.array([0, 0, 5], dtype=np.int64))
+        assert acc.tolist() == [0, 1, 1]
+        acc2 = np.array([1, 1, 0], dtype=np.int64)
+        LAND.apply(acc2, np.array([1, 0, 1], dtype=np.int64))
+        assert acc2.tolist() == [1, 0, 0]
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ExecutionError, match="shape"):
+            SUM.apply(np.zeros(3), np.zeros(4))
+
+    def test_bitwise_rejects_floats(self):
+        with pytest.raises(ExecutionError, match="integer"):
+            BAND.apply(np.zeros(2), np.zeros(2))
+
+    def test_sum_works_on_floats(self):
+        acc = np.array([0.5])
+        SUM.apply(acc, np.array([0.25]))
+        assert acc[0] == 0.75
+
+
+class TestAlgebra:
+    def test_idempotence_flags_are_true(self):
+        x = np.array([3, 7, 0], dtype=np.int64)
+        for op in ALL_OPS:
+            if op.idempotent:
+                acc = x.copy()
+                op.apply(acc, x)
+                assert np.array_equal(acc, op.fn(x, x)), op.name
+
+    def test_commutativity(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 50, 16)
+        b = rng.integers(0, 50, 16)
+        for op in ALL_OPS:
+            ab = a.copy()
+            op.apply(ab, b)
+            ba = b.copy()
+            op.apply(ba, a)
+            assert np.array_equal(ab, ba), op.name
+
+    def test_associativity(self):
+        rng = np.random.default_rng(2)
+        a, b, c = (rng.integers(0, 9, 8) for _ in range(3))
+        for op in ALL_OPS:
+            left = a.copy()
+            op.apply(left, b)
+            op.apply(left, c)
+            bc = b.copy()
+            op.apply(bc, c)
+            right = a.copy()
+            op.apply(right, bc)
+            assert np.array_equal(left, right), op.name
+
+
+class TestReduceAll:
+    def test_reduce_all_orders_left_to_right(self):
+        parts = tuple(np.array([i], dtype=np.int64) for i in range(5))
+        assert SUM.reduce_all(parts).tolist() == [10]
+
+    def test_reduce_all_does_not_mutate_inputs(self):
+        a = np.array([1], dtype=np.int64)
+        SUM.reduce_all((a, np.array([2], dtype=np.int64)))
+        assert a[0] == 1
+
+    def test_reduce_all_empty_rejected(self):
+        with pytest.raises(ExecutionError):
+            SUM.reduce_all(())
+
+
+class TestByName:
+    def test_roundtrip(self):
+        for op in ALL_OPS:
+            assert by_name(op.name) is op
+
+    def test_case_insensitive(self):
+        assert by_name("SUM") is SUM
+
+    def test_unknown(self):
+        with pytest.raises(ExecutionError, match="unknown"):
+            by_name("avg")

@@ -1,0 +1,73 @@
+"""Tests for model-predicted optimal radices (:mod:`repro.models.optimal`)."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.models import ModelParams
+from repro.models.knomial import knomial_bcast_time
+from repro.models.optimal import (
+    optimal_radix,
+    optimal_radix_by_size,
+    radix_profile,
+)
+from repro.models.recursive import recursive_multiplying_allreduce_time
+
+PR = ModelParams(alpha=2e-6, beta=1e-9, gamma=5e-10)
+
+
+class TestProfiles:
+    def test_default_grid_contents(self):
+        prof = radix_profile(knomial_bcast_time, 8, 64, PR)
+        ks = [k for k, _ in prof.costs]
+        assert 2 in ks and 64 in ks and 3 in ks and 5 in ks
+        assert ks == sorted(ks)
+
+    def test_explicit_grid(self):
+        prof = radix_profile(knomial_bcast_time, 8, 64, PR, ks=[2, 4, 8])
+        assert [k for k, _ in prof.costs] == [2, 4, 8]
+
+    def test_cost_lookup(self):
+        prof = radix_profile(knomial_bcast_time, 8, 64, PR, ks=[2, 4])
+        assert prof.cost_of(4) == knomial_bcast_time(8, 64, 4, PR)
+        with pytest.raises(ModelError):
+            prof.cost_of(16)
+
+    def test_best_accessors_consistent(self):
+        prof = radix_profile(knomial_bcast_time, 1024, 64, PR)
+        assert prof.cost_of(prof.best_k) == prof.best_time
+
+
+class TestPaperIntuition:
+    """§III-D: the models predict large k for small n, small k for large."""
+
+    def test_knomial_small_messages_want_large_radix(self):
+        assert optimal_radix(knomial_bcast_time, 8, 128, PR) >= 64
+
+    def test_knomial_large_messages_want_small_radix(self):
+        assert optimal_radix(knomial_bcast_time, 1 << 22, 128, PR) == 2
+
+    def test_optimal_radix_monotone_down_in_size(self):
+        sizes = [8.0, 1024.0, 65536.0, float(1 << 22)]
+        by_size = optimal_radix_by_size(knomial_bcast_time, sizes, 128, PR)
+        ks = [by_size[n] for n in sizes]
+        assert all(a >= b for a, b in zip(ks, ks[1:]))
+
+    def test_recmul_allreduce_prediction(self):
+        """The analytical model, unlike the hardware, prefers k near p for
+        tiny allreduces — the §VI-C2 divergence the paper highlights."""
+        small_k = optimal_radix(
+            recursive_multiplying_allreduce_time, 8, 128, PR
+        )
+        big_k = optimal_radix(
+            recursive_multiplying_allreduce_time, 1 << 20, 128, PR
+        )
+        assert small_k > big_k
+        assert big_k == 2
+
+    def test_ties_prefer_smaller_k(self):
+        flat_model = lambda n, p, k, pr: 1.0
+        assert optimal_radix(flat_model, 8, 16, PR) == 2
+
+    def test_invalid_p(self):
+        with pytest.raises(ModelError):
+            radix_profile(knomial_bcast_time, 8, 0, PR)

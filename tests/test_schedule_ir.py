@@ -1,0 +1,177 @@
+"""Unit tests for the schedule IR (:mod:`repro.core.schedule`)."""
+
+import pytest
+
+from repro.core.schedule import (
+    CopyOp,
+    RankProgram,
+    RecvOp,
+    Schedule,
+    SendOp,
+    Step,
+)
+from repro.errors import ScheduleError
+
+
+def two_rank_schedule():
+    """rank 0 sends block 0 to rank 1."""
+    p0 = RankProgram(rank=0)
+    p0.add(SendOp(peer=1, blocks=(0,)))
+    p1 = RankProgram(rank=1)
+    p1.add(RecvOp(peer=0, blocks=(0,)))
+    return Schedule(
+        collective="bcast",
+        algorithm="test",
+        nranks=2,
+        nblocks=1,
+        programs=[p0, p1],
+        root=0,
+    )
+
+
+class TestOps:
+    def test_send_requires_blocks(self):
+        with pytest.raises(ScheduleError):
+            SendOp(peer=1, blocks=())
+
+    def test_send_rejects_duplicate_blocks(self):
+        with pytest.raises(ScheduleError):
+            SendOp(peer=1, blocks=(0, 0))
+
+    def test_recv_rejects_duplicate_blocks(self):
+        with pytest.raises(ScheduleError):
+            RecvOp(peer=1, blocks=(2, 2))
+
+    def test_step_requires_ops(self):
+        with pytest.raises(ScheduleError):
+            Step(())
+
+    def test_step_classifies_ops(self):
+        step = Step(
+            (
+                SendOp(peer=1, blocks=(0,)),
+                RecvOp(peer=2, blocks=(1,), reduce=True),
+                CopyOp(src=0, dst=1),
+            )
+        )
+        assert len(step.sends) == 1
+        assert len(step.recvs) == 1
+        assert len(step.copies) == 1
+        assert step.recvs[0].reduce
+
+
+class TestRankProgram:
+    def test_add_step_skips_empty(self):
+        prog = RankProgram(rank=0)
+        prog.add_step([])
+        assert prog.steps == []
+
+    def test_iter_ops_yields_step_indices(self):
+        prog = RankProgram(rank=0)
+        prog.add(SendOp(peer=1, blocks=(0,)))
+        prog.add(RecvOp(peer=1, blocks=(0,)))
+        indices = [i for i, _ in prog.iter_ops()]
+        assert indices == [0, 1]
+
+
+class TestSchedule:
+    def test_valid_schedule_builds(self):
+        sched = two_rank_schedule()
+        assert sched.describe() == "bcast test p=2 root=0"
+
+    def test_program_count_must_match(self):
+        with pytest.raises(ScheduleError):
+            Schedule(
+                collective="bcast",
+                algorithm="t",
+                nranks=3,
+                nblocks=1,
+                programs=[RankProgram(rank=0)],
+            )
+
+    def test_program_rank_mismatch(self):
+        with pytest.raises(ScheduleError):
+            Schedule(
+                collective="bcast",
+                algorithm="t",
+                nranks=2,
+                nblocks=1,
+                programs=[RankProgram(rank=0), RankProgram(rank=0)],
+            )
+
+    def test_peer_out_of_range(self):
+        p0 = RankProgram(rank=0)
+        p0.add(SendOp(peer=5, blocks=(0,)))
+        with pytest.raises(ScheduleError):
+            Schedule(
+                collective="bcast",
+                algorithm="t",
+                nranks=2,
+                nblocks=1,
+                programs=[p0, RankProgram(rank=1)],
+            )
+
+    def test_self_communication_rejected(self):
+        p0 = RankProgram(rank=0)
+        p0.add(SendOp(peer=0, blocks=(0,)))
+        with pytest.raises(ScheduleError):
+            Schedule(
+                collective="bcast",
+                algorithm="t",
+                nranks=2,
+                nblocks=1,
+                programs=[p0, RankProgram(rank=1)],
+            )
+
+    def test_block_out_of_range(self):
+        p0 = RankProgram(rank=0)
+        p0.add(SendOp(peer=1, blocks=(3,)))
+        with pytest.raises(ScheduleError):
+            Schedule(
+                collective="bcast",
+                algorithm="t",
+                nranks=2,
+                nblocks=2,
+                programs=[p0, RankProgram(rank=1)],
+            )
+
+    def test_copy_block_out_of_range(self):
+        p0 = RankProgram(rank=0)
+        p0.add(CopyOp(src=0, dst=9))
+        with pytest.raises(ScheduleError):
+            Schedule(
+                collective="bcast",
+                algorithm="t",
+                nranks=1,
+                nblocks=2,
+                programs=[p0],
+            )
+
+    def test_stats(self):
+        sched = two_rank_schedule()
+        stats = sched.stats()
+        assert stats.messages == 1
+        assert stats.blocks_sent == 1
+        assert stats.max_steps == 1
+        assert stats.reduce_receives == 0
+
+    def test_stats_counts_reduce_receives(self):
+        p0 = RankProgram(rank=0)
+        p0.add(RecvOp(peer=1, blocks=(0,), reduce=True))
+        p1 = RankProgram(rank=1)
+        p1.add(SendOp(peer=0, blocks=(0,)))
+        sched = Schedule(
+            collective="reduce",
+            algorithm="t",
+            nranks=2,
+            nblocks=1,
+            programs=[p0, p1],
+            root=0,
+        )
+        assert sched.stats().reduce_receives == 1
+
+    def test_block_map_partition(self):
+        sched = two_rank_schedule()
+        bm = sched.block_map(100)
+        assert bm.nblocks == 1
+        assert bm.total == 100

@@ -1,0 +1,113 @@
+"""Tests for schedule serialization (:mod:`repro.core.serialize`)."""
+
+import json
+
+import pytest
+
+from repro.core.registry import COLLECTIVES, algorithms_for, build_schedule, info
+from repro.core.serialize import (
+    load_schedule,
+    save_schedule,
+    schedule_from_json,
+    schedule_to_json,
+)
+from repro.core.validate import verify
+from repro.errors import ScheduleError
+
+
+def roundtrip(sched):
+    return schedule_from_json(schedule_to_json(sched))
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "coll,alg,k",
+        [
+            ("bcast", "knomial", 3),
+            ("allreduce", "recursive_multiplying", 4),
+            ("allgather", "kring", 4),
+            ("allreduce", "reduce_scatter_allgather", None),
+            ("alltoall", "bruck", 3),
+            ("barrier", "k_dissemination", 3),
+            ("bcast", "pipelined_chain", 4),
+        ],
+    )
+    def test_structure_preserved(self, coll, alg, k):
+        original = build_schedule(coll, alg, 9, k=k)
+        restored = roundtrip(original)
+        assert restored.collective == original.collective
+        assert restored.algorithm == original.algorithm
+        assert restored.nranks == original.nranks
+        assert restored.nblocks == original.nblocks
+        assert restored.root == original.root
+        assert restored.k == original.k
+        assert [p.steps for p in restored.programs] == [
+            p.steps for p in original.programs
+        ]
+
+    def test_restored_schedule_still_verifies(self):
+        restored = roundtrip(
+            build_schedule("allreduce", "kring", 12, k=4)
+        )
+        verify(restored)
+
+    def test_every_registered_algorithm_roundtrips(self):
+        for coll in COLLECTIVES:
+            for alg in algorithms_for(coll):
+                entry = info(coll, alg)
+                k = entry.default_k if entry.takes_k else None
+                sched = build_schedule(coll, alg, 6, k=k)
+                restored = roundtrip(sched)
+                assert [p.steps for p in restored.programs] == [
+                    p.steps for p in sched.programs
+                ], (coll, alg)
+
+    def test_serialization_is_deterministic(self):
+        a = schedule_to_json(build_schedule("bcast", "binomial", 8))
+        b = schedule_to_json(build_schedule("bcast", "binomial", 8))
+        assert a == b
+
+    def test_meta_tuples_become_lists(self):
+        sched = build_schedule("allreduce", "recursive_multiplying", 9, k=3)
+        payload = json.loads(schedule_to_json(sched))
+        assert payload["meta"]["radices"] == [3, 3]
+
+
+class TestFileIO:
+    def test_save_load(self, tmp_path):
+        sched = build_schedule("reduce", "knomial", 7, k=3, root=2)
+        path = save_schedule(sched, tmp_path / "sched.json")
+        restored = load_schedule(path)
+        assert restored.describe() == sched.describe()
+
+
+class TestRejection:
+    def test_malformed_json(self):
+        with pytest.raises(ScheduleError, match="malformed"):
+            schedule_from_json("{oops")
+
+    def test_missing_programs(self):
+        with pytest.raises(ScheduleError, match="programs"):
+            schedule_from_json('{"format": 1}')
+
+    def test_wrong_format_version(self):
+        text = schedule_to_json(build_schedule("bcast", "binomial", 2))
+        payload = json.loads(text)
+        payload["format"] = 99
+        with pytest.raises(ScheduleError, match="format"):
+            schedule_from_json(json.dumps(payload))
+
+    def test_unknown_op_kind(self):
+        text = schedule_to_json(build_schedule("bcast", "binomial", 2))
+        payload = json.loads(text)
+        payload["programs"][0][0][0]["op"] = "teleport"
+        with pytest.raises(ScheduleError, match="unknown op"):
+            schedule_from_json(json.dumps(payload))
+
+    def test_structurally_invalid_rejected_by_constructor(self):
+        """Tampering with peers must fail Schedule's own validation."""
+        text = schedule_to_json(build_schedule("bcast", "binomial", 2))
+        payload = json.loads(text)
+        payload["programs"][0][0][0]["peer"] = 7
+        with pytest.raises(ScheduleError):
+            schedule_from_json(json.dumps(payload))
