@@ -1,12 +1,17 @@
 # Convenience targets for the common workflows.
 
-.PHONY: install test bench validate experiments tune examples clean
+.PHONY: install test chaos bench validate experiments tune examples clean
 
 install:
 	pip install -e . || python setup.py develop
 
 test:
 	pytest tests/
+
+# Tier 2: the fault-injection sweep (every Table I algorithm x every
+# chaos scenario on both backends). Excluded from plain `make test`.
+chaos:
+	pytest tests/ -m chaos
 
 bench:
 	pytest benchmarks/ --benchmark-only

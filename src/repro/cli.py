@@ -16,6 +16,13 @@ Three console scripts are installed with the package:
     Symbolically verify schedules across a parameter grid (the quick
     confidence check after modifying an algorithm):
     ``repro-validate --collective allreduce --max-p 40``.
+
+``repro-chaos``
+    Sweep seeded fault scenarios (drops, duplicates, degraded links,
+    stragglers, crashes) across the paper's ten generalized algorithms on
+    both backends and check the resilience contract — every case either
+    completes with correct results or raises a structured fault error:
+    ``repro-chaos --p 8 --seed 0``.
 """
 
 from __future__ import annotations
@@ -32,7 +39,7 @@ from .errors import ReproError
 from .selection.tuner import tune
 from .simnet.machines import by_name
 
-__all__ = ["main_bench", "main_tune", "main_validate"]
+__all__ = ["main_bench", "main_tune", "main_validate", "main_chaos"]
 
 
 def main_bench(argv: Optional[List[str]] = None) -> int:
@@ -197,6 +204,66 @@ def main_validate(argv: Optional[List[str]] = None) -> int:
                             return 1
     print(f"verified {count} schedules — all correct")
     return 0
+
+
+def main_chaos(argv: Optional[List[str]] = None) -> int:
+    """``repro-chaos``: fault-injection sweep over the algorithm suite."""
+    parser = argparse.ArgumentParser(
+        prog="repro-chaos",
+        description="Sweep seeded fault scenarios across every generalized "
+        "algorithm on the threaded transport and the simulator, asserting "
+        "each case either completes correctly or fails with a structured "
+        "diagnosis.",
+    )
+    parser.add_argument("--p", type=int, default=8,
+                        help="ranks per schedule (default 8)")
+    parser.add_argument("--count", type=int, default=64,
+                        help="elements per buffer (default 64)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="master seed for every scenario")
+    parser.add_argument("--backend", default=None,
+                        choices=["threaded", "sim"],
+                        help="restrict to one backend (default: both)")
+    parser.add_argument("--scenario", default=None,
+                        help="restrict to one scenario by name")
+    parser.add_argument("--timeout", type=float, default=10.0,
+                        help="per-receive timeout for the threaded "
+                        "transport (seconds)")
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="print every case, not just the summary")
+    args = parser.parse_args(argv)
+
+    from .faults.chaos import default_scenarios, run_chaos, summarize
+
+    scenarios = default_scenarios(args.seed, args.p)
+    if args.scenario is not None:
+        scenarios = tuple(s for s in scenarios if s.name == args.scenario)
+        if not scenarios:
+            known = ", ".join(s.name for s in default_scenarios(args.seed,
+                                                                args.p))
+            print(f"error: unknown scenario {args.scenario!r} "
+                  f"(known: {known})", file=sys.stderr)
+            return 2
+    backends = [args.backend] if args.backend else ["threaded", "sim"]
+    try:
+        results = run_chaos(
+            scenarios,
+            p=args.p,
+            count=args.count,
+            seed=args.seed,
+            backends=backends,
+            timeout=args.timeout,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.verbose:
+        for r in results:
+            print(r.describe())
+        print()
+    print(summarize(results))
+    violations = [r for r in results if not r.ok]
+    return 1 if violations else 0
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation helper

@@ -8,6 +8,8 @@ verification failures or simulator misconfiguration.
 
 from __future__ import annotations
 
+from typing import Optional, Sequence, Tuple
+
 __all__ = [
     "ReproError",
     "ScheduleError",
@@ -16,6 +18,8 @@ __all__ = [
     "MachineError",
     "SelectionError",
     "ModelError",
+    "FaultError",
+    "PartialFailure",
 ]
 
 
@@ -63,3 +67,71 @@ class SelectionError(ReproError):
 class ModelError(ReproError):
     """Raised when an analytical model is evaluated outside its domain
     (e.g. ``p < 2`` or a radix the model does not define)."""
+
+
+class FaultError(ExecutionError):
+    """An injected fault an execution backend could not mask.
+
+    Structured: carries the failing rank, the step it was executing, the
+    peer it was exchanging with, the per-link message sequence number, and
+    how many (re)transmission attempts were made before giving up — the
+    "which op, which peer, how many retries" diagnosis the chaos harness
+    asserts on.  ``kind`` is one of ``"retries_exhausted"``, ``"crash"``,
+    ``"timeout"``, or ``"aborted"``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        kind: str = "fault",
+        rank: Optional[int] = None,
+        step: Optional[int] = None,
+        peer: Optional[int] = None,
+        seq: Optional[int] = None,
+        retries: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.rank = rank
+        self.step = step
+        self.peer = peer
+        self.seq = seq
+        self.retries = retries
+
+    def diagnosis(self) -> str:
+        """One-line machine-parseable summary of the structured fields."""
+        parts = [f"kind={self.kind}"]
+        for label in ("rank", "step", "peer", "seq", "retries"):
+            value = getattr(self, label)
+            if value is not None:
+                parts.append(f"{label}={value}")
+        return " ".join(parts)
+
+
+class PartialFailure(ExecutionError):
+    """A run that some ranks completed and others did not.
+
+    Raised by the threaded transport (and the chaos harness) when injected
+    crashes or exhausted retries take down part of the job while the rest
+    either finished or aborted cleanly.  ``faults`` holds the per-rank
+    :class:`FaultError` diagnoses; ``failed_ranks`` the ranks that hit a
+    primary fault; ``stalled_ranks`` the ranks that were dragged down
+    waiting on a failed peer.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        failed_ranks: Sequence[int] = (),
+        stalled_ranks: Sequence[int] = (),
+        faults: Sequence["FaultError"] = (),
+    ) -> None:
+        detail = ""
+        if faults:
+            detail = "; " + "; ".join(f.diagnosis() for f in faults)
+        super().__init__(message + detail)
+        self.failed_ranks: Tuple[int, ...] = tuple(failed_ranks)
+        self.stalled_ranks: Tuple[int, ...] = tuple(stalled_ranks)
+        self.faults: Tuple[FaultError, ...] = tuple(faults)

@@ -1,0 +1,40 @@
+"""Deterministic fault injection for both execution backends.
+
+Declare *what goes wrong* once — a seeded :class:`FaultPlan` of message
+drops, duplicates, delays, degraded links, stragglers, and rank crashes —
+and hand the same object to the network simulator
+(:func:`repro.simnet.simulate.simulate`) or the threaded transport
+(:class:`repro.runtime.threaded.ThreadedTransport`).  Every decision is a
+pure function of the seed, so runs are exactly reproducible.
+
+The chaos harness lives in :mod:`repro.faults.chaos` (imported lazily to
+keep this package free of backend dependencies).
+"""
+
+from .channel import (
+    POLL_SLICE,
+    ChannelAborted,
+    ChannelBroken,
+    ChannelFailure,
+    ChannelMonitor,
+    ChannelTimeout,
+    LossyChannel,
+)
+from .plan import Crash, FaultPlan, LinkFault, RetryPolicy, Straggler
+from .rng import derive_rng
+
+__all__ = [
+    "FaultPlan",
+    "RetryPolicy",
+    "LinkFault",
+    "Straggler",
+    "Crash",
+    "LossyChannel",
+    "ChannelMonitor",
+    "ChannelFailure",
+    "ChannelTimeout",
+    "ChannelAborted",
+    "ChannelBroken",
+    "POLL_SLICE",
+    "derive_rng",
+]

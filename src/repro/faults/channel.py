@@ -1,0 +1,308 @@
+"""Lossy in-process channels with sequence numbers, acks, and retries.
+
+The threaded transport's original channels were bare ``SimpleQueue``s — a
+perfectly reliable network.  :class:`LossyChannel` keeps the same directed
+(src, dst) FIFO discipline but passes every payload through a
+:class:`~repro.faults.plan.FaultPlan`: transmissions can be dropped or
+duplicated, and delivery is protected by a sliding-window ack/retry
+protocol:
+
+* every payload gets a per-link sequence number,
+* the receiver acks each packet it sees, deduplicates by sequence number,
+  and re-orders out-of-order arrivals (retransmissions can overtake later
+  packets) back into FIFO delivery,
+* a per-transport :class:`ChannelMonitor` daemon retransmits unacked
+  packets after an exponentially backed-off timeout, and after
+  ``max_retries`` declares the channel *broken* with a structured
+  :class:`ChannelFailure` — never a silent hang.
+
+Receives poll in short slices so a transport-wide abort (a crashed peer, a
+broken channel anywhere in the job) propagates to every blocked rank
+within ~2 slices (~100 ms at the default slice) instead of the full
+receive timeout.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from ..errors import MachineError
+from .plan import FaultPlan, RetryPolicy
+
+__all__ = [
+    "ChannelFailure",
+    "ChannelTimeout",
+    "ChannelAborted",
+    "ChannelBroken",
+    "LossyChannel",
+    "ChannelMonitor",
+    "POLL_SLICE",
+]
+
+#: Default polling slice for blocked receives (seconds).  Aborts propagate
+#: within about two slices.
+POLL_SLICE = 0.05
+
+
+@dataclass(frozen=True)
+class ChannelFailure:
+    """Diagnosis of a channel whose retries were exhausted."""
+
+    src: int
+    dst: int
+    seq: int
+    attempts: int
+
+    def describe(self) -> str:
+        return (
+            f"link {self.src}->{self.dst}: message seq={self.seq} lost "
+            f"after {self.attempts} transmission attempt(s)"
+        )
+
+
+class ChannelTimeout(Exception):
+    """A receive exceeded its deadline with no packet and no abort."""
+
+
+class ChannelAborted(Exception):
+    """The transport aborted while this receive was blocked."""
+
+
+class ChannelBroken(Exception):
+    """The channel's retry budget was exhausted; carries the diagnosis."""
+
+    def __init__(self, failure: ChannelFailure) -> None:
+        super().__init__(failure.describe())
+        self.failure = failure
+
+
+class _Packet:
+    __slots__ = ("seq", "attempt", "payload")
+
+    def __init__(self, seq: int, attempt: int, payload: Any) -> None:
+        self.seq = seq
+        self.attempt = attempt
+        self.payload = payload
+
+
+class _InFlight:
+    __slots__ = ("payload", "attempt", "deadline")
+
+    def __init__(self, payload: Any, attempt: int, deadline: float) -> None:
+        self.payload = payload
+        self.attempt = attempt
+        self.deadline = deadline
+
+
+class LossyChannel:
+    """One directed (src, dst) link carrying sequenced, acked packets.
+
+    With ``plan=None`` (or a plan that cannot drop on this link) the
+    channel is *reliable*: sends enqueue exactly one packet and no
+    in-flight tracking happens — the fast path stays one ``put`` and one
+    ``get`` per message, plus the sliced abort polling.
+    """
+
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        plan: Optional[FaultPlan] = None,
+        *,
+        poll_slice: float = POLL_SLICE,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.plan = plan if plan is not None and plan.is_active else None
+        self.policy: RetryPolicy = (
+            self.plan.retry if self.plan is not None else RetryPolicy()
+        )
+        self.poll_slice = poll_slice
+        self.wire: "queue.SimpleQueue[_Packet]" = queue.SimpleQueue()
+        self.failure: Optional[ChannelFailure] = None
+        self.retransmissions = 0
+        self._lock = threading.Lock()
+        self._send_seq = 0
+        self._delivered = 0       # seqs handed to the application
+        self._recv_next = 0       # next seq recv() will release
+        self._stash: Dict[int, Any] = {}  # out-of-order arrivals
+        self._acked: set = set()
+        self._inflight: Dict[int, _InFlight] = {}
+        if self.plan is not None:
+            drop, _ = self.plan._rates(src, dst)
+            self._lossy = drop > 0.0
+        else:
+            self._lossy = False
+
+    # -- sender side ----------------------------------------------------
+
+    def send(self, payload: Any) -> int:
+        """Transmit ``payload``; returns its sequence number.
+
+        Never blocks: loss recovery is the :class:`ChannelMonitor`'s job.
+        """
+        with self._lock:
+            seq = self._send_seq
+            self._send_seq += 1
+            if self._lossy:
+                self._inflight[seq] = _InFlight(
+                    payload, 0, time.monotonic() + self.policy.rto_after(0)
+                )
+        self._transmit(seq, payload, 0)
+        return seq
+
+    def _transmit(self, seq: int, payload: Any, attempt: int) -> None:
+        plan = self.plan
+        if plan is not None:
+            if plan.drops(self.src, self.dst, seq, attempt):
+                return  # lost on the wire; the monitor will retransmit
+            copies = 1 + (
+                plan.duplicates(self.src, self.dst, seq) if attempt == 0 else 0
+            )
+        else:
+            copies = 1
+        for _ in range(copies):
+            self.wire.put(_Packet(seq, attempt, payload))
+
+    # -- receiver side --------------------------------------------------
+
+    def recv(
+        self,
+        timeout: float,
+        abort: Optional[threading.Event] = None,
+    ) -> Any:
+        """Block until the next in-order payload arrives.
+
+        Polls in ``poll_slice`` chunks, raising :class:`ChannelAborted` as
+        soon as ``abort`` is set, :class:`ChannelBroken` when the monitor
+        declared this link dead, and :class:`ChannelTimeout` past
+        ``timeout`` seconds.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            with self._lock:
+                if self._recv_next in self._stash:
+                    payload = self._stash.pop(self._recv_next)
+                    self._recv_next += 1
+                    self._delivered += 1
+                    return payload
+                failure = self.failure
+            if failure is not None:
+                raise ChannelBroken(failure)
+            if abort is not None and abort.is_set():
+                raise ChannelAborted()
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ChannelTimeout()
+            try:
+                pkt = self.wire.get(timeout=min(self.poll_slice, remaining))
+            except queue.Empty:
+                continue
+            with self._lock:
+                self._acked.add(pkt.seq)
+                if pkt.seq >= self._recv_next and pkt.seq not in self._stash:
+                    self._stash[pkt.seq] = pkt.payload
+                # else: duplicate or already-delivered retransmission.
+
+    # -- accounting -----------------------------------------------------
+
+    def undelivered(self) -> int:
+        """Messages sent but not yet handed to the application."""
+        with self._lock:
+            return self._send_seq - self._delivered
+
+    def _expire(self, now: float) -> Optional[ChannelFailure]:
+        """Monitor hook: retransmit overdue packets, reap acked ones.
+
+        Returns a :class:`ChannelFailure` the moment a packet exhausts its
+        retry budget (the channel is marked broken as a side effect).
+        """
+        resend: List[_Packet] = []
+        with self._lock:
+            for seq in list(self._inflight):
+                entry = self._inflight[seq]
+                if seq in self._acked:
+                    del self._inflight[seq]
+                    self._acked.discard(seq)
+                    continue
+                if now < entry.deadline:
+                    continue
+                entry.attempt += 1
+                if entry.attempt > self.policy.max_retries:
+                    failure = ChannelFailure(
+                        src=self.src,
+                        dst=self.dst,
+                        seq=seq,
+                        attempts=entry.attempt,
+                    )
+                    self.failure = failure
+                    del self._inflight[seq]
+                    return failure
+                entry.deadline = now + self.policy.rto_after(entry.attempt)
+                self.retransmissions += 1
+                resend.append(_Packet(seq, entry.attempt, entry.payload))
+        for pkt in resend:
+            self._transmit(pkt.seq, pkt.payload, pkt.attempt)
+        return None
+
+
+class ChannelMonitor:
+    """Daemon thread driving retransmission across a set of channels.
+
+    One monitor serves a whole transport.  Every ``tick`` seconds it scans
+    the lossy channels' in-flight tables, retransmits overdue packets with
+    exponential backoff, and on retry exhaustion invokes ``on_failure``
+    (the transport's abort hook) with the broken channel's diagnosis.
+    """
+
+    def __init__(
+        self,
+        channels: Any,
+        *,
+        on_failure: Optional[Callable[[ChannelFailure], None]] = None,
+        tick: Optional[float] = None,
+    ) -> None:
+        if callable(channels):
+            # Lazy source (e.g. a session creating channels on demand):
+            # re-evaluated every tick.
+            self._source: Callable[[], List[LossyChannel]] = channels
+        else:
+            fixed = [ch for ch in channels if ch._lossy]
+            self._source = lambda: fixed
+        if tick is None:
+            rtos = [ch.policy.rto for ch in self._source()]
+            tick = max(min(rtos) / 4.0, 0.001) if rtos else 0.01
+        if tick <= 0:
+            raise MachineError(f"monitor tick must be > 0, got {tick}")
+        self.tick = tick
+        self.on_failure = on_failure
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-fault-monitor", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.tick):
+            now = time.monotonic()
+            for ch in self._source():
+                if not ch._lossy or ch.failure is not None:
+                    continue
+                failure = ch._expire(now)
+                if failure is not None and self.on_failure is not None:
+                    self.on_failure(failure)

@@ -1,0 +1,322 @@
+"""Declarative, seeded fault plans.
+
+A :class:`FaultPlan` describes *what goes wrong* in a run — message drops,
+duplicates, delays, per-link degradation, per-rank stragglers, rank
+crashes — as data, decoupled from *how* each backend realises it.  The
+same plan object drives both execution backends:
+
+* :func:`repro.simnet.simulate.simulate` charges retransmission latency,
+  degraded-link serialization, and straggler slowdown against the machine
+  model, and turns crashed ranks into clean partial-completion results.
+* :class:`repro.runtime.threaded.ThreadedTransport` drops/duplicates real
+  payloads on its lossy channels and recovers them through an ack/retry
+  protocol with exponential backoff.
+
+Every stochastic decision is a pure function of ``(seed, link, sequence
+number, attempt)`` via the counter-based construction in
+:mod:`repro.faults.rng`, so a plan is exactly reproducible on either
+backend, under any thread interleaving: message ``seq`` on link ``(src,
+dst)`` is dropped in the simulator iff it is dropped in the threaded
+transport.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..errors import MachineError
+from .rng import bernoulli
+
+__all__ = ["RetryPolicy", "LinkFault", "Straggler", "Crash", "FaultPlan"]
+
+# Salts keep the drop / duplicate / delay decision streams independent.
+_SALT_DROP = 1
+_SALT_DUP = 2
+_SALT_DELAY = 3
+
+
+def _check_rate(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise MachineError(f"{name} must be in [0, 1], got {value}")
+
+
+def _check_factor(name: str, value: float) -> None:
+    if value < 1.0:
+        raise MachineError(f"{name} must be >= 1, got {value}")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard a backend fights a lossy link before declaring it dead.
+
+    Parameters
+    ----------
+    max_retries:
+        Retransmissions allowed per message *after* the first attempt;
+        a message makes at most ``max_retries + 1`` trips.
+    rto:
+        Initial retransmission timeout in wall-clock seconds (threaded
+        transport).  The simulator derives its timeout from the machine
+        model instead (≈ one round trip plus serialization), so simulated
+        and wall time never mix.
+    backoff:
+        Exponential backoff multiplier applied per retry.
+    max_rto:
+        Cap on the backed-off timeout (seconds, threaded transport).
+    """
+
+    max_retries: int = 6
+    rto: float = 0.05
+    backoff: float = 2.0
+    max_rto: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise MachineError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.rto <= 0:
+            raise MachineError(f"rto must be > 0, got {self.rto}")
+        if self.backoff < 1.0:
+            raise MachineError(f"backoff must be >= 1, got {self.backoff}")
+        if self.max_rto < self.rto:
+            raise MachineError(
+                f"max_rto {self.max_rto} must be >= rto {self.rto}"
+            )
+
+    def rto_after(self, attempt: int) -> float:
+        """Backed-off timeout (seconds) following transmission ``attempt``."""
+        return min(self.rto * self.backoff**attempt, self.max_rto)
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """Degradation of one directed link ``src -> dst``.
+
+    ``drop_rate``/``dup_rate`` add to the plan-wide rates (as independent
+    events); ``delay_factor`` multiplies the link's latency
+    unconditionally; ``bandwidth_factor`` multiplies its serialization
+    cost (2.0 = the link moves bytes at half speed).
+    """
+
+    src: int
+    dst: int
+    drop_rate: float = 0.0
+    dup_rate: float = 0.0
+    delay_factor: float = 1.0
+    bandwidth_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.src < 0 or self.dst < 0:
+            raise MachineError(f"link endpoints must be >= 0, got "
+                               f"({self.src}, {self.dst})")
+        if self.src == self.dst:
+            raise MachineError(f"link fault on self-loop {self.src}")
+        _check_rate("link drop_rate", self.drop_rate)
+        _check_rate("link dup_rate", self.dup_rate)
+        _check_factor("link delay_factor", self.delay_factor)
+        _check_factor("link bandwidth_factor", self.bandwidth_factor)
+
+
+@dataclass(frozen=True)
+class Straggler:
+    """Rank ``rank`` runs ``factor`` times slower than its peers.
+
+    The simulator scales the rank's injection overhead, its sender-side
+    per-message latency, and its reduction compute; the threaded
+    transport sleeps ``plan.straggler_step_delay * (factor - 1)`` wall
+    seconds per step.
+    """
+
+    rank: int
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise MachineError(f"straggler rank must be >= 0, got {self.rank}")
+        _check_factor("straggler factor", self.factor)
+
+
+@dataclass(frozen=True)
+class Crash:
+    """Rank ``rank`` dies immediately before executing step ``step``."""
+
+    rank: int
+    step: int
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise MachineError(f"crash rank must be >= 0, got {self.rank}")
+        if self.step < 0:
+            raise MachineError(f"crash step must be >= 0, got {self.step}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, seeded description of injected faults.
+
+    Parameters
+    ----------
+    drop_rate:
+        Probability each transmission attempt of a message is lost.
+        Retransmission draws are independent, so with retries a message
+        survives any ``drop_rate < 1`` link with probability
+        ``1 - drop_rate ** (max_retries + 1)``.
+    dup_rate:
+        Probability a message's first transmission is delivered twice
+        (the receiver deduplicates by sequence number).
+    delay_rate / delay_factor:
+        With probability ``delay_rate`` a message's latency is multiplied
+        by ``delay_factor``.
+    seed:
+        Master seed; all decisions derive from it deterministically.
+    links / stragglers / crashes:
+        Per-link, per-rank, and crash fault declarations (see
+        :class:`LinkFault`, :class:`Straggler`, :class:`Crash`).
+    retry:
+        The :class:`RetryPolicy` backends use to recover from drops.
+    straggler_step_delay:
+        Wall-clock unit (seconds) the threaded transport sleeps per step
+        per unit of straggler factor above 1.
+    """
+
+    drop_rate: float = 0.0
+    dup_rate: float = 0.0
+    delay_rate: float = 0.0
+    delay_factor: float = 4.0
+    seed: int = 0
+    links: Tuple[LinkFault, ...] = ()
+    stragglers: Tuple[Straggler, ...] = ()
+    crashes: Tuple[Crash, ...] = ()
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    straggler_step_delay: float = 0.001
+
+    def __post_init__(self) -> None:
+        _check_rate("drop_rate", self.drop_rate)
+        _check_rate("dup_rate", self.dup_rate)
+        _check_rate("delay_rate", self.delay_rate)
+        _check_factor("delay_factor", self.delay_factor)
+        if self.straggler_step_delay < 0:
+            raise MachineError(
+                f"straggler_step_delay must be >= 0, got "
+                f"{self.straggler_step_delay}"
+            )
+        object.__setattr__(
+            self, "_links", {(lf.src, lf.dst): lf for lf in self.links}
+        )
+        if len(self._links) != len(self.links):  # type: ignore[attr-defined]
+            raise MachineError("duplicate LinkFault for the same (src, dst)")
+        object.__setattr__(
+            self, "_stragglers", {s.rank: s.factor for s in self.stragglers}
+        )
+        object.__setattr__(
+            self, "_crashes", {c.rank: c.step for c in self.crashes}
+        )
+        if len(self._crashes) != len(self.crashes):  # type: ignore[attr-defined]
+            raise MachineError("duplicate Crash for the same rank")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def is_active(self) -> bool:
+        """Whether this plan injects anything at all."""
+        return bool(
+            self.drop_rate
+            or self.dup_rate
+            or self.delay_rate
+            or self.links
+            or self.stragglers
+            or self.crashes
+        )
+
+    @property
+    def has_loss(self) -> bool:
+        """Whether any link can drop messages (retry machinery needed)."""
+        return bool(
+            self.drop_rate or any(lf.drop_rate for lf in self.links)
+        )
+
+    def link(self, src: int, dst: int) -> Optional[LinkFault]:
+        """The per-link fault declared for ``src -> dst``, if any."""
+        return self._links.get((src, dst))  # type: ignore[attr-defined]
+
+    def describe(self) -> str:
+        parts = []
+        if self.drop_rate:
+            parts.append(f"drop={self.drop_rate:g}")
+        if self.dup_rate:
+            parts.append(f"dup={self.dup_rate:g}")
+        if self.delay_rate:
+            parts.append(
+                f"delay={self.delay_rate:g}x{self.delay_factor:g}"
+            )
+        if self.links:
+            parts.append(f"{len(self.links)} degraded link(s)")
+        if self.stragglers:
+            parts.append(f"{len(self.stragglers)} straggler(s)")
+        if self.crashes:
+            parts.append(f"{len(self.crashes)} crash(es)")
+        body = ", ".join(parts) if parts else "no faults"
+        return f"FaultPlan(seed={self.seed}: {body})"
+
+    # ------------------------------------------------------------------
+    # Deterministic per-message decisions
+    # ------------------------------------------------------------------
+
+    def _rates(self, src: int, dst: int) -> Tuple[float, float]:
+        """Effective (drop, dup) rates on ``src -> dst`` (independent
+        combination of the plan-wide and per-link rates)."""
+        lf = self.link(src, dst)
+        if lf is None:
+            return self.drop_rate, self.dup_rate
+        drop = 1.0 - (1.0 - self.drop_rate) * (1.0 - lf.drop_rate)
+        dup = 1.0 - (1.0 - self.dup_rate) * (1.0 - lf.dup_rate)
+        return drop, dup
+
+    def drops(self, src: int, dst: int, seq: int, attempt: int) -> bool:
+        """Whether transmission ``attempt`` of message ``seq`` on
+        ``src -> dst`` is lost."""
+        drop, _ = self._rates(src, dst)
+        return bernoulli(drop, self.seed, _SALT_DROP, src, dst, seq, attempt)
+
+    def duplicates(self, src: int, dst: int, seq: int) -> int:
+        """Extra delivered copies of message ``seq`` (0 or 1)."""
+        _, dup = self._rates(src, dst)
+        return int(bernoulli(dup, self.seed, _SALT_DUP, src, dst, seq))
+
+    def delay(self, src: int, dst: int, seq: int) -> float:
+        """Multiplicative latency factor for message ``seq`` (>= 1)."""
+        factor = 1.0
+        lf = self.link(src, dst)
+        if lf is not None:
+            factor *= lf.delay_factor
+        if self.delay_rate and bernoulli(
+            self.delay_rate, self.seed, _SALT_DELAY, src, dst, seq
+        ):
+            factor *= self.delay_factor
+        return factor
+
+    def bandwidth_penalty(self, src: int, dst: int) -> float:
+        """Serialization-cost multiplier for the link (>= 1)."""
+        lf = self.link(src, dst)
+        return lf.bandwidth_factor if lf is not None else 1.0
+
+    def attempts_needed(self, src: int, dst: int, seq: int) -> Optional[int]:
+        """Index of the first surviving transmission of message ``seq``
+        under :attr:`retry`, or ``None`` if every attempt is dropped
+        (the link is effectively dead for this message)."""
+        for attempt in range(self.retry.max_retries + 1):
+            if not self.drops(src, dst, seq, attempt):
+                return attempt
+        return None
+
+    def straggler_factor(self, rank: int) -> float:
+        """Slowdown factor for ``rank`` (1.0 = full speed)."""
+        return self._stragglers.get(rank, 1.0)  # type: ignore[attr-defined]
+
+    def crash_step(self, rank: int) -> Optional[int]:
+        """The step before which ``rank`` crashes, or ``None``."""
+        return self._crashes.get(rank)  # type: ignore[attr-defined]

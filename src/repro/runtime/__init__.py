@@ -24,7 +24,11 @@ from .ops import (
     ReduceOp,
     by_name,
 )
-from .threaded import ThreadedTransport, execute_threaded
+from .threaded import (
+    ThreadedTransport,
+    execute_threaded,
+    run_collective_threaded,
+)
 
 __all__ = [
     "ReduceOp",
@@ -51,6 +55,7 @@ __all__ = [
     "CollectiveRun",
     "ThreadedTransport",
     "execute_threaded",
+    "run_collective_threaded",
     "Session",
     "Comm",
 ]

@@ -34,8 +34,8 @@ the same order.
 
 from __future__ import annotations
 
-import queue
 import threading
+import time
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -43,7 +43,15 @@ import numpy as np
 from ..core.blocks import BlockMap
 from ..core.registry import build_schedule, info
 from ..core.schedule import CopyOp, RecvOp, Schedule, SendOp
-from ..errors import ExecutionError
+from ..errors import ExecutionError, FaultError, PartialFailure
+from ..faults.channel import (
+    ChannelAborted,
+    ChannelBroken,
+    ChannelMonitor,
+    ChannelTimeout,
+    LossyChannel,
+)
+from ..faults.plan import FaultPlan
 from ..selection.defaults import mpich_policy
 from ..selection.table import SelectionTable
 from .ops import SUM, ReduceOp
@@ -54,11 +62,21 @@ __all__ = ["Session", "Comm"]
 class _Shared:
     """Session state shared by all rank threads."""
 
-    def __init__(self, nranks: int, table: SelectionTable, timeout: float) -> None:
+    def __init__(
+        self,
+        nranks: int,
+        table: SelectionTable,
+        timeout: float,
+        faults: Optional[FaultPlan] = None,
+    ) -> None:
         self.nranks = nranks
         self.table = table
         self.timeout = timeout
-        self._channels: Dict[Tuple[int, int], "queue.SimpleQueue[np.ndarray]"] = {}
+        self.faults = faults if faults is not None and faults.is_active else None
+        # One collective-call counter per rank; each rank thread only ever
+        # touches its own slot (crash/straggler faults index by call).
+        self.call_counts = [0] * nranks
+        self._channels: Dict[Tuple[int, int], LossyChannel] = {}
         self._channel_lock = threading.Lock()
         self._schedules: Dict[Tuple, Schedule] = {}
         self._schedule_lock = threading.Lock()
@@ -88,13 +106,20 @@ class _Shared:
         barrier.wait(timeout=self.timeout)
         return table
 
-    def channel(self, src: int, dst: int) -> "queue.SimpleQueue[np.ndarray]":
+    def channel(self, src: int, dst: int) -> LossyChannel:
         key = (src, dst)
         ch = self._channels.get(key)
         if ch is None:
             with self._channel_lock:
-                ch = self._channels.setdefault(key, queue.SimpleQueue())
+                ch = self._channels.setdefault(
+                    key, LossyChannel(src, dst, self.faults)
+                )
         return ch
+
+    def live_channels(self) -> List[LossyChannel]:
+        """Monitor hook: snapshot of the channels created so far."""
+        with self._channel_lock:
+            return list(self._channels.values())
 
     def schedule(self, key: Tuple, build: Callable[[], Schedule]) -> Schedule:
         """Schedules are deterministic, but sharing one copy across ranks
@@ -355,17 +380,30 @@ class Comm:
             assert total is not None
             for dst in self._members:
                 if dst != root_g:
-                    shared.channel(root_g, dst).put(
+                    shared.channel(root_g, dst).send(
                         np.array([total], dtype=np.int64)
                     )
             return total
         try:
-            msg = shared.channel(root_g, self.global_rank).get(
-                timeout=shared.timeout
+            msg = shared.channel(root_g, self.global_rank).recv(
+                shared.timeout, abort=shared.abort
             )
-        except queue.Empty:
+        except ChannelTimeout:
             raise ExecutionError(
                 f"{collective}: timed out waiting for the root's count"
+            ) from None
+        except ChannelAborted:
+            raise ExecutionError(
+                "session aborted by another rank"
+            ) from None
+        except ChannelBroken as broken:
+            raise FaultError(
+                f"{collective}: {broken.failure.describe()}",
+                kind="retries_exhausted",
+                rank=self.global_rank,
+                peer=root_g,
+                seq=broken.failure.seq,
+                retries=broken.failure.attempts,
             ) from None
         return int(msg[0])
 
@@ -375,6 +413,24 @@ class Comm:
         shared = self._shared
         p = self.size
         n = count if count is not None else len(buf)
+        faults = shared.faults
+        if faults is not None:
+            # At session level, Crash.step / straggler slowdown index the
+            # rank's Nth collective call (schedules vary per call, so a
+            # schedule-step index would be meaningless here).
+            call_idx = shared.call_counts[self.global_rank]
+            shared.call_counts[self.global_rank] = call_idx + 1
+            if faults.crash_step(self.global_rank) == call_idx:
+                raise FaultError(
+                    f"rank {self.global_rank} crashed before collective "
+                    f"call {call_idx} ({collective}) (injected)",
+                    kind="crash",
+                    rank=self.global_rank,
+                    step=call_idx,
+                )
+            slowdown = faults.straggler_factor(self.global_rank)
+            if slowdown > 1.0:
+                time.sleep(faults.straggler_step_delay * (slowdown - 1.0))
         if p == 1:
             return buf
         choice = shared.table.select(collective, p, n * buf.itemsize)
@@ -414,7 +470,7 @@ class Comm:
                     payload = np.concatenate(
                         [buf[slice(*blocks.range_of(b))] for b in sop.blocks]
                     )
-                    shared.channel(rank, sop.peer).put(payload)
+                    shared.channel(rank, sop.peer).send(payload)
                 elif isinstance(sop, CopyOp):
                     s0, s1 = blocks.range_of(sop.src)
                     d0, d1 = blocks.range_of(sop.dst)
@@ -422,15 +478,30 @@ class Comm:
             for sop in step.ops:
                 if isinstance(sop, RecvOp):
                     try:
-                        payload = shared.channel(sop.peer, rank).get(
-                            timeout=shared.timeout
+                        payload = shared.channel(sop.peer, rank).recv(
+                            shared.timeout, abort=shared.abort
                         )
-                    except queue.Empty:
+                    except ChannelTimeout:
                         shared.abort.set()
                         raise ExecutionError(
                             f"{sched.describe()}: rank {rank} step "
                             f"{step_idx} timed out waiting on rank "
                             f"{sop.peer}"
+                        ) from None
+                    except ChannelAborted:
+                        raise ExecutionError(
+                            "session aborted by another rank"
+                        ) from None
+                    except ChannelBroken as broken:
+                        raise FaultError(
+                            f"{sched.describe()}: rank {rank} step "
+                            f"{step_idx}: {broken.failure.describe()}",
+                            kind="retries_exhausted",
+                            rank=rank,
+                            step=step_idx,
+                            peer=sop.peer,
+                            seq=broken.failure.seq,
+                            retries=broken.failure.attempts,
                         ) from None
                     pos = 0
                     for b in sop.blocks:
@@ -457,6 +528,15 @@ class Session:
     timeout:
         Per-receive timeout (seconds) before the session aborts with a
         deadlock diagnosis.
+    faults:
+        Optional :class:`~repro.faults.plan.FaultPlan` — the same object
+        the simulator and threaded transport accept.  Link-level faults
+        (drops, duplicates) are recovered by the ack/retry protocol; for
+        :class:`~repro.faults.plan.Crash` and
+        :class:`~repro.faults.plan.Straggler` the ``step`` index denotes
+        the rank's Nth *collective call* (sessions run many schedules, so
+        schedule-step indices would be meaningless).  Unmaskable faults
+        raise a structured :class:`~repro.errors.PartialFailure`.
     """
 
     def __init__(
@@ -465,22 +545,35 @@ class Session:
         *,
         table: Optional[SelectionTable] = None,
         timeout: float = 30.0,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         if nranks < 1:
             raise ExecutionError(f"nranks must be >= 1, got {nranks}")
         self.nranks = nranks
         self.table = table or mpich_policy()
         self.timeout = timeout
+        self.faults = faults
 
     def run(self, fn: Callable[[Comm], object]) -> List[object]:
         """Run ``fn(comm)`` on every rank; returns per-rank results.
 
-        The first rank exception aborts the whole session and re-raises.
+        The first rank exception aborts the whole session and re-raises;
+        injected faults surface as a :class:`~repro.errors.PartialFailure`
+        aggregating every rank's structured diagnosis.
         """
-        shared = _Shared(self.nranks, self.table, self.timeout)
+        shared = _Shared(self.nranks, self.table, self.timeout, self.faults)
         results: List[object] = [None] * self.nranks
         failures: List[Tuple[int, BaseException]] = []
         lock = threading.Lock()
+
+        monitor: Optional[ChannelMonitor] = None
+        if shared.faults is not None and shared.faults.has_loss:
+            monitor = ChannelMonitor(
+                shared.live_channels,
+                on_failure=lambda failure: shared.abort.set(),
+                tick=max(shared.faults.retry.rto / 4.0, 0.001),
+            )
+            monitor.start()
 
         def worker(rank: int) -> None:
             try:
@@ -495,14 +588,34 @@ class Session:
                              name=f"repro-session-{r}")
             for r in range(self.nranks)
         ]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join(timeout=self.timeout + 5.0)
-            if t.is_alive():
-                shared.abort.set()
-                raise ExecutionError(f"session thread {t.name} hung")
+        try:
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=self.timeout + 5.0)
+                if t.is_alive():
+                    shared.abort.set()
+                    raise ExecutionError(f"session thread {t.name} hung")
+        finally:
+            if monitor is not None:
+                monitor.stop()
         if failures:
+            primary = [
+                (rank, exc)
+                for rank, exc in failures
+                if isinstance(exc, FaultError)
+            ]
+            if primary:
+                raise PartialFailure(
+                    f"session: rank(s) {sorted(r for r, _ in primary)} "
+                    f"failed under injected faults",
+                    failed_ranks=sorted(r for r, _ in primary),
+                    stalled_ranks=sorted(
+                        r for r, exc in failures
+                        if not isinstance(exc, FaultError)
+                    ),
+                    faults=[exc for _, exc in primary],
+                )
             rank, exc = failures[0]
             raise ExecutionError(f"rank {rank} failed: {exc}") from exc
         return results

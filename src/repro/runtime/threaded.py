@@ -3,12 +3,24 @@
 Where :mod:`repro.runtime.executor` runs schedules under a cooperative
 progress loop, this module runs them the way an MPI job actually would: one
 worker per rank, each independently walking its own program and blocking on
-channel receives.  Channels are per-(src, dst) FIFO queues, so the MPI
+channel receives.  Channels are per-(src, dst) FIFO
+:class:`~repro.faults.channel.LossyChannel` objects, so the MPI
 non-overtaking rule holds by construction while *everything else* — step
 interleaving across ranks, send/receive timing — is at the mercy of the OS
 scheduler.  Bugs that a lockstep executor can mask (missing waits, matching
 that only works under one interleaving) surface here as mismatched data or
 a deadlock timeout.
+
+Resilience: pass a :class:`~repro.faults.plan.FaultPlan` and the transport
+becomes a lossy network.  Sends carry sequence numbers and may be dropped
+or duplicated per the plan; a monitor daemon retransmits unacked packets
+with exponential backoff, so schedules complete *correctly* under injected
+loss — or, once a message exhausts its retry budget or a rank crashes,
+fail fast with a structured per-rank diagnosis
+(:class:`~repro.errors.FaultError` inside a
+:class:`~repro.errors.PartialFailure`): which op, which peer, how many
+retries.  Never a silent hang — blocked receives poll in short slices, so
+an abort anywhere in the job unblocks every rank within ~100 ms.
 
 Python's GIL serializes the NumPy work, but that is irrelevant for what
 this transport is for: exercising the *ordering* semantics of schedules
@@ -17,20 +29,31 @@ under real asynchrony.  (Timing fidelity is the simulator's job.)
 
 from __future__ import annotations
 
-import queue
 import threading
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..core.blocks import BlockMap
 from ..core.schedule import CopyOp, RecvOp, Schedule, SendOp
-from ..errors import ExecutionError
+from ..errors import ExecutionError, FaultError, PartialFailure
+from ..faults.channel import (
+    ChannelAborted,
+    ChannelBroken,
+    ChannelMonitor,
+    ChannelTimeout,
+    LossyChannel,
+)
+from ..faults.plan import FaultPlan
 from .executor import NumpyModel
 from .ops import SUM, ReduceOp
 
-__all__ = ["ThreadedTransport", "execute_threaded"]
+__all__ = [
+    "ThreadedTransport",
+    "execute_threaded",
+    "run_collective_threaded",
+]
 
 
 @dataclass
@@ -50,18 +73,34 @@ class ThreadedTransport:
         Per-receive timeout in seconds.  A blocked receive exceeding it
         aborts the run with a deadlock diagnosis (a correct schedule on an
         unloaded machine completes receives in microseconds; the default
-        leaves three orders of magnitude of headroom).
+        leaves three orders of magnitude of headroom).  Receives poll in
+        short slices underneath, so a failure elsewhere in the job
+        propagates within ~100 ms rather than the full timeout.
+    faults:
+        Optional :class:`~repro.faults.plan.FaultPlan`.  Message drops are
+        recovered transparently by ack/retry with exponential backoff (the
+        plan's :class:`~repro.faults.plan.RetryPolicy`); exhausted retries
+        and rank crashes raise a structured
+        :class:`~repro.errors.PartialFailure`.
     """
 
-    def __init__(self, schedule: Schedule, *, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        schedule: Schedule,
+        *,
+        timeout: float = 30.0,
+        faults: Optional[FaultPlan] = None,
+    ) -> None:
         self.schedule = schedule
         self.timeout = timeout
-        self._channels: Dict[Tuple[int, int], "queue.SimpleQueue[np.ndarray]"] = {}
+        self.faults = faults if faults is not None and faults.is_active else None
+        self._channels: Dict[Tuple[int, int], LossyChannel] = {}
         self._failures: List[_RankFailure] = []
+        self._aborted_ranks: List[int] = []
         self._failure_lock = threading.Lock()
         self._abort = threading.Event()
 
-    def _channel(self, src: int, dst: int) -> "queue.SimpleQueue[np.ndarray]":
+    def _channel(self, src: int, dst: int) -> LossyChannel:
         # Channels are created up front in run(), so worker threads only
         # ever read this dict — no lock needed on the hot path.
         return self._channels[(src, dst)]
@@ -84,8 +123,17 @@ class ThreadedTransport:
             for _, sop in prog.iter_ops():
                 if isinstance(sop, SendOp):
                     self._channels.setdefault(
-                        (prog.rank, sop.peer), queue.SimpleQueue()
+                        (prog.rank, sop.peer),
+                        LossyChannel(prog.rank, sop.peer, self.faults),
                     )
+
+        monitor: Optional[ChannelMonitor] = None
+        if self.faults is not None and self.faults.has_loss:
+            monitor = ChannelMonitor(
+                list(self._channels.values()),
+                on_failure=lambda failure: self._abort.set(),
+            )
+            monitor.start()
 
         threads = [
             threading.Thread(
@@ -96,31 +144,100 @@ class ThreadedTransport:
             )
             for rank in range(sched.nranks)
         ]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join(timeout=self.timeout + 5.0)
-            if t.is_alive():
-                self._abort.set()
-                raise ExecutionError(
-                    f"{sched.describe()}: thread {t.name} failed to finish"
+        try:
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=self.timeout + 5.0)
+                if t.is_alive():
+                    self._abort.set()
+                    raise ExecutionError(
+                        f"{sched.describe()}: thread {t.name} failed to finish"
+                    )
+        finally:
+            if monitor is not None:
+                monitor.stop()
+        self._raise_failures()
+        return buffers
+
+    def _raise_failures(self) -> None:
+        """Convert collected per-rank failures into one structured error."""
+        sched = self.schedule
+        faults = [
+            f for f in self._failures if isinstance(f.error, FaultError)
+        ]
+        # Retry exhaustion detected by the monitor while no rank was
+        # blocked on that exact channel: synthesize the diagnosis from the
+        # channel's own record so it is never lost.
+        reported = {
+            (f.error.peer, f.error.rank, f.error.seq) for f in faults
+        }
+        for ch in self._channels.values():
+            failure = ch.failure
+            if failure is None:
+                continue
+            if (failure.src, failure.dst, failure.seq) in reported:
+                continue
+            faults.append(
+                _RankFailure(
+                    rank=failure.dst,
+                    error=FaultError(
+                        failure.describe(),
+                        kind="retries_exhausted",
+                        rank=failure.dst,
+                        peer=failure.src,
+                        seq=failure.seq,
+                        retries=failure.attempts,
+                    ),
                 )
+            )
+        if faults:
+            failed = sorted({f.rank for f in faults})
+            with self._failure_lock:
+                stalled = sorted(
+                    set(self._aborted_ranks) - set(failed)
+                )
+            raise PartialFailure(
+                f"{sched.describe()}: rank(s) {failed} failed under "
+                f"injected faults ({len(stalled)} peer(s) aborted)",
+                failed_ranks=failed,
+                stalled_ranks=stalled,
+                faults=[f.error for f in faults],  # type: ignore[misc]
+            )
         if self._failures:
             first = self._failures[0]
             raise ExecutionError(
                 f"{sched.describe()}: rank {first.rank} failed: {first.error}"
             ) from first.error
-        return buffers
 
     def _worker(self, rank: int, model: NumpyModel) -> None:
+        faults = self.faults
+        crash_at = faults.crash_step(rank) if faults is not None else None
+        straggle = 0.0
+        if faults is not None:
+            straggle = faults.straggler_step_delay * (
+                faults.straggler_factor(rank) - 1.0
+            )
         try:
             for step_idx, step in enumerate(self.schedule.programs[rank].steps):
                 if self._abort.is_set():
+                    with self._failure_lock:
+                        self._aborted_ranks.append(rank)
                     return
+                if crash_at is not None and step_idx == crash_at:
+                    raise FaultError(
+                        f"rank {rank} crashed before step {step_idx} "
+                        f"(injected)",
+                        kind="crash",
+                        rank=rank,
+                        step=step_idx,
+                    )
+                if straggle > 0.0:
+                    time.sleep(straggle)
                 # Post phase: snapshot + enqueue all sends, apply copies.
                 for sop in step.ops:
                     if isinstance(sop, SendOp):
-                        self._channel(rank, sop.peer).put(
+                        self._channel(rank, sop.peer).send(
                             model.snapshot(rank, sop)
                         )
                 for sop in step.ops:
@@ -129,31 +246,56 @@ class ThreadedTransport:
                 # Wait phase: drain receives in op order (FIFO per channel).
                 for sop in step.ops:
                     if isinstance(sop, RecvOp):
-                        try:
-                            payload = self._channel(sop.peer, rank).get(
-                                timeout=self.timeout
-                            )
-                        except queue.Empty:
-                            raise ExecutionError(
-                                f"rank {rank} step {step_idx}: timed out "
-                                f"waiting for blocks {list(sop.blocks)} "
-                                f"from rank {sop.peer}"
-                            ) from None
-                        except KeyError:
-                            raise ExecutionError(
-                                f"rank {rank} step {step_idx}: no channel "
-                                f"{sop.peer}->{rank} exists (receive with "
-                                f"no matching send)"
-                            ) from None
+                        payload = self._recv(rank, step_idx, sop)
+                        if payload is None:
+                            return  # aborted: primary failure is elsewhere
                         model.apply_recv(rank, sop, payload)
         except BaseException as exc:  # propagate to run()
             with self._failure_lock:
                 self._failures.append(_RankFailure(rank=rank, error=exc))
             self._abort.set()
 
+    def _recv(self, rank: int, step_idx: int, sop: RecvOp):
+        """One receive with sliced polling and structured failure modes.
+
+        Returns the payload, or ``None`` when the run was aborted by a
+        failure on another rank (the worker then exits quietly — the
+        primary diagnosis is already recorded).
+        """
+        try:
+            channel = self._channel(sop.peer, rank)
+        except KeyError:
+            raise ExecutionError(
+                f"rank {rank} step {step_idx}: no channel "
+                f"{sop.peer}->{rank} exists (receive with "
+                f"no matching send)"
+            ) from None
+        try:
+            return channel.recv(self.timeout, abort=self._abort)
+        except ChannelTimeout:
+            raise ExecutionError(
+                f"rank {rank} step {step_idx}: timed out "
+                f"waiting for blocks {list(sop.blocks)} "
+                f"from rank {sop.peer}"
+            ) from None
+        except ChannelBroken as broken:
+            raise FaultError(
+                f"rank {rank} step {step_idx}: {broken.failure.describe()}",
+                kind="retries_exhausted",
+                rank=rank,
+                step=step_idx,
+                peer=sop.peer,
+                seq=broken.failure.seq,
+                retries=broken.failure.attempts,
+            ) from None
+        except ChannelAborted:
+            with self._failure_lock:
+                self._aborted_ranks.append(rank)
+            return None
+
     def leftover_messages(self) -> int:
         """Messages sent but never received (0 for a matched schedule)."""
-        return sum(q.qsize() for q in self._channels.values())
+        return sum(ch.undelivered() for ch in self._channels.values())
 
 
 def execute_threaded(
@@ -162,10 +304,11 @@ def execute_threaded(
     *,
     op: ReduceOp = SUM,
     timeout: float = 30.0,
+    faults: Optional[FaultPlan] = None,
 ) -> List[np.ndarray]:
     """Convenience wrapper: run ``schedule`` on a fresh threaded transport
     and verify no messages were left unconsumed."""
-    transport = ThreadedTransport(schedule, timeout=timeout)
+    transport = ThreadedTransport(schedule, timeout=timeout, faults=faults)
     transport.run(buffers, op=op)
     leftovers = transport.leftover_messages()
     if leftovers:
@@ -173,4 +316,49 @@ def execute_threaded(
             f"{schedule.describe()}: {leftovers} message(s) sent but never "
             f"received"
         )
+    return buffers
+
+
+def run_collective_threaded(
+    collective: str,
+    algorithm: str,
+    p: int,
+    count: int,
+    *,
+    k: Optional[int] = None,
+    root: int = 0,
+    op: ReduceOp = SUM,
+    seed: int = 0,
+    timeout: float = 30.0,
+    faults: Optional[FaultPlan] = None,
+    check: bool = True,
+) -> List[np.ndarray]:
+    """End-to-end: build a schedule, run it over real threads on random
+    data, and check the result against the NumPy reference.
+
+    The threaded counterpart of
+    :func:`repro.runtime.executor.run_collective`, and the one-call way to
+    exercise a :class:`~repro.faults.plan.FaultPlan`: injected loss is
+    recovered by ack/retry (results stay element-exact), unmaskable
+    faults raise a structured :class:`~repro.errors.PartialFailure`.
+    """
+    from ..core.registry import build_schedule
+    from .buffers import (
+        check_outputs,
+        initial_buffers,
+        make_inputs,
+        reference_result,
+    )
+
+    schedule = build_schedule(collective, algorithm, p, k=k, root=root)
+    rng = np.random.default_rng(seed)
+    inputs = make_inputs(collective, p, count, root=root, rng=rng)
+    buffers = initial_buffers(schedule, inputs, count)
+    execute_threaded(
+        schedule, buffers, op=op, timeout=timeout, faults=faults
+    )
+    if check:
+        expected = reference_result(collective, inputs, count, op=op,
+                                    root=root)
+        check_outputs(schedule, buffers, expected, count)
     return buffers

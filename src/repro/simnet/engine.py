@@ -144,7 +144,7 @@ class Process:
     resource as value (for symmetry; release is explicit).
     """
 
-    __slots__ = ("engine", "gen", "done", "name")
+    __slots__ = ("engine", "gen", "done", "name", "waiting_on")
 
     def __init__(self, engine: "Engine", gen: Generator[Any, Any, None],
                  name: str = "") -> None:
@@ -152,16 +152,20 @@ class Process:
         self.gen = gen
         self.done = Event(engine)
         self.name = name
+        self.waiting_on: Optional[str] = None
         engine._pending += 1
+        engine._live.append(self)
         self._advance(None)
 
     def _advance(self, value: Any) -> None:
+        self.waiting_on = None
         try:
             waitable = self.gen.send(value)
         except StopIteration:
             self.engine._pending -= 1
             self.done.trigger()
             return
+        self.waiting_on = _describe_waitable(waitable)
         self._wait(waitable)
 
     def _wait(self, waitable: Any) -> None:
@@ -202,16 +206,34 @@ class Process:
             raise MachineError(f"cannot wait on {type(waitable).__name__}")
 
 
+def _describe_waitable(waitable: Any) -> str:
+    """Human-readable label for a deadlock diagnosis."""
+    if isinstance(waitable, Timeout):
+        return f"timeout({waitable.delay:.3g}s)"
+    if isinstance(waitable, Acquire):
+        return f"acquire({waitable.resource.name or 'resource'})"
+    if isinstance(waitable, AllOf):
+        pending = sum(
+            1 for c in waitable.children
+            if isinstance(c, Event) and not c.triggered
+        )
+        return f"all_of({len(waitable.children)} waitables, {pending} pending)"
+    if isinstance(waitable, Event):
+        return "event"
+    return type(waitable).__name__
+
+
 class Engine:
     """The event loop: a clock plus a heap of timed callbacks."""
 
-    __slots__ = ("now", "_heap", "_seq", "_pending")
+    __slots__ = ("now", "_heap", "_seq", "_pending", "_live")
 
     def __init__(self) -> None:
         self.now = 0.0
         self._heap: List[Tuple[float, int, Callable[[], None]]] = []
         self._seq = 0
         self._pending = 0  # live (unfinished) processes
+        self._live: List["Process"] = []  # every process ever registered
 
     def call_at(self, time: float, fn: Callable[[], None]) -> None:
         """Schedule ``fn`` to run at absolute simulated ``time``."""
@@ -238,8 +260,16 @@ class Engine:
             self.now = time
             fn()
         if self._pending:
+            blocked = [p for p in self._live if not p.done.triggered]
+            shown = ", ".join(
+                f"{p.name or '<anonymous>'} waiting on "
+                f"{p.waiting_on or '<nothing>'}"
+                for p in blocked[:16]
+            )
+            if len(blocked) > 16:
+                shown += f", ... ({len(blocked) - 16} more)"
             raise MachineError(
                 f"simulation deadlock: {self._pending} process(es) still "
-                f"blocked at t={self.now}"
+                f"blocked at t={self.now}: {shown}"
             )
         return self.now

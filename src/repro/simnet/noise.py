@@ -17,9 +17,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-import numpy as np
-
 from ..errors import MachineError
+from ..faults.rng import derive_rng
 
 __all__ = ["NoiseModel"]
 
@@ -50,13 +49,15 @@ class NoiseModel:
         """Multiplicative cost factor for message ``index``.
 
         Mean-one lognormal (``exp(N(-σ²/2, σ²))``), so noise perturbs but
-        does not bias aggregate cost.  Uses a counter-based construction
-        (hash the index into a fresh Generator) so factors are random-
-        access — the simulator draws them in nondeterministic order.
+        does not bias aggregate cost.  Uses the counter-based construction
+        shared with the fault planner (:func:`repro.faults.rng.derive_rng`)
+        so factors are random-access — the simulator draws them in
+        nondeterministic order — and the stream is bit-identical to the
+        historical per-index construction.
         """
         if self.sigma == 0:
             return 1.0
-        rng = np.random.default_rng((self.seed << 32) ^ (index * 2654435761 % 2**31))
+        rng = derive_rng(self.seed, index)
         return float(
             math.exp(rng.normal(-0.5 * self.sigma**2, self.sigma))
         )

@@ -28,12 +28,15 @@ k-nomial root overlap ``k-1`` small sends (§II-B2) while still charging
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Tuple
 
 from ..core.schedule import CopyOp, RecvOp, Schedule, SendOp
 from ..errors import MachineError
+from ..faults.plan import FaultPlan
+from ..faults.sim import MsgMeta, analyze
 from .engine import Acquire, AllOf, Engine, Event, Resource, Timeout
 from .machine import MachineSpec
 from .noise import NoiseModel
@@ -54,11 +57,19 @@ class SimResult:
     intra_bytes: int
     inter_bytes: int
     timeline: Optional[List[Tuple]] = None  # (src, dst, bytes, t_xfer, t_done, link)
+    retransmissions: int = 0         # lost transmissions recovered by retry
+    failed_ranks: Tuple[int, ...] = ()   # ranks crashed by the fault plan
+    stalled_ranks: Tuple[int, ...] = ()  # ranks blocked forever on a dead peer
 
     @property
     def time_us(self) -> float:
         """Makespan in microseconds (the unit the paper plots)."""
         return self.time * 1e6
+
+    @property
+    def complete(self) -> bool:
+        """Whether every rank finished (no crash / stall under faults)."""
+        return not self.failed_ranks and not self.stalled_ranks
 
 
 class _Msg:
@@ -68,6 +79,7 @@ class _Msg:
         "nbytes",
         "reduce",
         "index",
+        "seq",
         "send_posted",
         "recv_posted",
         "send_done",
@@ -75,12 +87,13 @@ class _Msg:
     )
 
     def __init__(self, engine: Engine, src: int, dst: int, nbytes: int,
-                 reduce: bool, index: int) -> None:
+                 reduce: bool, index: int, seq: int) -> None:
         self.src = src
         self.dst = dst
         self.nbytes = nbytes
         self.reduce = reduce
         self.index = index
+        self.seq = seq  # per-(src, dst) link FIFO sequence number
         self.send_posted = Event(engine)
         self.recv_posted = Event(engine)
         self.send_done = Event(engine)
@@ -93,6 +106,7 @@ def simulate(
     nbytes: int,
     *,
     noise: Optional[NoiseModel] = None,
+    faults: Optional[FaultPlan] = None,
     collect_timeline: bool = False,
     block_map=None,
 ) -> SimResult:
@@ -102,6 +116,16 @@ def simulate(
     The machine must host exactly ``schedule.nranks`` processes — build
     machines with the right ``nodes × ppn`` geometry (see
     :mod:`repro.simnet.machines`).
+
+    With a :class:`~repro.faults.plan.FaultPlan`, messages traverse faulty
+    links: each dropped transmission charges its serialization plus a
+    machine-model retransmission timeout (≈ one RTT, exponentially backed
+    off), duplicates charge extra serialization, degraded links slow their
+    own traffic, and stragglers scale their rank's injection/reduction
+    cost.  Crashed ranks — and ranks dragged down waiting on them — yield
+    a clean partial-completion :class:`SimResult` (``complete`` is False,
+    their ``rank_times`` are ``inf``) instead of the engine's blanket
+    deadlock :class:`~repro.errors.MachineError`.
     """
     p = schedule.nranks
     if machine.nranks != p:
@@ -159,14 +183,17 @@ def simulate(
     send_q: Dict[Tuple[int, int], Deque[_Msg]] = {}
     recv_q: Dict[Tuple[int, int], Deque[_Msg]] = {}
     messages: List[_Msg] = []
-    pending_recvs: Dict[Tuple[int, int], List[RecvOp]] = {}
+    metas: List[MsgMeta] = []
+    pending_recvs: Dict[Tuple[int, int], List[Tuple[int, RecvOp]]] = {}
     for prog in schedule.programs:
-        for _, op in prog.iter_ops():
+        for step_idx, op in prog.iter_ops():
             if isinstance(op, RecvOp):
-                pending_recvs.setdefault((op.peer, prog.rank), []).append(op)
+                pending_recvs.setdefault((op.peer, prog.rank), []).append(
+                    (step_idx, op)
+                )
     recv_cursor: Dict[Tuple[int, int], int] = {}
     for prog in schedule.programs:
-        for _, op in prog.iter_ops():
+        for step_idx, op in prog.iter_ops():
             if isinstance(op, SendOp):
                 key = (prog.rank, op.peer)
                 idx = recv_cursor.get(key, 0)
@@ -177,7 +204,7 @@ def simulate(
                         f"{prog.rank}->{op.peer}"
                     )
                 recv_cursor[key] = idx + 1
-                rop = rlist[idx]
+                recv_step, rop = rlist[idx]
                 msg = _Msg(
                     engine,
                     src=prog.rank,
@@ -185,8 +212,19 @@ def simulate(
                     nbytes=blocks.bytes_of(op.blocks),
                     reduce=rop.reduce,
                     index=len(messages),
+                    seq=idx,
                 )
                 messages.append(msg)
+                metas.append(
+                    MsgMeta(
+                        index=msg.index,
+                        src=msg.src,
+                        dst=msg.dst,
+                        seq=idx,
+                        send_step=step_idx,
+                        recv_step=recv_step,
+                    )
+                )
                 send_q.setdefault(key, deque()).append(msg)
                 recv_q.setdefault(key, deque()).append(msg)
     for key, rlist in pending_recvs.items():
@@ -194,6 +232,14 @@ def simulate(
             raise MachineError(
                 f"{schedule.describe()}: unmatched receive on channel {key}"
             )
+
+    # ------------------------------------------------------------------
+    # Fault plan: pre-compute the fate of messages and ranks (decisions
+    # are deterministic, so fate is static even though costs are dynamic).
+    # ------------------------------------------------------------------
+    faults_active = faults is not None and faults.is_active
+    statics = analyze(schedule, faults, metas) if faults_active else None
+    lossy = faults_active and faults.has_loss
 
     # ------------------------------------------------------------------
     # Traffic accounting and optional timeline
@@ -204,6 +250,7 @@ def simulate(
         "global_messages": 0,
         "intra_bytes": 0,
         "inter_bytes": 0,
+        "retransmissions": 0,
     }
     timeline: Optional[List[Tuple]] = [] if collect_timeline else None
     rank_times = [0.0] * p
@@ -212,32 +259,62 @@ def simulate(
 
     def rank_proc(rank: int):
         prog = schedule.programs[rank]
-        for step in prog.steps:
+        straggle = faults.straggler_factor(rank) if faults_active else 1.0
+        o_r = o * straggle
+        limit = statics.post_limit[rank] if statics else len(prog.steps)
+        for step_idx in range(limit):
+            step = prog.steps[step_idx]
             waits: List[Event] = []
             for op in step.ops:
                 if isinstance(op, SendOp):
-                    if o:
-                        yield Timeout(o)
+                    if o_r:
+                        yield Timeout(o_r)
                     msg = send_q[(rank, op.peer)].popleft()
                     msg.send_posted.trigger()
-                    waits.append(msg.send_done)
+                    # Doomed messages never complete; a stalled rank posts
+                    # its final step's ops but waits only on the live ones
+                    # (its blocked-forever state is recorded statically).
+                    if statics is None or msg.index not in statics.doomed:
+                        waits.append(msg.send_done)
                 elif isinstance(op, RecvOp):
-                    if o:
-                        yield Timeout(o)
+                    if o_r:
+                        yield Timeout(o_r)
                     msg = recv_q[(op.peer, rank)].popleft()
                     msg.recv_posted.trigger()
-                    waits.append(msg.recv_done)
+                    if statics is None or msg.index not in statics.doomed:
+                        waits.append(msg.recv_done)
                 # CopyOp: modeled as free (intra-GPU memcpy is off the
                 # critical path at collective granularity).
             if waits:
                 yield AllOf(waits)
-        rank_times[rank] = engine.now
+        if statics is not None and not statics.completes(
+            rank, len(prog.steps)
+        ):
+            rank_times[rank] = math.inf
+        else:
+            rank_times[rank] = engine.now
 
     def transfer_proc(msg: _Msg):
+        if statics is not None and msg.index in statics.doomed:
+            return
         yield AllOf([msg.send_posted, msg.recv_posted])
         factor = noise.factor(msg.index) if noise is not None else 1.0
+        if faults_active:
+            factor *= faults.bandwidth_penalty(msg.src, msg.dst)
+            fdelay = faults.delay(msg.src, msg.dst, msg.seq)
+            dups = faults.duplicates(msg.src, msg.dst, msg.seq)
+            attempts = (
+                faults.attempts_needed(msg.src, msg.dst, msg.seq)
+                if lossy
+                else 0
+            )
+        else:
+            fdelay = 1.0
+            dups = 0
+            attempts = 0
         src_node = machine.node_of(msg.src)
         dst_node = machine.node_of(msg.dst)
+        held: List[Resource] = []
         if src_node == dst_node:
             link = "intra"
             stats["intra_messages"] += 1
@@ -246,14 +323,7 @@ def simulate(
                 machine.intra_msg_overhead + msg.nbytes * machine.beta_intra
             ) * factor
             if intra_fabric is not None:
-                yield Acquire(intra_fabric[src_node])
-                t0 = engine.now
-                yield Timeout(hold)
-                intra_fabric[src_node].release()
-            else:
-                t0 = engine.now
-                yield Timeout(hold)
-            msg.send_done.trigger()
+                held = [intra_fabric[src_node]]
             alpha = machine.alpha_intra * factor
         else:
             crossing = machine.crosses_groups(msg.src, msg.dst)
@@ -266,27 +336,49 @@ def simulate(
                 machine.port_msg_overhead + msg.nbytes * machine.beta_inter
             ) * factor
             # Fixed global acquisition order prevents hold-and-wait cycles.
-            yield Acquire(send_ports[src_node])
-            yield Acquire(recv_ports[dst_node])
-            held: List[Resource] = [send_ports[src_node], recv_ports[dst_node]]
+            held = [send_ports[src_node], recv_ports[dst_node]]
             if crossing and egress is not None and ingress is not None:
                 g_src = machine.group_of(src_node)
                 g_dst = machine.group_of(dst_node)
-                yield Acquire(egress[g_src])
-                yield Acquire(ingress[g_dst])
                 held += [egress[g_src], ingress[g_dst]]
-            t0 = engine.now
-            yield Timeout(hold)
-            for res in reversed(held):
-                res.release()
-            msg.send_done.trigger()
             alpha = machine.alpha_inter * factor
             if crossing and df is not None:
                 alpha += df.alpha_global * factor
+        alpha *= fdelay
+        if faults_active:
+            # A straggler host is slow to push messages onto the wire:
+            # sender-side software latency scales with its slowdown.
+            alpha *= faults.straggler_factor(msg.src)
+        # Lost transmissions: each charges its serialization (the bytes
+        # really crossed the wire before vanishing) plus a retransmission
+        # timeout derived from the machine model — one round trip plus the
+        # serialization time, exponentially backed off per the plan's
+        # retry policy.
+        rto = 2.0 * alpha + hold
+        for attempt in range(attempts):
+            for res in held:
+                yield Acquire(res)
+            yield Timeout(hold)
+            for res in reversed(held):
+                res.release()
+            yield Timeout(rto * faults.retry.backoff**attempt)
+            stats["retransmissions"] += 1
+        # The surviving transmission; duplicates ride along, charging
+        # their own serialization on the same links.
+        for res in held:
+            yield Acquire(res)
+        t0 = engine.now
+        yield Timeout(hold * (1 + dups))
+        for res in reversed(held):
+            res.release()
+        msg.send_done.trigger()
         yield Timeout(alpha)
         if msg.reduce and machine.gamma > 0 and msg.nbytes > 0:
+            straggle = (
+                faults.straggler_factor(msg.dst) if faults_active else 1.0
+            )
             yield Acquire(compute[msg.dst])
-            yield Timeout(machine.gamma * msg.nbytes * factor)
+            yield Timeout(machine.gamma * msg.nbytes * factor * straggle)
             compute[msg.dst].release()
         if timeline is not None:
             timeline.append((msg.src, msg.dst, msg.nbytes, t0, engine.now, link))
@@ -298,6 +390,11 @@ def simulate(
         engine.process(rank_proc(rank), name=f"rank{rank}")
 
     makespan = engine.run()
+    failed_ranks: Tuple[int, ...] = ()
+    stalled_ranks: Tuple[int, ...] = ()
+    if statics is not None:
+        failed_ranks = tuple(sorted(statics.crashed))
+        stalled_ranks = tuple(sorted(statics.stall_step))
     return SimResult(
         time=makespan,
         rank_times=rank_times,
@@ -308,6 +405,9 @@ def simulate(
         intra_bytes=stats["intra_bytes"],
         inter_bytes=stats["inter_bytes"],
         timeline=timeline,
+        retransmissions=stats["retransmissions"],
+        failed_ranks=failed_ranks,
+        stalled_ranks=stalled_ranks,
     )
 
 

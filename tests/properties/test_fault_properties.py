@@ -1,0 +1,140 @@
+"""Property-based tests of the resilience contract.
+
+The subsystem-wide invariant: under *any* seeded
+:class:`~repro.faults.FaultPlan`, every registered algorithm either
+completes with results identical to the NumPy reference, or raises a
+structured fault error — no hangs, no silent corruption, no unstructured
+failure.  Hypothesis drives random (algorithm, radix, size, fault-rate,
+seed) configurations through both backends.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.registry import GENERALIZED_ALGORITHMS, build_schedule, info
+from repro.errors import FaultError, PartialFailure
+from repro.faults import Crash, FaultPlan, LinkFault, RetryPolicy
+from repro.runtime.buffers import (
+    check_outputs,
+    initial_buffers,
+    make_inputs,
+    reference_result,
+)
+from repro.runtime.threaded import execute_threaded
+from repro.simnet.machines import reference
+from repro.simnet.simulate import simulate
+
+#: Fast-timeout policy so even heavy-loss draws resolve in milliseconds.
+FAST = RetryPolicy(max_retries=8, rto=0.005, backoff=2.0, max_rto=0.04)
+
+
+@st.composite
+def fault_configs(draw):
+    coll, alg = draw(st.sampled_from(GENERALIZED_ALGORITHMS))
+    entry = info(coll, alg)
+    p = draw(st.integers(min_value=2, max_value=10))
+    k = max(entry.min_k, draw(st.integers(min_value=1, max_value=p)))
+    count = draw(st.integers(min_value=1, max_value=3 * p))
+    plan = FaultPlan(
+        drop_rate=draw(st.floats(min_value=0.0, max_value=0.25)),
+        dup_rate=draw(st.floats(min_value=0.0, max_value=0.25)),
+        seed=draw(st.integers(min_value=0, max_value=2**16)),
+        retry=FAST,
+    )
+    return coll, alg, p, k, count, plan
+
+
+@settings(max_examples=40, deadline=None)
+@given(fault_configs())
+def test_drops_and_duplicates_never_corrupt_threaded_results(cfg):
+    """Maskable loss: retries recover every drop, dedup eats every
+    duplicate, and the outputs are element-exact — or the failure is a
+    structured fault error."""
+    coll, alg, p, k, count, plan = cfg
+    sched = build_schedule(coll, alg, p, k=k)
+    inputs = make_inputs(coll, p, count)
+    expected = reference_result(coll, inputs, count)
+    bufs = initial_buffers(sched, inputs, count)
+    try:
+        execute_threaded(sched, bufs, timeout=5.0, faults=plan)
+    except (FaultError, PartialFailure) as exc:
+        # Allowed outcome: the retry budget genuinely ran out, and the
+        # error says exactly where.
+        diagnoses = (
+            exc.faults if isinstance(exc, PartialFailure) else [exc]
+        )
+        assert diagnoses
+        for diag in diagnoses:
+            assert diag.kind in ("retries_exhausted", "crash", "timeout")
+            assert diag.rank is not None
+        return
+    check_outputs(sched, bufs, expected, count)
+
+
+@st.composite
+def unmaskable_configs(draw):
+    coll, alg = draw(st.sampled_from(GENERALIZED_ALGORITHMS))
+    entry = info(coll, alg)
+    p = draw(st.integers(min_value=3, max_value=10))
+    k = max(entry.min_k, draw(st.integers(min_value=1, max_value=4)))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    kind = draw(st.sampled_from(["crash", "dead_link"]))
+    if kind == "crash":
+        plan = FaultPlan(
+            seed=seed,
+            crashes=(Crash(rank=draw(st.integers(0, p - 1)), step=0),),
+            retry=FAST,
+        )
+    else:
+        src = draw(st.integers(0, p - 1))
+        dst = draw(st.integers(0, p - 1).filter(lambda d: d != src))
+        plan = FaultPlan(
+            seed=seed,
+            links=(LinkFault(src, dst, drop_rate=1.0),),
+            retry=RetryPolicy(max_retries=1, rto=0.005, max_rto=0.01),
+        )
+    return coll, alg, p, k, plan
+
+
+@settings(max_examples=25, deadline=None)
+@given(unmaskable_configs())
+def test_unmaskable_faults_fail_structured_never_hang(cfg):
+    """Crashes and dead links: either the schedule happens not to touch
+    the fault (completes correctly) or it raises a structured error —
+    within the timeout, never a hang."""
+    coll, alg, p, k, plan = cfg
+    sched = build_schedule(coll, alg, p, k=k)
+    count = 2 * p
+    inputs = make_inputs(coll, p, count)
+    expected = reference_result(coll, inputs, count)
+    bufs = initial_buffers(sched, inputs, count)
+    try:
+        execute_threaded(sched, bufs, timeout=5.0, faults=plan)
+    except PartialFailure as exc:
+        assert exc.failed_ranks
+        assert exc.faults
+        for diag in exc.faults:
+            assert diag.diagnosis()
+        return
+    check_outputs(sched, bufs, expected, count)
+
+
+@settings(max_examples=40, deadline=None)
+@given(fault_configs())
+def test_simulator_fault_runs_are_deterministic_and_finite(cfg):
+    """The simulator under the same plan gives the same answer twice,
+    and completes (drops are always maskable given the retry budget is
+    not exhausted — and when it is, the result says so)."""
+    coll, alg, p, k, count, plan = cfg
+    sched = build_schedule(coll, alg, p, k=k)
+    machine = reference(p)
+    first = simulate(sched, machine, count * 8, faults=plan)
+    second = simulate(sched, machine, count * 8, faults=plan)
+    assert first.time == second.time
+    assert first.retransmissions == second.retransmissions
+    assert first.failed_ranks == second.failed_ranks
+    if first.complete:
+        assert np.isfinite(first.time)
+    else:
+        assert first.failed_ranks or first.stalled_ranks

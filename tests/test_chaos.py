@@ -1,0 +1,80 @@
+"""The chaos sweep as a pytest suite.
+
+The full sweep (every default scenario x every Table I algorithm x both
+backends) is tier 2: marked ``chaos``, excluded from the default run by
+``addopts`` and invoked via ``make chaos`` / ``pytest -m chaos``.  A
+two-case smoke test stays in tier 1 so harness breakage is caught on
+every run.
+"""
+
+import pytest
+
+from repro.faults import FaultPlan, RetryPolicy
+from repro.faults.chaos import (
+    ChaosScenario,
+    default_scenarios,
+    run_case,
+    run_chaos,
+    summarize,
+)
+
+
+class TestHarnessSmoke:
+    def test_single_threaded_case_ok(self):
+        result = run_case(
+            "allreduce",
+            "knomial",
+            FaultPlan(drop_rate=0.1, seed=0,
+                      retry=RetryPolicy(max_retries=8, rto=0.01)),
+            p=4,
+            count=16,
+        )
+        assert result.outcome == "ok"
+        assert result.ok
+
+    def test_single_sim_case_ok(self):
+        result = run_case(
+            "allgather",
+            "kring",
+            FaultPlan(drop_rate=0.1, seed=0),
+            backend="sim",
+            p=4,
+        )
+        assert result.outcome == "ok"
+        assert "t=" in result.detail
+
+    def test_default_scenarios_cover_the_fault_space(self):
+        names = {s.name for s in default_scenarios(0, 8)}
+        assert {"light_loss", "heavy_loss", "dup_storm", "straggler",
+                "crash", "dead_link"} <= names
+
+    def test_summarize_flags_violations(self):
+        from repro.faults.chaos import ChaosResult
+
+        bad = ChaosResult("s", "allreduce", "ring", "threaded", "FAIL",
+                          detail="silent corruption")
+        ok = ChaosResult("s", "allreduce", "ring", "sim", "ok")
+        text = summarize([bad, ok])
+        assert "VIOLATION" in text
+        assert "1 contract violation(s)" in text
+
+
+@pytest.mark.chaos
+class TestChaosSweep:
+    """Tier 2: the resilience contract across the whole algorithm suite."""
+
+    @pytest.mark.parametrize("scenario", default_scenarios(0, 8),
+                             ids=lambda s: s.name)
+    def test_scenario_holds_the_contract(self, scenario: ChaosScenario):
+        results = run_chaos([scenario], p=8, count=64, seed=0)
+        violations = [r for r in results if not r.ok]
+        assert not violations, "\n" + summarize(results)
+
+    def test_sweep_is_reproducible(self):
+        """Same seed, same sweep — outcome for outcome."""
+        a = run_chaos(p=6, count=32, seed=3, backends=("threaded",))
+        b = run_chaos(p=6, count=32, seed=3, backends=("threaded",))
+        assert [(r.scenario, r.collective, r.algorithm, r.outcome)
+                for r in a] == [
+            (r.scenario, r.collective, r.algorithm, r.outcome) for r in b
+        ]
