@@ -1,6 +1,6 @@
 # Convenience targets for the common workflows.
 
-.PHONY: install test chaos bench validate experiments tune examples clean
+.PHONY: install test chaos bench perf validate experiments tune examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -15,6 +15,11 @@ chaos:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Perf-regression smoke gate against the committed BENCH_perf.json;
+# regenerate the baseline with `repro-bench-perf -o BENCH_perf.json`.
+perf:
+	repro-bench-perf --smoke --baseline BENCH_perf.json
 
 validate:
 	repro-validate --max-p 24

@@ -1,0 +1,59 @@
+"""Perf-regression gate: smoke perf run checked against BENCH_perf.json.
+
+The committed ``BENCH_perf.json`` at the repo root (written by
+``repro-bench-perf -o BENCH_perf.json``) is the performance baseline.
+This bench re-measures the smoke grid and fails if schedule-build time
+regressed beyond the allowed factor, or if the caches stopped paying for
+themselves — the same gate CI runs via
+``repro-bench-perf --smoke --baseline BENCH_perf.json``.
+
+The factor is deliberately generous (2x): wall clock varies across
+hosts, and the gate exists to catch algorithmic regressions (a cache
+that stopped caching, a builder that went quadratic), not scheduler
+jitter.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench.perf import check_regression, load_report, run_perf
+
+BASELINE = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+
+
+def test_perf_regression(benchmark):
+    baseline = load_report(BASELINE)
+    report = benchmark.pedantic(
+        lambda: run_perf(smoke=True, jobs_levels=()), rounds=1, iterations=1
+    )
+    failures = check_regression(report, baseline, factor=2.0)
+    assert not failures, "; ".join(failures)
+
+    # The headline claims the committed baseline makes: the cached sweep
+    # path beats the cold path and most builds are served from cache.
+    # Re-assert them on the fresh measurement so they can never silently
+    # rot in the JSON.
+    sweep = report["full_sweep"]
+    assert sweep["speedup"] > 1.0
+    assert sweep["build_hit_rate"] > 0.5
+    assert sweep["results_identical"]
+
+
+def test_committed_baseline_claims():
+    """The committed report itself must back the README's numbers."""
+    baseline = load_report(BASELINE)
+    sweep = baseline["full_sweep"]
+    assert sweep["speedup"] >= 2.0, (
+        "committed BENCH_perf.json no longer shows the >=2x full-sweep "
+        "speedup — regenerate it with: repro-bench-perf -o BENCH_perf.json"
+    )
+    assert sweep["build_hit_rate"] > 0.5
+    assert sweep["results_identical"]
+    assert "4" in sweep["jobs"], "baseline must include a --jobs 4 timing"
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation helper
+    raise SystemExit(pytest.main([__file__, "--benchmark-only", "-s"]))

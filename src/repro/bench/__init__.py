@@ -3,9 +3,18 @@ and the per-figure experiment definitions."""
 
 from .experiments import ALL_EXPERIMENTS, ExperimentResult, run_experiment
 from .osu import LatencyPoint, default_sizes, osu_latency, osu_latency_schedule
+from .perf import check_regression, load_report, run_perf, write_report
 from .report import format_size, format_table, geomean, speedup_str
 from .speedup import SpeedupCurve, SpeedupPoint, policy_latency, speedup_curves
-from .sweep import RadixSweep, radix_latency_sweep
+from .sweep import (
+    RadixSweep,
+    SweepPoint,
+    SweepPointResult,
+    radix_latency_sweep,
+    run_sweep,
+    simulate_point,
+    sweep_errors,
+)
 
 __all__ = [
     "osu_latency",
@@ -14,6 +23,15 @@ __all__ = [
     "default_sizes",
     "radix_latency_sweep",
     "RadixSweep",
+    "SweepPoint",
+    "SweepPointResult",
+    "run_sweep",
+    "simulate_point",
+    "sweep_errors",
+    "run_perf",
+    "check_regression",
+    "write_report",
+    "load_report",
     "speedup_curves",
     "SpeedupCurve",
     "SpeedupPoint",

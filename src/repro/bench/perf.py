@@ -1,0 +1,296 @@
+"""Performance-regression benchmark — the repo's perf trajectory anchor.
+
+The functional suite pins *what* the simulator computes; this module pins
+*how fast*, in three tiers:
+
+* **schedule build** — cold (a fresh builder call) vs. served by the
+  content-addressed :class:`~repro.core.cache.ScheduleCache`;
+* **single simulation** — cold vs. served by the sweep engine's
+  simulation memo;
+* **full sweep** — the combined Fig. 8 + Fig. 9 workload (every
+  generalized algorithm over the standard radix × size grid, then the
+  speedup search re-visiting the same grid, exactly the redundancy the
+  real experiments exhibit), timed on the cold path (``reuse=False``:
+  fresh build + fresh run per point, the pre-cache behavior) against the
+  cached path, at each requested ``--jobs`` level.
+
+:func:`run_perf` produces a JSON-able report; ``repro-bench-perf``
+writes it to ``BENCH_perf.json``.  The committed copy at the repo root
+is the baseline: :func:`check_regression` compares a fresh report
+against it and flags schedule-build slowdowns beyond a tolerance factor
+— the gate CI enforces.  Wall-clock numbers are host-dependent, which is
+why the gate is a generous ratio (default 2×) on the most stable metric
+(schedule build) rather than an absolute time.
+
+Determinism note: the report also re-asserts, on every run, that the
+cold and cached full-sweep paths produce bit-identical simulated times —
+a perf number earned by changing results would be worthless.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from ..core.cache import ScheduleCache, global_schedule_cache
+from ..core.registry import GENERALIZED_ALGORITHMS, info
+from ..errors import ReproError
+from ..parallel import _available_cpus, resolve_jobs
+from ..selection.tuner import radix_grid
+from ..simnet.machine import MachineSpec
+from ..simnet.machines import by_name
+from ..simnet.simulate import simulate
+from .sweep import SweepPoint, clear_sim_memo, run_sweep, simulate_point
+
+__all__ = [
+    "full_sweep_points",
+    "run_perf",
+    "check_regression",
+    "write_report",
+    "load_report",
+]
+
+SCHEMA_VERSION = 1
+
+# Default measurement configuration. Smoke mode trims the grid so CI can
+# afford the run; the metrics keep the same shape either way.
+_FULL_SIZES = [1 << i for i in range(3, 21, 2)]
+_SMOKE_SIZES = [1 << i for i in range(6, 18, 4)]
+
+
+def _best_of(fn, repeats: int) -> float:
+    """Minimum wall-clock seconds over ``repeats`` calls (noise floor)."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def full_sweep_points(
+    machine: MachineSpec, sizes: Sequence[int]
+) -> List[SweepPoint]:
+    """The benchmark's sweep workload, mirroring the paper's experiments.
+
+    Every generalized algorithm over the standard radix grid × ``sizes``
+    (the Fig. 8 surfaces), followed by the same grid again (the Fig. 9
+    best-candidate search re-simulates exactly the points the surfaces
+    already timed).  The duplication is the point: it is the redundancy
+    the schedule cache and simulation memo exist to exploit.
+    """
+    points: List[SweepPoint] = []
+    for coll, alg in GENERALIZED_ALGORITHMS:
+        entry = info(coll, alg)
+        for k in radix_grid(machine.nranks, min_k=entry.min_k):
+            for nbytes in sizes:
+                points.append(SweepPoint(coll, alg, nbytes, k=k, root=0))
+    return points + points
+
+
+def _bench_schedule_build(machine: MachineSpec, repeats: int) -> Dict:
+    """Cold builder call vs. cache hit for one representative schedule."""
+    coll, alg = "allreduce", "recursive_multiplying"
+    entry = info(coll, alg)
+    p, k = machine.nranks, 2
+
+    cold_s = _best_of(lambda: entry.build(p, k=k, root=0), repeats)
+
+    cache = ScheduleCache()
+    cache.get_or_build(coll, alg, p, k=k, root=0)  # warm
+    cached_s = _best_of(
+        lambda: cache.get_or_build(coll, alg, p, k=k, root=0), repeats
+    )
+    return {
+        "collective": coll,
+        "algorithm": alg,
+        "p": p,
+        "k": k,
+        "repeats": repeats,
+        "cold_us": cold_s * 1e6,
+        "cached_us": cached_s * 1e6,
+        "speedup": cold_s / cached_s if cached_s > 0 else float("inf"),
+    }
+
+
+def _bench_single_sim(machine: MachineSpec, repeats: int) -> Dict:
+    """One cold simulation vs. the sweep engine's memoized replay."""
+    point = SweepPoint("allreduce", "recursive_multiplying", 1 << 16, k=2)
+    entry = info(point.collective, point.algorithm)
+    schedule = entry.build(machine.nranks, k=point.k, root=0)
+
+    cold_s = _best_of(
+        lambda: simulate(schedule, machine, point.nbytes), repeats
+    )
+
+    clear_sim_memo()
+    simulate_point(machine, point)  # warm the memo
+    memo_s = _best_of(lambda: simulate_point(machine, point), repeats)
+    return {
+        "collective": point.collective,
+        "algorithm": point.algorithm,
+        "p": machine.nranks,
+        "k": point.k,
+        "nbytes": point.nbytes,
+        "repeats": repeats,
+        "cold_us": cold_s * 1e6,
+        "memo_us": memo_s * 1e6,
+        "speedup": cold_s / memo_s if memo_s > 0 else float("inf"),
+    }
+
+
+def _bench_full_sweep(
+    machine: MachineSpec, sizes: Sequence[int], jobs_levels: Sequence[int]
+) -> Dict:
+    """Cold-path vs. cached-path wall clock for the combined workload."""
+    points = full_sweep_points(machine, sizes)
+
+    t0 = time.perf_counter()
+    before = run_sweep(points, machine, reuse=False)
+    before_s = time.perf_counter() - t0
+
+    clear_sim_memo()
+    global_schedule_cache().clear()
+    t0 = time.perf_counter()
+    after = run_sweep(points, machine, reuse=True)
+    after_s = time.perf_counter() - t0
+
+    if [r.time for r in before] != [r.time for r in after]:
+        raise ReproError(
+            "perf bench integrity check failed: cached sweep results "
+            "differ from the cold path"
+        )
+
+    n = len(points)
+    build_hits = sum(1 for r in after if r.cache_hit)
+    sim_hits = sum(1 for r in after if r.sim_hit)
+    report = {
+        "points": n,
+        "before_s": before_s,
+        "after_s": after_s,
+        "speedup": before_s / after_s if after_s > 0 else float("inf"),
+        "build_hit_rate": build_hits / n,
+        "sim_memo_rate": sim_hits / n,
+        "results_identical": True,
+        "jobs": {},
+    }
+    for jobs in jobs_levels:
+        clear_sim_memo()
+        global_schedule_cache().clear()
+        t0 = time.perf_counter()
+        run_sweep(points, machine, jobs=jobs, reuse=True)
+        wall = time.perf_counter() - t0
+        report["jobs"][str(jobs)] = {
+            "wall_s": wall,
+            "effective_jobs": resolve_jobs(jobs),
+            "speedup_vs_before": before_s / wall if wall > 0 else float("inf"),
+        }
+    return report
+
+
+def run_perf(
+    *,
+    machine_name: str = "frontier",
+    nodes: int = 16,
+    ppn: int = 1,
+    smoke: bool = False,
+    jobs_levels: Sequence[int] = (4,),
+) -> Dict:
+    """Run every tier and return the report as a plain dict."""
+    machine = by_name(machine_name, nodes, ppn)
+    sizes = _SMOKE_SIZES if smoke else _FULL_SIZES
+    repeats = 3 if smoke else 5
+    report = {
+        "schema": SCHEMA_VERSION,
+        "meta": {
+            "machine": machine_name,
+            "nodes": nodes,
+            "ppn": ppn,
+            "nranks": machine.nranks,
+            "sizes": list(sizes),
+            "smoke": smoke,
+            "python": platform.python_version(),
+            "cpus_available": _available_cpus(),
+        },
+        "schedule_build": _bench_schedule_build(machine, repeats * 20),
+        "single_sim": _bench_single_sim(machine, repeats),
+        "full_sweep": _bench_full_sweep(machine, sizes, jobs_levels),
+    }
+    return report
+
+
+def check_regression(
+    current: Dict, baseline: Dict, *, factor: float = 2.0
+) -> List[str]:
+    """Compare a fresh report against the committed baseline.
+
+    Returns a list of human-readable failures (empty when clean).  Only
+    schedule-build timings are gated — they are the most host-stable
+    metric, and ``factor`` leaves headroom for CI-runner variance.  The
+    full-sweep speedup is additionally required not to collapse below
+    1.0 (the caches must never make the sweep *slower* than the cold
+    path).
+    """
+    failures: List[str] = []
+    for metric in ("cold_us", "cached_us"):
+        base = baseline["schedule_build"][metric]
+        cur = current["schedule_build"][metric]
+        if base > 0 and cur > base * factor:
+            failures.append(
+                f"schedule build {metric} regressed {cur / base:.2f}x "
+                f"({base:.1f}us -> {cur:.1f}us, allowed {factor:.1f}x)"
+            )
+    sweep = current["full_sweep"]
+    if sweep["speedup"] < 1.0:
+        failures.append(
+            f"full-sweep cached path is slower than the cold path "
+            f"({sweep['speedup']:.2f}x)"
+        )
+    if not sweep.get("results_identical", False):
+        failures.append("cached sweep results diverged from the cold path")
+    return failures
+
+
+def write_report(report: Dict, path) -> None:
+    Path(path).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+
+def load_report(path) -> Dict:
+    data = json.loads(Path(path).read_text())
+    if data.get("schema") != SCHEMA_VERSION:
+        raise ReproError(
+            f"perf report {path} has schema {data.get('schema')!r}, "
+            f"expected {SCHEMA_VERSION}"
+        )
+    return data
+
+
+def format_report(report: Dict) -> str:
+    """Human-readable summary of one report."""
+    meta = report["meta"]
+    sb = report["schedule_build"]
+    ss = report["single_sim"]
+    fs = report["full_sweep"]
+    lines = [
+        f"perf report — {meta['machine']} nodes={meta['nodes']} "
+        f"ppn={meta['ppn']} ({'smoke' if meta['smoke'] else 'full'}), "
+        f"{meta['cpus_available']} cpu(s)",
+        f"  schedule build : cold {sb['cold_us']:9.1f} us | cached "
+        f"{sb['cached_us']:7.1f} us | {sb['speedup']:7.1f}x",
+        f"  single sim     : cold {ss['cold_us']:9.1f} us | memo   "
+        f"{ss['memo_us']:7.1f} us | {ss['speedup']:7.1f}x",
+        f"  full sweep     : before {fs['before_s']:6.2f} s | after "
+        f"{fs['after_s']:6.2f} s | {fs['speedup']:5.2f}x "
+        f"({fs['points']} points, build hits {fs['build_hit_rate']:.0%}, "
+        f"sim memo {fs['sim_memo_rate']:.0%})",
+    ]
+    for jobs, row in sorted(fs["jobs"].items(), key=lambda kv: int(kv[0])):
+        lines.append(
+            f"  --jobs {jobs:>2}      : {row['wall_s']:6.2f} s "
+            f"({row['speedup_vs_before']:.2f}x vs cold, effective "
+            f"workers {row['effective_jobs']})"
+        )
+    return "\n".join(lines)

@@ -17,14 +17,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..core.registry import GENERALIZED_ALGORITHMS, build_schedule, info
+from ..core.registry import GENERALIZED_ALGORITHMS, info
 from ..errors import ReproError
 from ..selection.defaults import mpich_policy, vendor_policy
 from ..selection.table import Choice, SelectionTable
 from ..selection.tuner import radix_grid
 from ..simnet.machine import MachineSpec
 from ..simnet.noise import NoiseModel
-from ..simnet.simulate import simulate
+from .sweep import SweepPoint, run_sweep, simulate_point, sweep_errors
 
 __all__ = ["SpeedupPoint", "SpeedupCurve", "speedup_curves", "policy_latency"]
 
@@ -75,17 +75,32 @@ def policy_latency(
     root: int = 0,
     noise: Optional[NoiseModel] = None,
 ) -> float:
-    """Latency (µs) of the algorithm a selection table picks."""
+    """Latency (µs) of the algorithm a selection table picks.
+
+    Served through the sweep engine's point simulator, so a policy that
+    picks the same algorithm across many sizes reuses one cached
+    schedule, and sizes already timed elsewhere in the sweep (e.g. by a
+    Fig. 8 surface on the same machine) hit the simulation memo.
+    """
     choice = table.select(collective, machine.nranks, nbytes)
     entry = info(collective, choice.algorithm)
-    schedule = build_schedule(
-        collective,
-        choice.algorithm,
-        machine.nranks,
-        k=choice.k,
-        root=root if entry.takes_root else 0,
+    result = simulate_point(
+        machine,
+        SweepPoint(
+            collective,
+            choice.algorithm,
+            nbytes,
+            k=choice.k,
+            root=root if entry.takes_root else 0,
+        ),
+        noise=noise,
     )
-    return simulate(schedule, machine, nbytes, noise=noise).time_us
+    if result.error is not None:
+        raise ReproError(
+            f"policy {choice.describe()} failed for {collective} at "
+            f"n={nbytes}: {result.error}"
+        )
+    return result.time_us
 
 
 def speedup_curves(
@@ -98,6 +113,7 @@ def speedup_curves(
     candidates: Optional[Sequence[Tuple[str, Sequence[Optional[int]]]]] = None,
     root: int = 0,
     noise: Optional[NoiseModel] = None,
+    jobs: int = 0,
 ) -> SpeedupCurve:
     """Compute a Fig. 9-style speedup curve.
 
@@ -116,6 +132,10 @@ def speedup_curves(
         standard radix grid — the paper additionally includes its
         exhaustive benchmark of the fixed algorithms, which the Fig. 9
         experiment passes in explicitly.
+    jobs:
+        Fan the candidate search out over the parallel sweep engine.
+        The winners per size — and therefore the whole curve — are
+        independent of ``jobs`` (results are bit-identical to serial).
     """
     p = machine.nranks
     baseline = baseline or mpich_policy()
@@ -130,30 +150,44 @@ def speedup_curves(
     if not candidates:
         raise ReproError(f"no candidate algorithms for {collective}")
 
-    # Pre-build schedules once per (algorithm, k); sizes reuse them.
-    built: List[Tuple[Choice, object]] = []
+    # One sweep point per (algorithm, k, size), candidate-major so every
+    # chunk shares a schedule; the engine caches builds and memoizes
+    # repeated simulations across curves on the same machine.
+    choices: List[Choice] = []
+    sweep_points: List[SweepPoint] = []
     for alg, ks in candidates:
         entry = info(collective, alg)
         for k in ks:
-            built.append(
-                (
-                    Choice(alg, k),
-                    build_schedule(
+            choices.append(Choice(alg, k))
+            for nbytes in sizes:
+                sweep_points.append(
+                    SweepPoint(
                         collective,
                         alg,
-                        p,
+                        nbytes,
                         k=k,
                         root=root if entry.takes_root else 0,
-                    ),
+                    )
                 )
-            )
+    results = run_sweep(sweep_points, machine, jobs=jobs, noise=noise)
+    errors = sweep_errors(results)
+    if errors:
+        raise ReproError(
+            f"{collective} speedup sweep: {len(errors)} point(s) failed: "
+            + "; ".join(errors[:4])
+        )
+    times: Dict[Tuple[int, int], float] = {}
+    for i, res in enumerate(results):
+        times[(i // len(sizes), i % len(sizes))] = res.time_us
 
     points = []
-    for nbytes in sizes:
+    for j, nbytes in enumerate(sizes):
         best_us = float("inf")
         best_choice: Optional[Choice] = None
-        for choice, schedule in built:
-            t = simulate(schedule, machine, nbytes, noise=noise).time_us
+        # Same candidate order and strict < as the serial search, so tie
+        # handling (first candidate wins) is unchanged.
+        for i, choice in enumerate(choices):
+            t = times[(i, j)]
             if t < best_us:
                 best_us = t
                 best_choice = choice

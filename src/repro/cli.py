@@ -23,6 +23,13 @@ Three console scripts are installed with the package:
     both backends and check the resilience contract — every case either
     completes with correct results or raises a structured fault error:
     ``repro-chaos --p 8 --seed 0``.
+
+``repro-bench-perf``
+    Time schedule builds, single simulations, and the combined
+    Fig. 8+9 sweep on the cold vs. cached paths and write
+    ``BENCH_perf.json``; with ``--baseline`` it also gates against a
+    committed report: ``repro-bench-perf -o BENCH_perf.json`` then
+    ``repro-bench-perf --smoke --baseline BENCH_perf.json`` in CI.
 """
 
 from __future__ import annotations
@@ -39,7 +46,13 @@ from .errors import ReproError
 from .selection.tuner import tune
 from .simnet.machines import by_name
 
-__all__ = ["main_bench", "main_tune", "main_validate", "main_chaos"]
+__all__ = [
+    "main_bench",
+    "main_tune",
+    "main_validate",
+    "main_chaos",
+    "main_bench_perf",
+]
 
 
 def main_bench(argv: Optional[List[str]] = None) -> int:
@@ -111,6 +124,10 @@ def main_tune(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--ppn", type=int, default=1)
     parser.add_argument("--min-bytes", type=int, default=8)
     parser.add_argument("--max-bytes", type=int, default=1 << 22)
+    parser.add_argument("-j", "--jobs", type=int, default=0,
+                        help="worker processes for the sweep (0/1 serial, "
+                        "-1 all cores); winners are identical at any "
+                        "job count")
     parser.add_argument("-o", "--output", default=None,
                         help="write JSON here (default: stdout)")
     args = parser.parse_args(argv)
@@ -120,7 +137,7 @@ def main_tune(argv: Optional[List[str]] = None) -> int:
         sizes = [n for n in default_sizes(args.min_bytes, args.max_bytes)]
         # Tuning every power of two is slow in simulation; every other
         # power of two bounds the sweep while keeping cutoffs tight.
-        table = tune(machine, sizes[::2] + [sizes[-1]])
+        table = tune(machine, sizes[::2] + [sizes[-1]], jobs=args.jobs)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -264,6 +281,74 @@ def main_chaos(argv: Optional[List[str]] = None) -> int:
     print(summarize(results))
     violations = [r for r in results if not r.ok]
     return 1 if violations else 0
+
+
+def main_bench_perf(argv: Optional[List[str]] = None) -> int:
+    """``repro-bench-perf``: performance-regression benchmark."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench-perf",
+        description="Time schedule builds, single simulations, and the "
+        "combined Fig. 8+9 sweep on the cold vs. cached paths; "
+        "optionally gate against a committed baseline report.",
+    )
+    parser.add_argument("--machine", default="frontier",
+                        choices=["frontier", "polaris", "reference"])
+    parser.add_argument("--nodes", type=int, default=16)
+    parser.add_argument("--ppn", type=int, default=1)
+    parser.add_argument("--smoke", action="store_true",
+                        help="trimmed grid for CI (seconds, not minutes)")
+    parser.add_argument("-j", "--jobs", type=int, action="append",
+                        default=None, metavar="N",
+                        help="also time the cached sweep at this job "
+                        "count (repeatable; default: 4)")
+    parser.add_argument("-o", "--output", default=None, metavar="PATH",
+                        help="write the JSON report here "
+                        "(e.g. BENCH_perf.json)")
+    parser.add_argument("--baseline", default=None, metavar="PATH",
+                        help="committed report to gate against; exits 1 "
+                        "if schedule-build time regresses")
+    parser.add_argument("--factor", type=float, default=2.0,
+                        help="allowed regression factor vs the baseline "
+                        "(default 2.0)")
+    args = parser.parse_args(argv)
+
+    from .bench.perf import (
+        check_regression,
+        format_report,
+        load_report,
+        run_perf,
+        write_report,
+    )
+
+    try:
+        report = run_perf(
+            machine_name=args.machine,
+            nodes=args.nodes,
+            ppn=args.ppn,
+            smoke=args.smoke,
+            jobs_levels=tuple(args.jobs) if args.jobs else (4,),
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_report(report))
+    if args.output:
+        write_report(report, args.output)
+        print(f"wrote {args.output}")
+    if args.baseline:
+        try:
+            baseline = load_report(args.baseline)
+        except (OSError, ValueError, ReproError) as exc:
+            print(f"error: cannot load baseline: {exc}", file=sys.stderr)
+            return 2
+        failures = check_regression(report, baseline, factor=args.factor)
+        if failures:
+            for failure in failures:
+                print(f"PERF REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print(f"no regression vs {args.baseline} "
+              f"(factor {args.factor:.1f}x)")
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation helper

@@ -30,6 +30,13 @@ from .recursive import (
     recursive_multiplying_allreduce,
     recursive_multiplying_bcast,
 )
+from .cache import (
+    CacheStats,
+    ScheduleCache,
+    cached_build_schedule,
+    global_schedule_cache,
+    schedule_key,
+)
 from .registry import (
     COLLECTIVES,
     GENERALIZED_ALGORITHMS,
@@ -77,6 +84,12 @@ __all__ = [
     "build_schedule",
     "info",
     "max_radix",
+    # schedule cache
+    "ScheduleCache",
+    "CacheStats",
+    "schedule_key",
+    "cached_build_schedule",
+    "global_schedule_cache",
     # verification
     "verify",
     "ValidationReport",

@@ -1,0 +1,215 @@
+"""Content-addressed schedule cache.
+
+Sweeps (Figs. 8–11), the tuner, and the data executors all ask the
+registry for the same schedules over and over: one (collective,
+algorithm, p, k, root) point is typically simulated at every message
+size on the grid, and the tuner revisits the identical point for several
+collectives' baselines.  Building a schedule is pure — the registry
+builders are deterministic functions of their parameters — so the
+compiled :class:`~repro.core.schedule.Schedule` can be reused verbatim.
+
+This module provides that reuse:
+
+* :func:`schedule_key` — the canonical cache key.  Defaults are
+  normalized through the registry (``k=None`` on a generalized algorithm
+  resolves to its ``default_k``; ``root`` collapses to 0 for unrooted
+  collectives), so every parameter spelling of the same content maps to
+  one key.  The key *is* the content address: two equal keys always name
+  step-for-step identical schedules, which
+  ``tests/properties/test_schedule_cache.py`` pins down via
+  :meth:`~repro.core.schedule.Schedule.fingerprint`.
+* :class:`ScheduleCache` — a bounded, thread-safe LRU mapping keys to
+  built schedules, with hit/miss/eviction counters the perf benchmark
+  reports.
+* :func:`cached_build_schedule` — drop-in for
+  :func:`repro.core.registry.build_schedule` backed by a process-global
+  cache (each parallel-sweep worker process grows its own).
+
+Cached schedules are shared objects: the IR is immutable by convention
+(ops and steps are frozen dataclasses; nothing in the runtime, simulator,
+or validator mutates a built schedule).  Callers that want to annotate
+``meta`` must copy the schedule first.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..errors import ScheduleError
+from .registry import info
+from .schedule import Schedule
+
+__all__ = [
+    "ScheduleKey",
+    "schedule_key",
+    "CacheStats",
+    "ScheduleCache",
+    "global_schedule_cache",
+    "cached_build_schedule",
+]
+
+#: (collective, algorithm, p, k, root) with defaults resolved.
+ScheduleKey = Tuple[str, str, int, Optional[int], int]
+
+
+def schedule_key(
+    collective: str,
+    algorithm: str,
+    p: int,
+    *,
+    k: Optional[int] = None,
+    root: int = 0,
+) -> ScheduleKey:
+    """Canonical cache key for a schedule build request.
+
+    Mirrors :meth:`AlgorithmInfo.build`'s parameter handling exactly, so
+    a key never aliases two different schedules and never splits one
+    schedule across two keys:
+
+    >>> schedule_key("allreduce", "knomial", 8) == \\
+    ...     schedule_key("allreduce", "knomial", 8, k=2)
+    True
+    >>> schedule_key("allreduce", "ring", 8, root=5)[4]
+    0
+    """
+    entry = info(collective, algorithm)
+    if p < 1:
+        raise ScheduleError(f"p must be >= 1, got {p}")
+    if entry.takes_k:
+        if k is None:
+            k = entry.default_k
+        if k is None:
+            raise ScheduleError(
+                f"{collective}/{algorithm} requires a radix k"
+            )
+        k = int(k)
+    elif k is not None:
+        raise ScheduleError(
+            f"{collective}/{algorithm} does not take a radix (got k={k})"
+        )
+    root = int(root) if entry.takes_root else 0
+    return (collective, algorithm, int(p), k, root)
+
+
+@dataclass
+class CacheStats:
+    """Counters for one :class:`ScheduleCache` (the perf bench reports these)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when never used)."""
+        n = self.lookups
+        return self.hits / n if n else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class ScheduleCache:
+    """Bounded LRU cache of built schedules, keyed by :func:`schedule_key`.
+
+    Thread-safe: the threaded runtime's per-rank workers may build
+    schedules concurrently.  ``maxsize`` bounds memory — a 1024-rank
+    k-nomial schedule is a few MB of IR, and sweeps revisit far fewer
+    than the default 512 distinct points.
+    """
+
+    def __init__(self, maxsize: int = 512) -> None:
+        if maxsize < 1:
+            raise ScheduleError(f"cache maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[ScheduleKey, Schedule]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get_or_build(
+        self,
+        collective: str,
+        algorithm: str,
+        p: int,
+        *,
+        k: Optional[int] = None,
+        root: int = 0,
+    ) -> Tuple[Schedule, bool]:
+        """Return ``(schedule, hit)`` — building and inserting on a miss."""
+        key = schedule_key(collective, algorithm, p, k=k, root=root)
+        with self._lock:
+            sched = self._entries.get(key)
+            if sched is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return sched, True
+            self.stats.misses += 1
+        # Build outside the lock: builders are pure, so a racing duplicate
+        # build wastes a little work but stays correct (last insert wins,
+        # both objects are step-identical).
+        sched = info(collective, algorithm).build(p, k=k, root=root)
+        with self._lock:
+            self._entries[key] = sched
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+        return sched, False
+
+    def build(
+        self,
+        collective: str,
+        algorithm: str,
+        p: int,
+        *,
+        k: Optional[int] = None,
+        root: int = 0,
+    ) -> Schedule:
+        """Like :func:`repro.core.registry.build_schedule`, but cached."""
+        return self.get_or_build(collective, algorithm, p, k=k, root=root)[0]
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        with self._lock:
+            self._entries.clear()
+            self.stats = CacheStats()
+
+
+_GLOBAL = ScheduleCache()
+
+
+def global_schedule_cache() -> ScheduleCache:
+    """The process-global cache behind :func:`cached_build_schedule`.
+
+    Each parallel-sweep worker process has its own instance; hit-rate
+    accounting across workers therefore travels with per-point results
+    (see :mod:`repro.bench.sweep`), not through this object.
+    """
+    return _GLOBAL
+
+
+def cached_build_schedule(
+    collective: str,
+    algorithm: str,
+    p: int,
+    *,
+    k: Optional[int] = None,
+    root: int = 0,
+) -> Schedule:
+    """Cached drop-in for :func:`repro.core.registry.build_schedule`."""
+    return _GLOBAL.build(collective, algorithm, p, k=k, root=root)

@@ -82,6 +82,25 @@ def run_schedule(schedule: Schedule, model: DataModel[P]) -> RunResult:
             ch = channels[key] = deque()
         return ch
 
+    # Compile the per-step receive requirements once: the progress loop
+    # below revisits blocked steps on every pass, and re-filtering ops and
+    # re-counting per-peer needs each time makes the loop O(passes × ops)
+    # instead of O(passes + ops).
+    step_recvs: List[List[List[RecvOp]]] = []
+    step_needs: List[List[List[Tuple[int, int]]]] = []
+    for rank in range(p):
+        per_rank_recvs: List[List[RecvOp]] = []
+        per_rank_needs: List[List[Tuple[int, int]]] = []
+        for step in programs[rank].steps:
+            recvs = [op for op in step.ops if isinstance(op, RecvOp)]
+            needed: Dict[int, int] = {}
+            for op in recvs:
+                needed[op.peer] = needed.get(op.peer, 0) + 1
+            per_rank_recvs.append(recvs)
+            per_rank_needs.append(list(needed.items()))
+        step_recvs.append(per_rank_recvs)
+        step_needs.append(per_rank_needs)
+
     unfinished = sum(1 for r in range(p) if programs[r].steps)
     while unfinished:
         passes += 1
@@ -104,21 +123,17 @@ def run_schedule(schedule: Schedule, model: DataModel[P]) -> RunResult:
                 posted[rank] = True
                 changed = True
 
-            # Count how many messages this step needs from each peer, in op
-            # order, and check availability before consuming anything (a
-            # step is atomic at the waitall boundary).
-            recvs = [op for op in step.ops if isinstance(op, RecvOp)]
-            needed: Dict[int, int] = {}
-            for op in recvs:
-                needed[op.peer] = needed.get(op.peer, 0) + 1
+            # The step's per-peer message needs were compiled up front;
+            # check availability before consuming anything (a step is
+            # atomic at the waitall boundary).
             ready = all(
                 len(channels.get((peer, rank), ())) >= cnt
-                for peer, cnt in needed.items()
+                for peer, cnt in step_needs[rank][pc[rank]]
             )
             if not ready:
                 continue
 
-            for op in recvs:
+            for op in step_recvs[rank][pc[rank]]:
                 msg = channel(op.peer, rank).popleft()
                 if msg.blocks != op.blocks:
                     raise ExecutionError(

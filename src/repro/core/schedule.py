@@ -31,6 +31,7 @@ Semantics contract shared by all executors and the simulator:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
@@ -218,6 +219,37 @@ class Schedule:
         if self.root is not None:
             bits.append(f"root={self.root}")
         return " ".join(bits)
+
+    def fingerprint(self) -> str:
+        """Stable content hash over every step of every rank program.
+
+        Two schedules with equal fingerprints are step-for-step identical
+        (same ops, same order, same metadata-bearing parameters).  The
+        schedule cache's key→content contract and the golden cost tests
+        are checked against this.
+        """
+        h = hashlib.sha256()
+        h.update(
+            f"{self.collective}|{self.algorithm}|{self.nranks}|"
+            f"{self.nblocks}|{self.root}|{self.k}".encode()
+        )
+        for prog in self.programs:
+            h.update(b"|P")
+            for step in prog.steps:
+                h.update(b"|S")
+                for op in step.ops:
+                    if isinstance(op, SendOp):
+                        h.update(
+                            f"|s{op.peer}:{','.join(map(str, op.blocks))}".encode()
+                        )
+                    elif isinstance(op, RecvOp):
+                        h.update(
+                            f"|r{op.peer}:{','.join(map(str, op.blocks))}"
+                            f":{int(op.reduce)}".encode()
+                        )
+                    else:
+                        h.update(f"|c{op.src}:{op.dst}".encode())
+        return h.hexdigest()
 
     def stats(self) -> "ScheduleStats":
         """Aggregate message/step statistics (topology-agnostic)."""

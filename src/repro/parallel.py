@@ -1,0 +1,81 @@
+"""Deterministic process-pool fan-out shared by the sweep drivers.
+
+Simulation sweeps are embarrassingly parallel — every point is a pure
+function of (schedule parameters, machine, size, noise, faults) — but
+the paper-reproduction contract demands that parallelism never change a
+result: a sweep at ``--jobs 8`` must be *bit-identical* to the serial
+run, including the order results are reported in.
+
+This module provides exactly that: :func:`run_chunks` maps a picklable
+worker over pre-built chunks of work, returning the flattened results in
+chunk-submission order regardless of which worker process finished
+first.  ``jobs <= 1`` degenerates to a plain in-process loop running the
+very same worker function, so the serial and parallel paths cannot drift
+apart.
+
+Error isolation is the *worker's* job (a raised exception would poison
+the whole pool and lose the sibling points) — sweep workers therefore
+return per-point error records instead of raising; see
+:func:`repro.bench.sweep._run_chunk`.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, List, Sequence, TypeVar
+
+__all__ = ["resolve_jobs", "run_chunks"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def _available_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def resolve_jobs(jobs: int) -> int:
+    """Normalize a ``--jobs`` request: 0/1 → serial, negative → all cores.
+
+    Requests above the available core count are clamped down to it: the
+    sweeps are CPU-bound pure computation, so extra workers beyond the
+    cores that can run them only add fork/pickle overhead (and, on a
+    single-core host, lose the cross-point simulation memo to boot).
+    Thanks to the determinism contract the clamp is invisible in the
+    results — only in the wall clock.
+    """
+    cores = _available_cpus()
+    if jobs < 0:
+        return cores
+    return min(jobs, cores)
+
+
+def run_chunks(
+    worker: Callable[[T], List[R]],
+    chunks: Sequence[T],
+    *,
+    jobs: int = 0,
+) -> List[R]:
+    """Run ``worker`` over every chunk, flattening results in chunk order.
+
+    ``worker`` must be a module-level (picklable) callable returning a
+    list per chunk.  With ``jobs >= 2`` chunks are dispatched to a
+    :class:`~concurrent.futures.ProcessPoolExecutor`; ``executor.map``
+    yields results in submission order, so the flattened output is
+    position-for-position identical to the serial path.
+    """
+    jobs = resolve_jobs(jobs)
+    out: List[R] = []
+    if jobs <= 1 or len(chunks) <= 1:
+        for chunk in chunks:
+            out.extend(worker(chunk))
+        return out
+    with ProcessPoolExecutor(max_workers=min(jobs, len(chunks))) as pool:
+        for result in pool.map(worker, chunks):
+            out.extend(result)
+    return out

@@ -13,11 +13,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..core.registry import algorithms_for, build_schedule, info
+from ..core.registry import algorithms_for, info
 from ..errors import SelectionError
 from ..simnet.machine import MachineSpec
 from ..simnet.noise import NoiseModel
-from ..simnet.simulate import simulate
 from .table import Choice, Rule, SelectionTable
 
 __all__ = ["radix_grid", "sweep_collective", "SweepEntry", "tune"]
@@ -88,15 +87,25 @@ def sweep_collective(
     root: int = 0,
     noise: Optional[NoiseModel] = None,
     skip: Sequence[str] = ("linear",),
+    jobs: int = 0,
 ) -> SweepResult:
     """Simulate every (algorithm, radix, size) combination.
 
     ``skip`` drops algorithms never worth tuning over (linear is
     quadratically bad at these scales); pass ``skip=()`` to include them.
+    ``jobs >= 2`` fans the grid out over the parallel sweep engine
+    (:func:`repro.bench.sweep.run_sweep`); the winners are provably
+    independent of ``jobs`` (see ``tests/test_selection.py``).
     """
+    # Imported lazily: repro.bench.sweep imports radix_grid from this
+    # module at import time, so the reverse dependency must resolve at
+    # call time to keep the module graph acyclic.
+    from ..bench.sweep import SweepPoint, run_sweep, sweep_errors
+
     p = machine.nranks
     names = list(algorithms) if algorithms else algorithms_for(collective)
     result = SweepResult(collective=collective, machine=machine.name)
+    points: List[SweepPoint] = []
     for name in names:
         if name in skip:
             continue
@@ -108,18 +117,31 @@ def sweep_collective(
         else:
             ks = [None]
         for k in ks:
-            schedule = build_schedule(
-                collective, name, p, k=k, root=root if entry.takes_root else 0
-            )
             for nbytes in sizes:
-                sim = simulate(schedule, machine, nbytes, noise=noise)
-                result.entries.append(
-                    SweepEntry(
-                        choice=Choice(name, k),
-                        nbytes=nbytes,
-                        time=sim.time,
+                points.append(
+                    SweepPoint(
+                        collective,
+                        name,
+                        nbytes,
+                        k=k,
+                        root=root if entry.takes_root else 0,
                     )
                 )
+    results = run_sweep(points, machine, jobs=jobs, noise=noise)
+    errors = sweep_errors(results)
+    if errors:
+        raise SelectionError(
+            f"{collective} sweep: {len(errors)} point(s) failed: "
+            + "; ".join(errors[:4])
+        )
+    for res in results:
+        result.entries.append(
+            SweepEntry(
+                choice=Choice(res.point.algorithm, res.point.k),
+                nbytes=res.point.nbytes,
+                time=res.time,
+            )
+        )
     return result
 
 
@@ -130,6 +152,7 @@ def tune(
     collectives: Sequence[str] = ("bcast", "reduce", "allgather", "allreduce"),
     noise: Optional[NoiseModel] = None,
     name: Optional[str] = None,
+    jobs: int = 0,
 ) -> SelectionTable:
     """Produce a selection table tuned for ``machine``.
 
@@ -138,13 +161,19 @@ def tune(
     sweep sizes themselves (the winner measured at size ``s`` governs
     ``[s, next_s)``), the first rule extends to 0 and the last is
     unbounded — matching how MPICH cutoff tables are written.
+
+    ``jobs`` parallelizes the underlying sweeps without affecting the
+    chosen winners: times are bit-identical to the serial sweep, so the
+    argmin per size — and therefore the emitted table — cannot change.
     """
     sorted_sizes = sorted(set(int(s) for s in sizes))
     if not sorted_sizes:
         raise SelectionError("tune needs at least one message size")
     table = SelectionTable(name=name or f"tuned-{machine.name}")
     for collective in collectives:
-        sweep = sweep_collective(collective, machine, sorted_sizes, noise=noise)
+        sweep = sweep_collective(
+            collective, machine, sorted_sizes, noise=noise, jobs=jobs
+        )
         winners: List[Tuple[int, Choice]] = [
             (n, sweep.best(n).choice) for n in sorted_sizes
         ]

@@ -2,9 +2,81 @@
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.simnet import MachineSpec, frontier, polaris, reference
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/*.json from the current outputs "
+        "instead of comparing against them",
+    )
+
+
+class GoldenFile:
+    """One pinned-output JSON file under ``tests/golden/``.
+
+    ``check(actual)`` compares exactly (floats survive a JSON round trip
+    bit-for-bit, so ``==`` pins costs to the last digit); with
+    ``--update-golden`` it rewrites the file instead.  A missing file
+    fails with the command that creates it.
+    """
+
+    def __init__(self, name: str, update: bool) -> None:
+        self.path = GOLDEN_DIR / f"{name}.json"
+        self.update = update
+
+    def check(self, actual: dict) -> None:
+        if self.update:
+            GOLDEN_DIR.mkdir(exist_ok=True)
+            self.path.write_text(
+                json.dumps(actual, indent=2, sort_keys=True) + "\n"
+            )
+            return
+        if not self.path.exists():
+            pytest.fail(
+                f"golden file {self.path} is missing — create it with: "
+                f"pytest {Path(__file__).parent.name} --update-golden"
+            )
+        expected = json.loads(self.path.read_text())
+        missing = sorted(set(expected) - set(actual))
+        extra = sorted(set(actual) - set(expected))
+        assert not missing and not extra, (
+            f"golden key set changed (missing={missing[:5]}, "
+            f"extra={extra[:5]}); rerun with --update-golden if intended"
+        )
+        diffs = {
+            key: (expected[key], actual[key])
+            for key in expected
+            if expected[key] != actual[key]
+        }
+        assert not diffs, (
+            f"{len(diffs)} golden value(s) changed in {self.path.name} "
+            f"(first few: {dict(list(diffs.items())[:3])}); simulated "
+            f"costs are pinned to the last digit — if the change is "
+            f"intentional, rerun with --update-golden and explain it in "
+            f"the commit"
+        )
+
+
+@pytest.fixture
+def golden(request: pytest.FixtureRequest):
+    """Factory for :class:`GoldenFile` honoring ``--update-golden``."""
+    update = request.config.getoption("--update-golden")
+
+    def _make(name: str) -> GoldenFile:
+        return GoldenFile(name, update)
+
+    return _make
 
 #: Process counts covering the paper's corner cases: powers of two, powers
 #: of odd radices, primes, and mixed composites.

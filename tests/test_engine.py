@@ -203,3 +203,107 @@ class TestDeadlockDetection:
 
         eng.process(proc())
         assert eng.run() == 1.0
+
+    def test_zero_event_run_returns_initial_clock(self):
+        """An engine with nothing scheduled runs cleanly to t=0.
+
+        Pins the diagnosis-path guard: with an empty heap and no pending
+        processes, run() must return rather than probe the heap.
+        """
+        assert Engine().run() == 0.0
+
+    def test_zero_event_run_with_instant_processes(self):
+        """Processes that finish without yielding leave nothing pending."""
+        eng = Engine()
+        log = []
+
+        def proc():
+            log.append(eng.now)
+            return
+            yield  # pragma: no cover - makes this a generator
+
+        eng.process(proc())
+        eng.process(proc())
+        assert eng.run() == 0.0
+        assert log == [0.0, 0.0]
+
+    def test_all_blocked_diagnosis_names_every_process(self):
+        """Every blocked process is listed with its waitable — and the
+        report is produced from the (empty) drained heap without error."""
+        eng = Engine()
+        ev = Event(eng)
+        res = Resource(eng, 1, "nic")
+
+        def event_waiter():
+            yield ev
+
+        def resource_waiter():
+            yield Acquire(res)
+            yield Acquire(res)  # second acquire blocks forever
+
+        def conjunction_waiter():
+            yield AllOf([ev, Event(eng)])
+
+        eng.process(event_waiter(), name="on-event")
+        eng.process(resource_waiter(), name="on-nic")
+        eng.process(conjunction_waiter(), name="on-allof")
+        with pytest.raises(MachineError) as exc:
+            eng.run()
+        msg = str(exc.value)
+        assert "3 process(es)" in msg
+        assert "on-event waiting on event" in msg
+        assert "on-nic waiting on acquire(nic)" in msg
+        assert "on-allof waiting on all_of(2 waitables, 2 pending)" in msg
+        assert not eng._heap  # diagnosis consumed nothing it shouldn't
+
+    def test_all_blocked_after_events_fire(self):
+        """Deadlock detected even when some simulated time has passed."""
+        eng = Engine()
+        ev = Event(eng)
+
+        def proc():
+            yield Timeout(2.0)
+            yield ev
+
+        eng.process(proc(), name="late-blocker")
+        with pytest.raises(MachineError, match="blocked at t=2"):
+            eng.run()
+
+
+class TestFastPathSemantics:
+    def test_uncontended_acquire_is_synchronous(self):
+        """The no-event grant path resumes inline, like a triggered event."""
+        eng = Engine()
+        order = []
+
+        def proc():
+            res = Resource(eng, 1, "r")
+            got = yield Acquire(res)
+            order.append(("granted", got is res, eng.now))
+            res.release()
+
+        eng.process(proc())
+        eng.run()
+        assert order == [("granted", True, 0.0)]
+
+    def test_event_multiple_waiters_fifo(self):
+        """List-promotion of the inline callback keeps FIFO waking order."""
+        eng = Engine()
+        ev = Event(eng)
+        order = []
+
+        def waiter(name):
+            yield ev
+            order.append(name)
+
+        eng.process(waiter("a"))
+        eng.process(waiter("b"))
+        eng.process(waiter("c"))
+
+        def firer():
+            yield Timeout(1.0)
+            ev.trigger()
+
+        eng.process(firer())
+        eng.run()
+        assert order == ["a", "b", "c"]

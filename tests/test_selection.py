@@ -202,3 +202,32 @@ class TestTuner:
     def test_tune_requires_sizes(self):
         with pytest.raises(SelectionError):
             tune(frontier(4, 1), [])
+
+
+class TestTunerDeterminism:
+    """The tuner's output is a function of (machine, sizes) only — never
+    of how the sweep was scheduled.  ``--jobs`` fans the same points over
+    a process pool with results in point order, so the argmin per size —
+    and the emitted table — cannot change (the PR 2 determinism
+    contract; see also tests/properties/test_schedule_cache.py)."""
+
+    def test_same_winner_regardless_of_jobs(self, monkeypatch):
+        import repro.parallel
+
+        # Defeat the core-count clamp so jobs>=2 really uses the pool,
+        # even on a single-core CI runner.
+        monkeypatch.setattr(repro.parallel, "_available_cpus", lambda: 8)
+        machine = frontier(8, 1)
+        sizes = [64, 4096, 1 << 16, 1 << 20]
+        serial = tune(machine, sizes, jobs=0)
+        pooled = tune(machine, sizes, jobs=4)
+        assert pooled.to_json() == serial.to_json()
+
+    def test_sweep_entries_identical_across_jobs(self, monkeypatch):
+        import repro.parallel
+
+        monkeypatch.setattr(repro.parallel, "_available_cpus", lambda: 8)
+        machine = frontier(8, 1)
+        serial = sweep_collective("allreduce", machine, [64, 1 << 18], jobs=0)
+        pooled = sweep_collective("allreduce", machine, [64, 1 << 18], jobs=2)
+        assert pooled.entries == serial.entries
