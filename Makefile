@@ -1,6 +1,7 @@
 # Convenience targets for the common workflows.
 
-.PHONY: install test chaos bench perf validate experiments tune examples clean
+.PHONY: install test chaos bench perf validate experiments tune examples \
+        trace-demo clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -16,10 +17,19 @@ chaos:
 bench:
 	pytest benchmarks/ --benchmark-only
 
-# Perf-regression smoke gate against the committed BENCH_perf.json;
+# Perf-regression smoke gate against the committed BENCH_perf.json
+# (schedule-build factor, cache integrity, and the observability
+# overhead gate: instrumentation must stay near-free when disabled);
 # regenerate the baseline with `repro-bench-perf -o BENCH_perf.json`.
 perf:
 	repro-bench-perf --smoke --baseline BENCH_perf.json
+
+# End-to-end observability demo: trace one 64-rank allreduce, writing
+# trace.json (open at https://ui.perfetto.dev) plus trace-metrics.json
+# and trace-metrics.prom next to it.
+trace-demo:
+	repro-trace allreduce recursive_multiplying --p 64 --k 4 \
+		--nbytes 65536 -o trace.json
 
 validate:
 	repro-validate --max-p 24

@@ -19,7 +19,7 @@ import repro
 # round each process exchanges partial sums with 3 partners, finishing in
 # log_4(16) = 2 rounds instead of recursive doubling's 4.
 # ----------------------------------------------------------------------
-schedule = repro.build_schedule("allreduce", "recursive_multiplying", 16, k=4)
+schedule = repro.build("allreduce", "recursive_multiplying", p=16, k=4)
 report = repro.verify(schedule)  # symbolic proof of the collective contract
 print(f"schedule: {schedule.describe()}")
 print(f"verified: {report.delivered_messages} messages, no double counting")
@@ -27,7 +27,7 @@ print(f"verified: {report.delivered_messages} messages, no double counting")
 # ----------------------------------------------------------------------
 # 2. Move real data through it.
 # ----------------------------------------------------------------------
-run = repro.run_collective(
+run = repro.execute(
     "allreduce", "recursive_multiplying", p=16, count=1024, k=4
 )
 assert np.array_equal(run.buffers[0], run.expected[0])
@@ -44,8 +44,8 @@ machine = repro.frontier(nodes=128, ppn=1)
 print(f"\nmachine: {machine.describe()}")
 print(f"{'radix':>6} {'64KiB allreduce':>16}")
 for k in (2, 4, 8, 16):
-    sched = repro.build_schedule(
-        "allreduce", "recursive_multiplying", machine.nranks, k=k
+    sched = repro.build(
+        "allreduce", "recursive_multiplying", p=machine.nranks, k=k
     )
     t = repro.simulate(sched, machine, nbytes=65536).time_us
     print(f"{k:>6} {t:>13.1f} µs")

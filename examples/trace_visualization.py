@@ -17,7 +17,7 @@ Run:  python examples/trace_visualization.py
 import tempfile
 from pathlib import Path
 
-from repro import build_schedule, frontier, simulate
+from repro import build, frontier, simulate
 from repro.simnet import timeline_stats, write_chrome_trace
 
 machine = frontier(nodes=8, ppn=8)
@@ -28,8 +28,8 @@ out_dir = Path(tempfile.gettempdir())
 print(f"machine: {machine.describe()}, bcast of 1MiB across {p} ranks\n")
 
 for label, k in (("classic ring", 1), ("k-ring (k = ppn = 8)", 8)):
-    sched = build_schedule("bcast", "kring", p, k=k)
-    result = simulate(sched, machine, NBYTES, collect_timeline=True)
+    sched = build("bcast", "kring", p=p, k=k)
+    result = simulate(sched, machine, nbytes=NBYTES, timeline=True)
     stats = timeline_stats(result, p)
     trace_path = write_chrome_trace(
         result, out_dir / f"repro-kring-k{k}.trace.json"

@@ -18,23 +18,42 @@ plus everything needed to evaluate them without an exascale machine —
 * :mod:`repro.selection` — MPICH-style algorithm selection tables, the
   default/vendor baseline policies, and the exhaustive tuner (§VI-G);
 * :mod:`repro.bench` — OSU-style measurement and one runnable experiment
-  per paper table/figure.
+  per paper table/figure;
+* :mod:`repro.obs` — opt-in metrics and span tracing across all of the
+  above, with Perfetto/Chrome trace export.
+
+The public API is three keyword-only entry points (see :mod:`repro.api`):
 
 Quickstart::
 
     import repro
 
     # Move real data through a generalized algorithm and check it:
-    run = repro.run_collective("allreduce", "recursive_multiplying",
-                               p=16, count=1024, k=4)
+    run = repro.execute("allreduce", "recursive_multiplying",
+                        p=16, count=1024, k=4)
 
     # Time the same algorithm on a simulated exascale machine:
     machine = repro.frontier(nodes=128, ppn=1)
-    sched = repro.build_schedule("allreduce", "recursive_multiplying",
-                                 machine.nranks, k=4)
+    sched = repro.build("allreduce", "recursive_multiplying",
+                        p=machine.nranks, k=4)
     print(repro.simulate(sched, machine, nbytes=65536).time_us, "us")
+
+The pre-facade spellings (``repro.run_collective``,
+``repro.build_schedule``, ``repro.execute_threaded``, schedule-first
+``repro.execute``) still work but emit one :class:`DeprecationWarning`
+each; the implementation modules they delegate to are unchanged.
 """
 
+from .api import (
+    BACKENDS,
+    build,
+    dispatching_execute as execute,
+    dispatching_simulate as simulate,
+    legacy_build_schedule as build_schedule,
+    legacy_execute_threaded as execute_threaded,
+    legacy_run_collective as run_collective,
+    legacy_run_collective_threaded as run_collective_threaded,
+)
 from .bench import (
     ALL_EXPERIMENTS,
     default_sizes,
@@ -48,20 +67,22 @@ from .core import (
     GENERALIZED_ALGORITHMS,
     Schedule,
     algorithms_for,
-    build_schedule,
     verify,
 )
 from .errors import (
     ExecutionError,
     MachineError,
     ModelError,
+    ObsError,
     ReproError,
     ScheduleError,
     SelectionError,
+    TraceError,
     ValidationError,
 )
 from .models import ModelParams, model_time, optimal_radix
-from .runtime import SUM, Comm, ReduceOp, Session, execute, execute_threaded, run_collective
+from .obs import OBS, Obs
+from .runtime import SUM, Comm, ReduceOp, Session
 from .selection import (
     SelectionTable,
     fixed_policy,
@@ -75,25 +96,25 @@ from .simnet import (
     frontier,
     polaris,
     reference,
-    simulate,
     traffic_summary,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    # facade (the public API — see repro.api)
+    "build",
+    "simulate",
+    "execute",
+    "BACKENDS",
     # core
     "Schedule",
-    "build_schedule",
     "verify",
     "COLLECTIVES",
     "GENERALIZED_ALGORITHMS",
     "algorithms_for",
     # runtime
-    "run_collective",
-    "execute",
-    "execute_threaded",
     "ReduceOp",
     "SUM",
     "Session",
@@ -103,9 +124,11 @@ __all__ = [
     "frontier",
     "polaris",
     "reference",
-    "simulate",
     "traffic_summary",
     "NoiseModel",
+    # observability
+    "Obs",
+    "OBS",
     # models
     "ModelParams",
     "model_time",
@@ -131,4 +154,11 @@ __all__ = [
     "MachineError",
     "SelectionError",
     "ModelError",
+    "TraceError",
+    "ObsError",
+    # deprecated (warn once, then delegate)
+    "run_collective",
+    "run_collective_threaded",
+    "build_schedule",
+    "execute_threaded",
 ]

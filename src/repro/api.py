@@ -1,0 +1,297 @@
+"""The single public facade: ``build`` → ``simulate`` / ``execute``.
+
+Everything the package can do funnels through three keyword-only entry
+points, re-exported from :mod:`repro`:
+
+* :func:`build` — compile a generalized collective algorithm to its
+  :class:`~repro.core.schedule.Schedule` IR;
+* :func:`simulate` — time a schedule on a simulated machine
+  (discrete-event, multi-port, hierarchical);
+* :func:`execute` — move real NumPy data through a schedule and check it
+  against the collective's reference semantics, on either the lockstep
+  or the genuinely threaded backend.
+
+Keyword-only parameters are deliberate: the historical entry points grew
+positionally (``run_collective("allreduce", "rm", 16, 1024)``) until the
+third and fourth arguments were guess-what-this-is integers.  The facade
+makes every count/radix/root explicit at the call site::
+
+    import repro
+
+    sched = repro.build("allreduce", "recursive_multiplying", p=64, k=4)
+    res = repro.simulate(sched, repro.frontier(nodes=64, ppn=1),
+                         nbytes=65536)
+    run = repro.execute("allreduce", "recursive_multiplying",
+                        p=16, count=1024, k=4)
+
+The pre-facade spellings (``run_collective``, ``build_schedule``,
+``execute_threaded``, schedule-first ``execute``) keep working as thin
+wrappers that emit one :class:`DeprecationWarning` each per process and
+then delegate; the underlying modules (:mod:`repro.runtime`,
+:mod:`repro.simnet`, :mod:`repro.core`) are unchanged and warning-free
+for code that imports them directly.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .core.registry import build_schedule as _build_schedule
+from .core.schedule import Schedule
+from .errors import ExecutionError
+from .obs import Obs
+from .runtime.buffers import (
+    check_outputs,
+    initial_buffers,
+    make_inputs,
+    reference_result,
+)
+from .runtime.executor import CollectiveRun, execute as _execute_lockstep
+from .runtime.ops import SUM, ReduceOp
+from .runtime.threaded import execute_threaded as _execute_threaded
+from .simnet.simulate import SimResult, simulate as _simulate
+from .simnet.machines import MachineSpec
+
+__all__ = ["build", "simulate", "execute", "BACKENDS"]
+
+#: Execution backends accepted by :func:`execute`.
+BACKENDS = ("lockstep", "threaded")
+
+
+def build(
+    collective: str,
+    algorithm: str,
+    *,
+    p: int,
+    k: Optional[int] = None,
+    root: int = 0,
+) -> Schedule:
+    """Compile ``algorithm`` for ``collective`` over ``p`` ranks.
+
+    ``k`` is the generalization radix (each algorithm's default when
+    omitted); ``root`` matters only for rooted collectives.  Returns the
+    validated :class:`~repro.core.schedule.Schedule` IR that every other
+    entry point consumes.
+
+    >>> import repro
+    >>> repro.build("allreduce", "recursive_multiplying", p=9, k=3).nranks
+    9
+    """
+    return _build_schedule(collective, algorithm, p, k=k, root=root)
+
+
+def simulate(
+    schedule: Schedule,
+    machine: MachineSpec,
+    *,
+    nbytes: int,
+    noise=None,
+    faults=None,
+    timeline: bool = False,
+    block_map=None,
+    obs: Optional[Obs] = None,
+) -> SimResult:
+    """Time ``schedule`` moving ``nbytes`` total on a simulated ``machine``.
+
+    Keyword-only wrapper over :func:`repro.simnet.simulate`; ``timeline``
+    requests per-message event collection (the old ``collect_timeline``),
+    ``noise`` perturbs link costs, ``faults`` injects drops/crashes, and
+    ``obs`` selects an observability scope (default: the process-global
+    one — see :mod:`repro.obs`).
+    """
+    return _simulate(
+        schedule,
+        machine,
+        nbytes,
+        noise=noise,
+        faults=faults,
+        collect_timeline=timeline,
+        block_map=block_map,
+        obs=obs,
+    )
+
+
+def execute(
+    collective: str,
+    algorithm: str,
+    *,
+    p: int,
+    count: int,
+    backend: str = "lockstep",
+    k: Optional[int] = None,
+    root: int = 0,
+    op: ReduceOp = SUM,
+    dtype: np.dtype = np.dtype(np.int64),
+    seed: int = 0,
+    check: bool = True,
+    rtol: float = 0.0,
+    atol: float = 0.0,
+    timeout: float = 30.0,
+    faults=None,
+    obs: Optional[Obs] = None,
+) -> CollectiveRun:
+    """Build, run, and check a collective end to end on real data.
+
+    Replaces the ``run_collective`` / ``run_collective_threaded`` split
+    with one entry point: ``backend="lockstep"`` runs the deterministic
+    matching engine in-process, ``backend="threaded"`` runs one real
+    thread per rank over channels (``timeout`` and ``faults`` apply only
+    there).  Inputs are seeded (``seed``) so runs are reproducible;
+    ``check=True`` verifies every rank's output against the collective's
+    reference semantics.  Returns a
+    :class:`~repro.runtime.executor.CollectiveRun` with the schedule,
+    inputs, final buffers, and expected outputs.
+
+    >>> import numpy as np, repro
+    >>> run = repro.execute("allreduce", "recursive_multiplying",
+    ...                     p=9, count=17, k=3)
+    >>> bool(np.array_equal(run.buffers[0], run.expected[0]))
+    True
+    """
+    if backend not in BACKENDS:
+        raise ExecutionError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+    if backend == "lockstep":
+        if faults is not None:
+            raise ExecutionError(
+                "faults require backend='threaded' (the lockstep engine "
+                "has no wire to lose messages on)"
+            )
+        if timeout != 30.0:
+            raise ExecutionError(
+                "timeout applies only to backend='threaded'"
+            )
+    schedule = build(collective, algorithm, p=p, k=k, root=root)
+    rng = np.random.default_rng(seed)
+    inputs = make_inputs(collective, p, count, dtype=dtype, root=root, rng=rng)
+    buffers = initial_buffers(schedule, inputs, count, dtype=dtype)
+    if backend == "lockstep":
+        _execute_lockstep(schedule, buffers, op=op, obs=obs)
+    else:
+        _execute_threaded(
+            schedule, buffers, op=op, timeout=timeout, faults=faults
+        )
+    expected = reference_result(collective, inputs, count, op=op, root=root)
+    if check:
+        check_outputs(schedule, buffers, expected, count, rtol=rtol, atol=atol)
+    return CollectiveRun(
+        schedule=schedule, inputs=inputs, buffers=buffers, expected=expected
+    )
+
+
+# ---------------------------------------------------------------------------
+# Deprecated pre-facade spellings.
+#
+# Each warns exactly once per process (per name), then delegates to the
+# unchanged implementation.  Importing the implementation modules
+# directly (repro.runtime.executor.run_collective, repro.simnet.simulate)
+# never warns — only the top-level legacy spellings do.
+# ---------------------------------------------------------------------------
+
+_warned: set = set()
+
+
+def _deprecated(old: str, new: str) -> None:
+    if old in _warned:
+        return
+    _warned.add(old)
+    warnings.warn(
+        f"repro.{old} is deprecated; use repro.{new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def legacy_build_schedule(
+    collective: str,
+    algorithm: str,
+    p: int,
+    *,
+    k: Optional[int] = None,
+    root: int = 0,
+) -> Schedule:
+    """Deprecated spelling of :func:`build` (positional ``p``)."""
+    _deprecated("build_schedule", "build(..., p=...)")
+    return _build_schedule(collective, algorithm, p, k=k, root=root)
+
+
+def legacy_run_collective(
+    collective: str,
+    algorithm: str,
+    p: int,
+    count: int,
+    **kwargs,
+) -> CollectiveRun:
+    """Deprecated spelling of :func:`execute` (lockstep backend)."""
+    _deprecated("run_collective", "execute(..., p=..., count=...)")
+    from .runtime.executor import run_collective as impl
+
+    return impl(collective, algorithm, p, count, **kwargs)
+
+
+def legacy_run_collective_threaded(
+    collective: str,
+    algorithm: str,
+    p: int,
+    count: int,
+    **kwargs,
+) -> List[np.ndarray]:
+    """Deprecated spelling of :func:`execute` with ``backend='threaded'``."""
+    _deprecated(
+        "run_collective_threaded", "execute(..., backend='threaded')"
+    )
+    from .runtime.threaded import run_collective_threaded as impl
+
+    return impl(collective, algorithm, p, count, **kwargs)
+
+
+def legacy_execute_threaded(schedule, buffers, **kwargs):
+    """Deprecated schedule-level threaded entry point."""
+    _deprecated(
+        "execute_threaded",
+        "execute(..., backend='threaded') or repro.runtime.execute_threaded",
+    )
+    return _execute_threaded(schedule, buffers, **kwargs)
+
+
+def dispatching_simulate(schedule, machine, nbytes=None, **kwargs):
+    """Top-level ``repro.simulate``: the facade plus legacy spellings.
+
+    Accepts ``nbytes`` positionally (the pre-facade signature) and maps
+    the old ``collect_timeline=`` keyword onto ``timeline=`` with a
+    one-time :class:`DeprecationWarning`.
+    """
+    if "collect_timeline" in kwargs:
+        _deprecated(
+            "simulate(..., collect_timeline=...)",
+            "simulate(..., timeline=...)",
+        )
+        kwargs.setdefault("timeline", kwargs.pop("collect_timeline"))
+    if nbytes is not None:
+        if "nbytes" in kwargs:
+            raise TypeError("simulate() got multiple values for 'nbytes'")
+        kwargs["nbytes"] = nbytes
+    return simulate(schedule, machine, **kwargs)
+
+
+def dispatching_execute(collective, algorithm=None, **kwargs):
+    """Top-level ``repro.execute``: new facade plus legacy dispatch.
+
+    The pre-facade ``repro.execute(schedule, buffers)`` took a built
+    schedule and per-rank arrays.  When the first argument is a
+    :class:`~repro.core.schedule.Schedule` this wrapper warns once and
+    delegates to :func:`repro.runtime.execute`; otherwise it is the
+    facade's name-based :func:`execute`.
+    """
+    if isinstance(collective, Schedule):
+        _deprecated(
+            "execute(schedule, buffers)",
+            "execute(collective, algorithm, *, p=..., count=...) or "
+            "repro.runtime.execute",
+        )
+        return _execute_lockstep(collective, algorithm, **kwargs)
+    return execute(collective, algorithm, **kwargs)

@@ -38,6 +38,7 @@ from typing import Dict, List, Optional, Sequence
 from ..core.cache import ScheduleCache, global_schedule_cache
 from ..core.registry import GENERALIZED_ALGORITHMS, info
 from ..errors import ReproError
+from ..obs import OBS
 from ..parallel import _available_cpus, resolve_jobs
 from ..selection.tuner import radix_grid
 from ..simnet.machine import MachineSpec
@@ -53,7 +54,7 @@ __all__ = [
     "load_report",
 ]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 # Default measurement configuration. Smoke mode trims the grid so CI can
 # afford the run; the metrics keep the same shape either way.
@@ -191,6 +192,51 @@ def _bench_full_sweep(
     return report
 
 
+def _bench_obs_overhead(machine: MachineSpec, sizes: Sequence[int]) -> Dict:
+    """Cached-path sweep with instrumentation off vs. fully on.
+
+    The off timing re-measures the same workload as the full-sweep tier,
+    immediately before the on timing, so the two differ only by the
+    :mod:`repro.obs` layer.  Results must stay bit-identical — the
+    observability contract is that instrumentation never changes what is
+    computed, only what is recorded.  The enabled run's metrics are left
+    in the (disabled) global scope so ``repro-bench-perf --metrics-out``
+    can dump them.
+    """
+    points = full_sweep_points(machine, sizes)
+
+    clear_sim_memo()
+    global_schedule_cache().clear()
+    t0 = time.perf_counter()
+    off = run_sweep(points, machine, reuse=True)
+    off_s = time.perf_counter() - t0
+
+    clear_sim_memo()
+    global_schedule_cache().clear()
+    OBS.reset()
+    OBS.enable()
+    try:
+        t0 = time.perf_counter()
+        on = run_sweep(points, machine, reuse=True)
+        on_s = time.perf_counter() - t0
+    finally:
+        OBS.disable()  # deliberately no reset: see docstring
+
+    if [r.time for r in off] != [r.time for r in on]:
+        raise ReproError(
+            "obs overhead integrity check failed: instrumented sweep "
+            "results differ from the uninstrumented path"
+        )
+    return {
+        "points": len(points),
+        "off_s": off_s,
+        "on_s": on_s,
+        "overhead_ratio": on_s / off_s if off_s > 0 else float("inf"),
+        "results_identical": True,
+        "spans": len(OBS.tracer.spans()),
+    }
+
+
 def run_perf(
     *,
     machine_name: str = "frontier",
@@ -218,12 +264,14 @@ def run_perf(
         "schedule_build": _bench_schedule_build(machine, repeats * 20),
         "single_sim": _bench_single_sim(machine, repeats),
         "full_sweep": _bench_full_sweep(machine, sizes, jobs_levels),
+        "obs": _bench_obs_overhead(machine, sizes),
     }
     return report
 
 
 def check_regression(
-    current: Dict, baseline: Dict, *, factor: float = 2.0
+    current: Dict, baseline: Dict, *, factor: float = 2.0,
+    obs_factor: float = 1.05,
 ) -> List[str]:
     """Compare a fresh report against the committed baseline.
 
@@ -233,6 +281,14 @@ def check_regression(
     full-sweep speedup is additionally required not to collapse below
     1.0 (the caches must never make the sweep *slower* than the cold
     path).
+
+    The observability layer gets its own, much tighter gate: when the
+    two reports timed the same workload, the instrumentation-*disabled*
+    sweep must stay within ``obs_factor`` (default 5%) of the committed
+    baseline's disabled sweep; enabled instrumentation must never slow
+    the sweep beyond 2x; and the instrumented path must have produced
+    bit-identical results.  Reports predating the ``obs`` section
+    (schema 1) skip the obs gate rather than failing on a missing key.
     """
     failures: List[str] = []
     for metric in ("cold_us", "cached_us"):
@@ -251,6 +307,38 @@ def check_regression(
         )
     if not sweep.get("results_identical", False):
         failures.append("cached sweep results diverged from the cold path")
+    obs = current.get("obs")
+    base_obs = baseline.get("obs")
+    if obs is not None:
+        if not obs.get("results_identical", False):
+            failures.append(
+                "instrumented sweep results diverged from the "
+                "uninstrumented path"
+            )
+        if obs.get("overhead_ratio", 1.0) > 2.0:
+            failures.append(
+                f"enabled instrumentation slows the sweep "
+                f"{obs['overhead_ratio']:.2f}x (allowed 2.0x)"
+            )
+        # The tight wall-clock gate only makes sense when the two
+        # reports timed the same workload (a --smoke run against the
+        # committed full-grid baseline would compare different sweeps).
+        comparable = (
+            base_obs is not None
+            and base_obs.get("off_s", 0) > 0
+            and obs.get("points") == base_obs.get("points")
+            and current["meta"].get("sizes") == baseline["meta"].get("sizes")
+            and current["meta"].get("nranks") == baseline["meta"].get("nranks")
+        )
+        if comparable:
+            ratio = obs["off_s"] / base_obs["off_s"]
+            if ratio > obs_factor:
+                failures.append(
+                    f"instrumentation-disabled sweep regressed "
+                    f"{ratio:.3f}x vs baseline "
+                    f"({base_obs['off_s']:.2f}s -> {obs['off_s']:.2f}s, "
+                    f"allowed {obs_factor:.2f}x)"
+                )
     return failures
 
 
@@ -292,5 +380,13 @@ def format_report(report: Dict) -> str:
             f"  --jobs {jobs:>2}      : {row['wall_s']:6.2f} s "
             f"({row['speedup_vs_before']:.2f}x vs cold, effective "
             f"workers {row['effective_jobs']})"
+        )
+    obs = report.get("obs")
+    if obs is not None:
+        lines.append(
+            f"  obs overhead   : off {obs['off_s']:8.2f} s | on     "
+            f"{obs['on_s']:6.2f} s | {obs['overhead_ratio']:5.2f}x "
+            f"({obs['spans']} spans, results identical: "
+            f"{obs['results_identical']})"
         )
     return "\n".join(lines)

@@ -32,6 +32,8 @@ Two layers live here:
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -39,7 +41,8 @@ from ..core.cache import global_schedule_cache, schedule_key
 from ..core.registry import info
 from ..errors import ReproError
 from ..faults.plan import FaultPlan
-from ..parallel import run_chunks
+from ..obs import OBS, MetricsSnapshot, SimTimeline, SpanRecord, TraceContext
+from ..parallel import resolve_jobs, run_chunks
 from ..simnet.machine import MachineSpec
 from ..simnet.noise import NoiseModel
 from ..simnet.simulate import simulate
@@ -48,6 +51,8 @@ from ..selection.tuner import radix_grid
 __all__ = [
     "SweepPoint",
     "SweepPointResult",
+    "SweepStats",
+    "sweep_stats",
     "simulate_point",
     "clear_sim_memo",
     "run_sweep",
@@ -103,6 +108,51 @@ class SweepPointResult:
         return self.time * 1e6
 
 
+@dataclass(frozen=True)
+class SweepStats:
+    """Aggregate cache/memo accounting for one sweep's results.
+
+    The frozen, ``to_dict()``-bearing consolidation of what used to be
+    loose ``cache_hit``/``sim_hit`` booleans — same protocol as
+    :class:`~repro.core.cache.CacheStats` and
+    :class:`~repro.simnet.trace.TimelineStats`, so sweep accounting
+    drops uniformly into :mod:`repro.obs` snapshots and JSON reports.
+    """
+
+    points: int
+    errors: int
+    build_hits: int
+    sim_hits: int
+
+    @property
+    def build_hit_rate(self) -> float:
+        return self.build_hits / self.points if self.points else 0.0
+
+    @property
+    def sim_memo_rate(self) -> float:
+        return self.sim_hits / self.points if self.points else 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "points": self.points,
+            "errors": self.errors,
+            "build_hits": self.build_hits,
+            "sim_hits": self.sim_hits,
+            "build_hit_rate": self.build_hit_rate,
+            "sim_memo_rate": self.sim_memo_rate,
+        }
+
+
+def sweep_stats(results: Sequence[SweepPointResult]) -> SweepStats:
+    """Fold per-point hit booleans into one :class:`SweepStats`."""
+    return SweepStats(
+        points=len(results),
+        errors=sum(1 for r in results if r.error is not None),
+        build_hits=sum(1 for r in results if r.cache_hit),
+        sim_hits=sum(1 for r in results if r.sim_hit),
+    )
+
+
 # Memo of completed simulations.  simulate() is a pure function of
 # (schedule, machine, nbytes, noise, faults) and every component of the
 # key hashes by value, so replaying a previously seen point returns the
@@ -135,7 +185,38 @@ def simulate_point(
     uses it to measure the cold path, and the property tests use it to
     prove reuse never changes a result.  Raises nothing: errors come back
     in the result record.
+
+    With observability enabled the point's wall time lands in the
+    ``repro_sweep_point_seconds`` histogram and a per-outcome counter —
+    never changing the simulated result itself.
     """
+    if not OBS.enabled:
+        return _simulate_point_impl(
+            machine, point, noise=noise, faults=faults, reuse=reuse
+        )
+    t0 = time.perf_counter()
+    res = _simulate_point_impl(
+        machine, point, noise=noise, faults=faults, reuse=reuse
+    )
+    dt = time.perf_counter() - t0
+    outcome = (
+        "error" if res.error is not None
+        else ("memo" if res.sim_hit else "simulated")
+    )
+    m = OBS.metrics
+    m.counter("repro_sweep_points_total", outcome=outcome).inc()
+    m.histogram("repro_sweep_point_seconds").observe(dt)
+    return res
+
+
+def _simulate_point_impl(
+    machine: MachineSpec,
+    point: SweepPoint,
+    *,
+    noise: Optional[NoiseModel],
+    faults: Optional[FaultPlan],
+    reuse: bool,
+) -> SweepPointResult:
     try:
         entry = info(point.collective, point.algorithm)
         root = point.root if entry.takes_root else 0
@@ -182,20 +263,75 @@ def simulate_point(
 
 
 # A chunk ships everything one worker call needs in a single pickle.
+# The trailing TraceContext is None unless the parent sweep is being
+# observed — workers join its trace and ship their records back.
 _ChunkTask = Tuple[MachineSpec, Optional[NoiseModel], Optional[FaultPlan],
-                   bool, Tuple[SweepPoint, ...]]
+                   bool, Tuple[SweepPoint, ...], Optional[TraceContext]]
 
 
-def _run_chunk(task: _ChunkTask) -> List[SweepPointResult]:
+@dataclass(frozen=True)
+class _ObsEnvelope:
+    """A worker chunk's results plus its observability records.
+
+    Spans/timelines/metrics recorded inside a pool worker cannot reach
+    the parent's registry directly; they ride home with the results and
+    :func:`run_sweep` splices them in, which is how ``--jobs N`` yields
+    one merged trace instead of N orphans.
+    """
+
+    results: Tuple[SweepPointResult, ...]
+    spans: Tuple[SpanRecord, ...]
+    timelines: Tuple[SimTimeline, ...]
+    metrics: MetricsSnapshot
+    busy_s: float
+
+
+def _run_chunk(task: _ChunkTask):
     """Simulate one chunk of points (runs inside a worker process).
 
     Never raises: per-point errors are folded into the results so one
     bad configuration cannot poison the pool or its sibling points.
     """
-    machine, noise, faults, reuse, points = task
+    machine, noise, faults, reuse, points, ctx = task
+    if ctx is None or ctx.origin_pid == os.getpid():
+        # Plain path — or the parent process itself (serial/degenerate
+        # pool), where records land directly in the live registry.  The
+        # pid check, not OBS.enabled, identifies a worker: fork-started
+        # workers inherit the parent's enabled scope wholesale.
+        return [
+            simulate_point(
+                machine, pt, noise=noise, faults=faults, reuse=reuse
+            )
+            for pt in points
+        ]
+    # Pool worker joining an observed parent sweep: open a fresh scope
+    # under the parent's trace context, capture, and ship everything back.
+    OBS.reset()
+    OBS.enable(context=ctx)
+    t0 = time.perf_counter()
+    try:
+        with OBS.span("sweep_chunk", points=len(points)):
+            results = [
+                simulate_point(
+                    machine, pt, noise=noise, faults=faults, reuse=reuse
+                )
+                for pt in points
+            ]
+    finally:
+        busy = time.perf_counter() - t0
+        spans = OBS.tracer.spans()
+        timelines = OBS.tracer.timelines()
+        snap = OBS.metrics.snapshot()
+        OBS.disable()
+        OBS.reset()
     return [
-        simulate_point(machine, pt, noise=noise, faults=faults, reuse=reuse)
-        for pt in points
+        _ObsEnvelope(
+            results=tuple(results),
+            spans=spans,
+            timelines=timelines,
+            metrics=snap,
+            busy_s=busy,
+        )
     ]
 
 
@@ -205,6 +341,7 @@ def _chunk_points(
     faults: Optional[FaultPlan],
     reuse: bool,
     points: Sequence[SweepPoint],
+    ctx: Optional[TraceContext] = None,
 ) -> List[_ChunkTask]:
     """Group consecutive points that share a schedule into one chunk.
 
@@ -217,11 +354,11 @@ def _chunk_points(
     group: List[SweepPoint] = []
     for pt in points:
         if group and pt.schedule_params() != group[-1].schedule_params():
-            chunks.append((machine, noise, faults, reuse, tuple(group)))
+            chunks.append((machine, noise, faults, reuse, tuple(group), ctx))
             group = []
         group.append(pt)
     if group:
-        chunks.append((machine, noise, faults, reuse, tuple(group)))
+        chunks.append((machine, noise, faults, reuse, tuple(group), ctx))
     return chunks
 
 
@@ -239,10 +376,41 @@ def run_sweep(
     ``jobs=0``/``1`` runs serially in-process; ``jobs>=2`` fans chunks
     out to a process pool; ``jobs<0`` uses every core.  Output is
     bit-identical across all of them, and — because simulation is pure —
-    across ``reuse`` settings too.
+    across ``reuse`` settings too.  With observability enabled the whole
+    sweep is one ``sweep`` span; worker spans and metrics merge back into
+    it (see :class:`_ObsEnvelope`), and worker utilization lands in
+    ``repro_sweep_worker_busy_seconds_total``.
     """
-    chunks = _chunk_points(machine, noise, faults, reuse, points)
-    return run_chunks(_run_chunk, chunks, jobs=jobs)
+    if not OBS.enabled:
+        chunks = _chunk_points(machine, noise, faults, reuse, points)
+        return run_chunks(_run_chunk, chunks, jobs=jobs)
+    with OBS.span("sweep", points=len(points), jobs=jobs):
+        effective = resolve_jobs(jobs)
+        ctx = OBS.tracer.context() if effective >= 2 else None
+        chunks = _chunk_points(machine, noise, faults, reuse, points, ctx)
+        t0 = time.perf_counter()
+        raw = run_chunks(_run_chunk, chunks, jobs=jobs)
+        wall = time.perf_counter() - t0
+        out: List[SweepPointResult] = []
+        busy = 0.0
+        merged = 0
+        for item in raw:
+            if isinstance(item, _ObsEnvelope):
+                merged += 1
+                OBS.tracer.adopt(item.spans, item.timelines)
+                OBS.metrics.merge(item.metrics)
+                busy += item.busy_s
+                out.extend(item.results)
+            else:
+                out.append(item)
+        if merged:
+            m = OBS.metrics
+            m.counter("repro_sweep_worker_busy_seconds_total").inc(busy)
+            if wall > 0 and effective >= 2:
+                m.gauge("repro_sweep_worker_utilization").set_max(
+                    busy / (wall * effective)
+                )
+        return out
 
 
 def sweep_errors(results: Sequence[SweepPointResult]) -> List[str]:

@@ -30,6 +30,13 @@ Three console scripts are installed with the package:
     ``BENCH_perf.json``; with ``--baseline`` it also gates against a
     committed report: ``repro-bench-perf -o BENCH_perf.json`` then
     ``repro-bench-perf --smoke --baseline BENCH_perf.json`` in CI.
+
+``repro-trace``
+    Run one collective point under full observability and write a
+    Perfetto/Chrome-loadable trace (host spans merged with the simulated
+    message timeline on one timebase) plus a metrics snapshot (JSON and
+    Prometheus text): ``repro-trace allreduce recursive_multiplying
+    --p 64 --k 4 --nbytes 65536 -o trace.json``.
 """
 
 from __future__ import annotations
@@ -52,6 +59,7 @@ __all__ = [
     "main_validate",
     "main_chaos",
     "main_bench_perf",
+    "main_trace",
 ]
 
 
@@ -130,8 +138,17 @@ def main_tune(argv: Optional[List[str]] = None) -> int:
                         "job count")
     parser.add_argument("-o", "--output", default=None,
                         help="write JSON here (default: stdout)")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="enable observability for the sweep and "
+                        "write a metrics snapshot here (JSON; Prometheus "
+                        "text beside it as .prom)")
     args = parser.parse_args(argv)
 
+    from .obs import OBS
+
+    if args.metrics_out:
+        OBS.reset()
+        OBS.enable()
     try:
         machine = by_name(args.machine, args.nodes, args.ppn)
         sizes = [n for n in default_sizes(args.min_bytes, args.max_bytes)]
@@ -141,6 +158,11 @@ def main_tune(argv: Optional[List[str]] = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if args.metrics_out:
+            OBS.write_metrics(args.metrics_out)
+            OBS.disable()
+            print(f"wrote {args.metrics_out} (+ .prom)", file=sys.stderr)
     if args.output:
         table.save(args.output)
         print(f"wrote {args.output}")
@@ -310,6 +332,15 @@ def main_bench_perf(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--factor", type=float, default=2.0,
                         help="allowed regression factor vs the baseline "
                         "(default 2.0)")
+    parser.add_argument("--obs-factor", type=float, default=1.05,
+                        help="allowed factor for the instrumentation-"
+                        "disabled sweep vs the baseline (default 1.05 "
+                        "= within 5%%)")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="after the timed (instrumentation-off) "
+                        "sections, re-run the cached sweep with "
+                        "observability on and write its metrics snapshot "
+                        "here (JSON; Prometheus text beside it as .prom)")
     args = parser.parse_args(argv)
 
     from .bench.perf import (
@@ -332,6 +363,13 @@ def main_bench_perf(argv: Optional[List[str]] = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(format_report(report))
+    if args.metrics_out:
+        # run_perf leaves the metrics of its obs-overhead section in the
+        # global scope (disabled but not reset) exactly for this dump.
+        from .obs import OBS
+
+        OBS.write_metrics(args.metrics_out)
+        print(f"wrote {args.metrics_out} (+ .prom)")
     if args.output:
         write_report(report, args.output)
         print(f"wrote {args.output}")
@@ -341,14 +379,125 @@ def main_bench_perf(argv: Optional[List[str]] = None) -> int:
         except (OSError, ValueError, ReproError) as exc:
             print(f"error: cannot load baseline: {exc}", file=sys.stderr)
             return 2
-        failures = check_regression(report, baseline, factor=args.factor)
+        failures = check_regression(report, baseline, factor=args.factor,
+                                    obs_factor=args.obs_factor)
         if failures:
             for failure in failures:
                 print(f"PERF REGRESSION: {failure}", file=sys.stderr)
             return 1
         print(f"no regression vs {args.baseline} "
-              f"(factor {args.factor:.1f}x)")
+              f"(factor {args.factor:.1f}x, obs {args.obs_factor:.2f}x)")
     return 0
+
+
+def main_trace(argv: Optional[List[str]] = None) -> int:
+    """``repro-trace``: one collective under full observability."""
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description="Trace one collective point end to end: a size sweep "
+        "around the requested point (exercising the schedule cache and "
+        "the simulator) plus a per-message timeline, merged into one "
+        "Perfetto/Chrome trace and a metrics snapshot.",
+    )
+    parser.add_argument("collective", choices=COLLECTIVES)
+    parser.add_argument("algorithm")
+    parser.add_argument("--p", type=int, default=64,
+                        help="total ranks (default 64)")
+    parser.add_argument("--k", type=int, default=None,
+                        help="generalization radix")
+    parser.add_argument("--root", type=int, default=0)
+    parser.add_argument("--nbytes", type=int, default=65536,
+                        help="message size at the traced point "
+                        "(default 65536)")
+    parser.add_argument("--machine", default="frontier",
+                        choices=["frontier", "polaris", "reference"])
+    parser.add_argument("--ppn", type=int, default=1,
+                        help="processes per node (nodes = p / ppn)")
+    parser.add_argument("-j", "--jobs", type=int, default=0,
+                        help="worker processes for the sweep "
+                        "(0/1 serial, -1 all cores)")
+    parser.add_argument("-o", "--output", default="trace.json",
+                        metavar="PATH",
+                        help="Perfetto trace path (default trace.json)")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="metrics snapshot path (default: "
+                        "<output stem>-metrics.json; Prometheus text "
+                        "beside it as .prom)")
+    args = parser.parse_args(argv)
+
+    from pathlib import Path
+
+    from .api import build, simulate
+    from .bench.sweep import SweepPoint, run_sweep, sweep_stats
+    from .obs import OBS
+
+    if args.p % args.ppn:
+        print(f"error: p={args.p} not divisible by ppn={args.ppn}",
+              file=sys.stderr)
+        return 2
+    metrics_out = args.metrics_out or str(
+        Path(args.output).with_name(Path(args.output).stem + "-metrics.json")
+    )
+    try:
+        machine = by_name(args.machine, args.p // args.ppn, args.ppn)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    OBS.reset()
+    OBS.enable()
+    try:
+        with OBS.span(
+            "trace",
+            collective=args.collective,
+            algorithm=args.algorithm,
+            p=args.p,
+            nbytes=args.nbytes,
+        ):
+            # A small size sweep around the requested point: repeated
+            # schedule params across sizes exercise the schedule cache
+            # (1 miss + hits) and the simulator's event engine.
+            sizes = sorted(
+                {max(args.nbytes // 4, 1), args.nbytes, args.nbytes * 4}
+            )
+            points = [
+                SweepPoint(args.collective, args.algorithm, n,
+                           k=args.k, root=args.root)
+                for n in sizes
+            ]
+            results = run_sweep(points, machine, jobs=args.jobs)
+            # The traced point itself, with the per-message timeline that
+            # becomes the simulated track in the Perfetto export.
+            sched = build(args.collective, args.algorithm,
+                          p=args.p, k=args.k, root=args.root)
+            res = simulate(sched, machine, nbytes=args.nbytes,
+                           timeline=True)
+    except ReproError as exc:
+        OBS.disable()
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    trace_path = OBS.write_trace(
+        args.output,
+        metadata={
+            "tool": "repro-trace",
+            "machine": machine.name,
+            "point": f"{args.collective}/{args.algorithm} "
+                     f"p={args.p} k={args.k} nbytes={args.nbytes}",
+        },
+    )
+    OBS.write_metrics(metrics_out)
+    OBS.disable()
+
+    stats = sweep_stats(results)
+    print(f"{args.collective}/{args.algorithm} p={args.p} k={args.k} "
+          f"nbytes={args.nbytes} on {machine.name}: "
+          f"{res.time_us:.1f} us, {res.messages} messages")
+    print(f"sweep: {stats.points} points, "
+          f"build hit rate {stats.build_hit_rate:.0%}")
+    print(f"wrote {trace_path} "
+          f"(open at https://ui.perfetto.dev or chrome://tracing)")
+    print(f"wrote {metrics_out} (+ .prom)")
+    return 1 if stats.errors else 0
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation helper

@@ -39,6 +39,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from ..errors import ScheduleError
+from ..obs import OBS
 from .registry import info
 from .schedule import Schedule
 
@@ -94,9 +95,15 @@ def schedule_key(
     return (collective, algorithm, int(p), k, root)
 
 
-@dataclass
+@dataclass(frozen=True)
 class CacheStats:
-    """Counters for one :class:`ScheduleCache` (the perf bench reports these)."""
+    """Immutable snapshot of one :class:`ScheduleCache`'s counters.
+
+    Returned by :meth:`ScheduleCache.stats`; shares the ``to_dict()``
+    stats protocol with :class:`~repro.bench.sweep.SweepStats` and
+    :class:`~repro.simnet.trace.TimelineStats`, so :mod:`repro.obs`
+    snapshots and JSON exports are uniform across subsystems.
+    """
 
     hits: int = 0
     misses: int = 0
@@ -112,13 +119,16 @@ class CacheStats:
         n = self.lookups
         return self.hits / n if n else 0.0
 
-    def as_dict(self) -> Dict[str, float]:
+    def to_dict(self) -> Dict[str, float]:
         return {
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
             "hit_rate": self.hit_rate,
         }
+
+    # Back-compat spelling (pre-obs callers used as_dict()).
+    as_dict = to_dict
 
 
 class ScheduleCache:
@@ -130,16 +140,25 @@ class ScheduleCache:
     than the default 512 distinct points.
     """
 
-    def __init__(self, maxsize: int = 512) -> None:
+    def __init__(self, maxsize: int = 512, name: str = "schedule") -> None:
         if maxsize < 1:
             raise ScheduleError(f"cache maxsize must be >= 1, got {maxsize}")
         self.maxsize = maxsize
-        self.stats = CacheStats()
+        self.name = name
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
         self._entries: "OrderedDict[ScheduleKey, Schedule]" = OrderedDict()
         self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def stats(self) -> CacheStats:
+        """Frozen snapshot of the hit/miss/eviction counters."""
+        return CacheStats(
+            hits=self._hits, misses=self._misses, evictions=self._evictions
+        )
 
     def get_or_build(
         self,
@@ -156,19 +175,35 @@ class ScheduleCache:
             sched = self._entries.get(key)
             if sched is not None:
                 self._entries.move_to_end(key)
-                self.stats.hits += 1
+                self._hits += 1
+                if OBS.enabled:
+                    OBS.metrics.counter(
+                        "repro_cache_lookups_total",
+                        cache=self.name,
+                        outcome="hit",
+                    ).inc()
                 return sched, True
-            self.stats.misses += 1
+            self._misses += 1
+        if OBS.enabled:
+            OBS.metrics.counter(
+                "repro_cache_lookups_total", cache=self.name, outcome="miss"
+            ).inc()
         # Build outside the lock: builders are pure, so a racing duplicate
         # build wastes a little work but stays correct (last insert wins,
         # both objects are step-identical).
         sched = info(collective, algorithm).build(p, k=k, root=root)
+        evicted = 0
         with self._lock:
             self._entries[key] = sched
             self._entries.move_to_end(key)
             while len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)
-                self.stats.evictions += 1
+                self._evictions += 1
+                evicted += 1
+        if evicted and OBS.enabled:
+            OBS.metrics.counter(
+                "repro_cache_evictions_total", cache=self.name
+            ).inc(evicted)
         return sched, False
 
     def build(
@@ -187,7 +222,7 @@ class ScheduleCache:
         """Drop every entry and reset the counters."""
         with self._lock:
             self._entries.clear()
-            self.stats = CacheStats()
+            self._hits = self._misses = self._evictions = 0
 
 
 _GLOBAL = ScheduleCache()

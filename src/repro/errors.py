@@ -18,6 +18,8 @@ __all__ = [
     "MachineError",
     "SelectionError",
     "ModelError",
+    "TraceError",
+    "ObsError",
     "FaultError",
     "PartialFailure",
 ]
@@ -67,6 +69,21 @@ class SelectionError(ReproError):
 class ModelError(ReproError):
     """Raised when an analytical model is evaluated outside its domain
     (e.g. ``p < 2`` or a radix the model does not define)."""
+
+
+class TraceError(ReproError):
+    """Raised when timeline/trace analysis is asked for data that was
+    never collected — e.g. :func:`repro.simnet.trace.timeline_stats` on a
+    :class:`~repro.simnet.simulate.SimResult` simulated without
+    ``collect_timeline=True``.  A result-shape problem, not a machine
+    misconfiguration (it was historically misfiled as
+    :class:`MachineError`)."""
+
+
+class ObsError(ReproError):
+    """Raised for observability misuse: mismatched metric kinds on one
+    name, malformed histogram buckets, or attaching a simnet timeline
+    outside any span."""
 
 
 class FaultError(ExecutionError):

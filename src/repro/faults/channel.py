@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
 from ..errors import MachineError
+from ..obs import OBS
 from .plan import FaultPlan, RetryPolicy
 
 __all__ = [
@@ -159,10 +160,16 @@ class LossyChannel:
         plan = self.plan
         if plan is not None:
             if plan.drops(self.src, self.dst, seq, attempt):
+                if OBS.enabled:
+                    OBS.metrics.counter("repro_faults_drops_total").inc()
                 return  # lost on the wire; the monitor will retransmit
             copies = 1 + (
                 plan.duplicates(self.src, self.dst, seq) if attempt == 0 else 0
             )
+            if copies > 1 and OBS.enabled:
+                OBS.metrics.counter("repro_faults_duplicates_total").inc(
+                    copies - 1
+                )
         else:
             copies = 1
         for _ in range(copies):
@@ -242,8 +249,16 @@ class LossyChannel:
                     self.failure = failure
                     del self._inflight[seq]
                     return failure
-                entry.deadline = now + self.policy.rto_after(entry.attempt)
+                backoff = self.policy.rto_after(entry.attempt)
+                entry.deadline = now + backoff
                 self.retransmissions += 1
+                if OBS.enabled:
+                    OBS.metrics.counter(
+                        "repro_faults_retransmissions_total"
+                    ).inc()
+                    OBS.metrics.counter(
+                        "repro_faults_backoff_seconds_total"
+                    ).inc(backoff)
                 resend.append(_Packet(seq, entry.attempt, entry.payload))
         for pkt in resend:
             self._transmit(pkt.seq, pkt.payload, pkt.attempt)

@@ -1,0 +1,286 @@
+"""Span-based tracing with cross-process context propagation.
+
+A *span* is one named, timed region of host work — ``build``,
+``simulate``, ``sweep_chunk`` — with a parent, so nested ``with
+obs.span(...)`` calls form a tree.  Timestamps come from
+``time.monotonic()``: on Linux that is ``CLOCK_MONOTONIC``, which is
+shared by every process on the host, so spans recorded inside
+``ProcessPoolExecutor`` workers land on the *same timebase* as the
+parent's and merge into one coherent trace without clock fixups.
+
+Cross-process threading: the parent serializes a :class:`TraceContext`
+(trace id + parent span id) into each worker task; the worker opens its
+spans under that context and ships the finished :class:`SpanRecord`
+tuples back with its results; :meth:`Tracer.adopt` splices them into the
+parent's trace.  IDs are drawn from a per-process deterministic counter
+namespaced by PID, so merged traces never collide.
+
+Simulated-time anchoring: :meth:`Tracer.attach_timeline` associates a
+simnet message timeline (simulated seconds from 0) with the host span
+that ran the simulation.  The Perfetto exporter
+(:mod:`repro.obs.export`) uses the span's host start time as the
+timeline's origin, putting host work and simulated traffic on one
+merged, zoomable timebase.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ObsError
+
+__all__ = [
+    "SpanRecord",
+    "SimTimeline",
+    "TraceContext",
+    "Tracer",
+]
+
+#: ((key, value), ...) — stringified span annotations.
+SpanArgs = Tuple[Tuple[str, str], ...]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span (picklable: workers ship tuples of these)."""
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str]
+    name: str
+    t0: float  # CLOCK_MONOTONIC seconds
+    t1: float
+    args: SpanArgs = ()
+    pid: int = 0
+    thread: str = "main"
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "t0": self.t0,
+            "t1": self.t1,
+            "duration": self.duration,
+            "args": dict(self.args),
+            "pid": self.pid,
+            "thread": self.thread,
+        }
+
+
+@dataclass(frozen=True)
+class SimTimeline:
+    """A simnet message timeline anchored to the host span that ran it.
+
+    ``events`` are the simulator's ``(src, dst, nbytes, t0, t1, link)``
+    tuples in *simulated seconds*; ``span_id`` names the host-side
+    ``simulate`` span whose start is the timeline's origin on the merged
+    timebase.
+    """
+
+    span_id: str
+    label: str
+    events: Tuple[Tuple[int, int, int, float, float, str], ...]
+    makespan: float
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Picklable handle that threads one trace through worker processes.
+
+    ``origin_pid`` records the process that minted the context, so code
+    holding one can tell whether it is running in the originating
+    process or in a pool worker — under the fork start method a worker
+    inherits the parent's entire module state (including an enabled
+    global scope), so a flag check cannot make that distinction.
+    """
+
+    trace_id: str
+    parent_span_id: Optional[str]
+    origin_pid: int = 0
+
+
+class _Span:
+    """Context manager recording one span on exit (even on error)."""
+
+    __slots__ = ("_tracer", "record_id", "name", "_args", "_parent", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str, args: SpanArgs) -> None:
+        self._tracer = tracer
+        self.name = name
+        self._args = args
+        self.record_id = tracer._next_id()
+        self._parent: Optional[str] = None
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Span":
+        stack = self._tracer._stack()
+        self._parent = stack[-1] if stack else self._tracer._root_parent
+        stack.append(self.record_id)
+        self._t0 = time.monotonic()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        t1 = time.monotonic()
+        stack = self._tracer._stack()
+        if stack and stack[-1] == self.record_id:
+            stack.pop()
+        self._tracer._record(
+            SpanRecord(
+                trace_id=self._tracer.trace_id,
+                span_id=self.record_id,
+                parent_id=self._parent,
+                name=self.name,
+                t0=self._t0,
+                t1=t1,
+                args=self._args,
+                pid=os.getpid(),
+                thread=threading.current_thread().name,
+            )
+        )
+
+
+class _NullSpan:
+    """Shared no-op span for disabled observability (no allocation)."""
+
+    __slots__ = ()
+    record_id = None
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects spans (thread-safe) for one trace."""
+
+    def __init__(self, context: Optional[TraceContext] = None) -> None:
+        if context is not None:
+            self.trace_id = context.trace_id
+            self._root_parent: Optional[str] = context.parent_span_id
+        else:
+            self.trace_id = f"trace-{os.getpid():x}-{id(self) & 0xFFFF:04x}"
+            self._root_parent = None
+        self._seq = 0
+        self._lock = threading.Lock()
+        self._spans: List[SpanRecord] = []
+        self._timelines: List[SimTimeline] = []
+        self._local = threading.local()
+
+    # -- internals -----------------------------------------------------
+
+    def _stack(self) -> List[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _next_id(self) -> str:
+        with self._lock:
+            self._seq += 1
+            return f"{os.getpid():x}.{self._seq:x}"
+
+    def _record(self, record: SpanRecord) -> None:
+        with self._lock:
+            self._spans.append(record)
+
+    # -- public API ----------------------------------------------------
+
+    def span(self, name: str, **args: object) -> _Span:
+        """Open a nested span; use as ``with tracer.span("build"): ...``."""
+        packed = tuple(sorted((k, str(v)) for k, v in args.items()))
+        return _Span(self, name, packed)
+
+    def current_span_id(self) -> Optional[str]:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def context(self) -> TraceContext:
+        """Context for worker processes: same trace, current span as parent."""
+        return TraceContext(
+            trace_id=self.trace_id,
+            parent_span_id=self.current_span_id(),
+            origin_pid=os.getpid(),
+        )
+
+    def attach_timeline(
+        self,
+        events: Sequence[Tuple[int, int, int, float, float, str]],
+        *,
+        span_id: Optional[str] = None,
+        label: str = "simnet",
+        makespan: Optional[float] = None,
+    ) -> None:
+        """Anchor a simnet message timeline to a host span.
+
+        Defaults to the innermost open span; raises :class:`ObsError`
+        when no span is open and none is given — an unanchored timeline
+        has no place on the merged timebase.
+        """
+        anchor = span_id if span_id is not None else self.current_span_id()
+        if anchor is None:
+            raise ObsError(
+                "cannot attach a simnet timeline outside any span — "
+                "open one with obs.span(...) or pass span_id"
+            )
+        packed = tuple(tuple(e) for e in events)
+        end = makespan if makespan is not None else (
+            max((e[4] for e in packed), default=0.0)
+        )
+        with self._lock:
+            self._timelines.append(
+                SimTimeline(
+                    span_id=anchor, label=label, events=packed, makespan=end
+                )
+            )
+
+    def spans(self) -> Tuple[SpanRecord, ...]:
+        with self._lock:
+            return tuple(self._spans)
+
+    def timelines(self) -> Tuple[SimTimeline, ...]:
+        with self._lock:
+            return tuple(self._timelines)
+
+    def adopt(
+        self,
+        spans: Sequence[SpanRecord],
+        timelines: Sequence[SimTimeline] = (),
+    ) -> None:
+        """Splice worker-recorded spans/timelines into this trace."""
+        with self._lock:
+            for record in spans:
+                if record.trace_id != self.trace_id:
+                    record = SpanRecord(
+                        trace_id=self.trace_id,
+                        span_id=record.span_id,
+                        parent_id=record.parent_id,
+                        name=record.name,
+                        t0=record.t0,
+                        t1=record.t1,
+                        args=record.args,
+                        pid=record.pid,
+                        thread=record.thread,
+                    )
+                self._spans.append(record)
+            self._timelines.extend(timelines)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._spans.clear()
+            self._timelines.clear()

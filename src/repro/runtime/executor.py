@@ -26,6 +26,7 @@ from ..core.registry import build_schedule
 from ..core.runner import run_schedule
 from ..core.schedule import CopyOp, RecvOp, Schedule, SendOp
 from ..errors import ExecutionError
+from ..obs import Obs, get_obs
 from .buffers import (
     check_outputs,
     initial_buffers,
@@ -111,6 +112,7 @@ def execute(
     *,
     op: ReduceOp = SUM,
     block_map=None,
+    obs: Optional[Obs] = None,
 ) -> List[np.ndarray]:
     """Execute ``schedule`` in place over per-rank ``buffers``.
 
@@ -145,7 +147,19 @@ def execute(
             f"hold {count}"
         )
     model = NumpyModel(block_map, buffers, op)
-    run_schedule(schedule, model)
+    o = get_obs(obs)
+    if o.enabled:
+        with o.span(
+            "execute", schedule=schedule.describe(), backend="lockstep"
+        ):
+            run_schedule(schedule, model)
+        m = o.metrics
+        m.counter("repro_executor_runs_total", backend="lockstep").inc()
+        m.counter(
+            "repro_executor_elements_moved_total", backend="lockstep"
+        ).inc(model.bytes_moved)
+    else:
+        run_schedule(schedule, model)
     return buffers
 
 

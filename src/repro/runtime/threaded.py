@@ -46,6 +46,7 @@ from ..faults.channel import (
     LossyChannel,
 )
 from ..faults.plan import FaultPlan
+from ..obs import OBS
 from .executor import NumpyModel
 from .ops import SUM, ReduceOp
 
@@ -144,6 +145,15 @@ class ThreadedTransport:
             )
             for rank in range(sched.nranks)
         ]
+        span = (
+            OBS.span(
+                "execute", schedule=sched.describe(), backend="threaded"
+            )
+            if OBS.enabled
+            else None
+        )
+        if span is not None:
+            span.__enter__()
         try:
             for t in threads:
                 t.start()
@@ -157,6 +167,14 @@ class ThreadedTransport:
         finally:
             if monitor is not None:
                 monitor.stop()
+            if span is not None:
+                span.__exit__(None, None, None)
+        if OBS.enabled:
+            m = OBS.metrics
+            m.counter("repro_executor_runs_total", backend="threaded").inc()
+            m.counter(
+                "repro_executor_elements_moved_total", backend="threaded"
+            ).inc(model.bytes_moved)
         self._raise_failures()
         return buffers
 

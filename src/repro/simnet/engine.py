@@ -39,6 +39,7 @@ from typing import Any, Callable, Deque, Generator, List, Optional, Tuple
 from collections import deque
 
 from ..errors import MachineError
+from ..obs import OBS
 
 __all__ = ["Engine", "Event", "Timeout", "AllOf", "Acquire", "Resource", "Process"]
 
@@ -279,14 +280,17 @@ def _describe_waitable(waitable: Any) -> str:
 class Engine:
     """The event loop: a clock plus a heap of timed callbacks."""
 
-    __slots__ = ("now", "_heap", "_seq", "_pending", "_live")
+    __slots__ = ("now", "_heap", "_seq", "_pending", "_live", "_obs")
 
-    def __init__(self) -> None:
+    def __init__(self, obs=None) -> None:
         self.now = 0.0
         self._heap: List[Tuple[float, int, Callable[[], None]]] = []
         self._seq = 0
         self._pending = 0  # live (unfinished) processes
         self._live: List["Process"] = []  # every process ever registered
+        # Observability scope; default is the process-global one. Only
+        # consulted once per run() — never on the per-event path.
+        self._obs = obs if obs is not None else OBS
 
     def call_at(self, time: float, fn: Callable[[], None]) -> None:
         """Schedule ``fn`` to run at absolute simulated ``time``."""
@@ -312,10 +316,30 @@ class Engine:
         """
         heap = self._heap
         pop = heapq.heappop
-        while heap:
-            time, _, fn = pop(heap)
-            self.now = time
-            fn()
+        obs = self._obs
+        if obs.enabled:
+            # Instrumented twin of the loop below. Selected once per run
+            # so the uninstrumented path pays nothing — not even a flag
+            # check per event.
+            events = 0
+            peak = len(heap)
+            while heap:
+                if len(heap) > peak:
+                    peak = len(heap)
+                time, _, fn = pop(heap)
+                self.now = time
+                fn()
+                events += 1
+            m = obs.metrics
+            m.counter("repro_engine_runs_total").inc()
+            m.counter("repro_engine_events_total").inc(events)
+            m.gauge("repro_engine_heap_depth_peak").set_max(peak)
+            m.gauge("repro_engine_blocked_processes").set_max(self._pending)
+        else:
+            while heap:
+                time, _, fn = pop(heap)
+                self.now = time
+                fn()
         if self._pending:
             raise MachineError(self._deadlock_report())
         return self.now

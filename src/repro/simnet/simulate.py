@@ -36,6 +36,7 @@ from typing import Deque, Dict, List, Optional, Tuple
 from ..core.schedule import CopyOp, RecvOp, Schedule, SendOp
 from ..errors import MachineError
 from ..faults.plan import FaultPlan
+from ..obs import Obs, get_obs
 from ..faults.sim import MsgMeta, analyze
 from .engine import Acquire, AllOf, Engine, Event, Resource, Timeout
 from .machine import MachineSpec
@@ -109,6 +110,7 @@ def simulate(
     faults: Optional[FaultPlan] = None,
     collect_timeline: bool = False,
     block_map=None,
+    obs: Optional[Obs] = None,
 ) -> SimResult:
     """Simulate ``schedule`` moving ``nbytes`` (total buffer size) on
     ``machine``; returns the makespan and traffic accounting.
@@ -126,6 +128,14 @@ def simulate(
     a clean partial-completion :class:`SimResult` (``complete`` is False,
     their ``rank_times`` are ``inf``) instead of the engine's blanket
     deadlock :class:`~repro.errors.MachineError`.
+
+    ``obs``: observability scope (default: the process-global one).  When
+    enabled, the run is wrapped in a ``simulate`` span, traffic and
+    retransmission counters are recorded, and — with
+    ``collect_timeline=True`` — the message timeline is attached to the
+    span so :mod:`repro.obs.export` can merge simulated traffic into the
+    host-side Perfetto trace.  Instrumentation never changes a simulated
+    cost (pinned by ``tests/properties/test_obs_transparency.py``).
     """
     p = schedule.nranks
     if machine.nranks != p:
@@ -145,7 +155,8 @@ def simulate(
                 f"schedule uses {schedule.nblocks}"
             )
         blocks = block_map
-    engine = Engine()
+    scope = get_obs(obs)
+    engine = Engine(obs=scope)
     df = machine.dragonfly
 
     send_ports = [
@@ -389,7 +400,37 @@ def simulate(
     for rank in range(p):
         engine.process(rank_proc(rank), name=f"rank{rank}")
 
-    makespan = engine.run()
+    if scope.enabled:
+        with scope.span(
+            "simulate",
+            schedule=schedule.describe(),
+            machine=machine.name,
+            nbytes=nbytes,
+        ):
+            makespan = engine.run()
+            m = scope.metrics
+            m.counter("repro_sim_runs_total").inc()
+            for link, count in (
+                ("intra", stats["intra_messages"]),
+                ("inter", stats["inter_messages"] - stats["global_messages"]),
+                ("global", stats["global_messages"]),
+            ):
+                if count:
+                    m.counter(
+                        "repro_sim_messages_total", link=link
+                    ).inc(count)
+            if stats["retransmissions"]:
+                m.counter("repro_faults_sim_retransmissions_total").inc(
+                    stats["retransmissions"]
+                )
+            if timeline is not None:
+                scope.tracer.attach_timeline(
+                    timeline,
+                    label=f"{schedule.describe()} n={nbytes}",
+                    makespan=makespan,
+                )
+    else:
+        makespan = engine.run()
     failed_ranks: Tuple[int, ...] = ()
     stalled_ranks: Tuple[int, ...] = ()
     if statics is not None:

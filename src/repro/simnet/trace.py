@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Sequence, Tuple, Union
 
-from ..errors import MachineError
+from ..errors import TraceError
 from .simulate import SimResult
 
 __all__ = ["to_chrome_trace", "write_chrome_trace", "timeline_stats", "TimelineStats"]
@@ -26,9 +26,13 @@ TimelineEvent = Tuple[int, int, int, float, float, str]  # src,dst,bytes,t0,t1,l
 
 
 def _require_timeline(result: SimResult) -> List[TimelineEvent]:
+    # A missing timeline is a result-shape problem (the caller forgot
+    # collect_timeline=True), not a machine-configuration one — hence
+    # TraceError, not the MachineError this historically raised.
     if result.timeline is None:
-        raise MachineError(
-            "SimResult has no timeline — simulate with collect_timeline=True"
+        raise TraceError(
+            "SimResult has no timeline — simulate with timeline=True "
+            "(collect_timeline=True at the simnet layer)"
         )
     return list(result.timeline)
 
@@ -97,6 +101,16 @@ class TimelineStats:
         if self.makespan <= 0:
             return 0.0
         return self.busy_time.get(link, 0.0) / self.makespan
+
+    def to_dict(self) -> Dict:
+        """Plain-dict form (shared stats protocol; JSON-serializable)."""
+        return {
+            "makespan": self.makespan,
+            "busy_time": dict(self.busy_time),
+            "max_concurrent": self.max_concurrent,
+            "per_rank_recv_bytes": list(self.per_rank_recv_bytes),
+            "recv_imbalance": self.recv_imbalance,
+        }
 
 
 def timeline_stats(result: SimResult, nranks: int) -> TimelineStats:

@@ -144,13 +144,13 @@ class TestPaperHeadlines:
 class TestPublicAPI:
     def test_top_level_quickstart(self):
         """The README quickstart, verbatim."""
-        run = repro.run_collective(
+        run = repro.execute(
             "allreduce", "recursive_multiplying", p=16, count=1024, k=4
         )
         assert np.array_equal(run.buffers[0], run.expected[0])
         machine = repro.frontier(nodes=16, ppn=1)
-        sched = repro.build_schedule(
-            "allreduce", "recursive_multiplying", machine.nranks, k=4
+        sched = repro.build(
+            "allreduce", "recursive_multiplying", p=machine.nranks, k=4
         )
         assert repro.simulate(sched, machine, nbytes=65536).time_us > 0
 

@@ -1,0 +1,150 @@
+"""Tests for the public facade (:mod:`repro.api`) and the deprecated
+pre-facade spellings."""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+import repro.api as api
+from repro.core.schedule import Schedule
+from repro.errors import ExecutionError
+from repro.runtime.executor import CollectiveRun
+
+
+@pytest.fixture
+def fresh_warnings():
+    """Reset the warn-once registry so each test observes the warning."""
+    saved = set(api._warned)
+    api._warned.clear()
+    yield
+    api._warned.clear()
+    api._warned.update(saved)
+
+
+class TestBuild:
+    def test_returns_schedule(self):
+        sched = repro.build("allreduce", "recursive_multiplying", p=9, k=3)
+        assert isinstance(sched, Schedule)
+        assert sched.nranks == 9
+
+    def test_p_is_keyword_only(self):
+        with pytest.raises(TypeError):
+            repro.build("allreduce", "recursive_multiplying", 9)
+
+
+class TestSimulate:
+    def test_keyword_nbytes(self):
+        sched = repro.build("bcast", "knomial", p=8, k=2)
+        res = repro.simulate(sched, repro.reference(8), nbytes=4096)
+        assert res.time > 0
+
+    def test_timeline_flag(self):
+        sched = repro.build("bcast", "knomial", p=4, k=2)
+        res = repro.simulate(sched, repro.reference(4), nbytes=64,
+                             timeline=True)
+        assert res.timeline is not None
+
+    def test_legacy_positional_nbytes_still_works(self):
+        sched = repro.build("bcast", "knomial", p=4, k=2)
+        res = repro.simulate(sched, repro.reference(4), 64)
+        assert res.time > 0
+
+
+class TestExecute:
+    def test_lockstep_backend(self):
+        run = repro.execute("allreduce", "recursive_multiplying",
+                            p=9, count=17, k=3)
+        assert isinstance(run, CollectiveRun)
+        assert np.array_equal(run.buffers[0], run.expected[0])
+
+    def test_threaded_backend(self):
+        run = repro.execute("bcast", "knomial", p=4, count=8, k=2,
+                            backend="threaded")
+        for buf in run.buffers:
+            assert np.array_equal(buf, run.expected[0])
+
+    def test_backends_agree(self):
+        a = repro.execute("allreduce", "recursive_multiplying",
+                          p=4, count=16, k=2, seed=7)
+        b = repro.execute("allreduce", "recursive_multiplying",
+                          p=4, count=16, k=2, seed=7, backend="threaded")
+        for x, y in zip(a.buffers, b.buffers):
+            assert np.array_equal(x, y)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ExecutionError, match="backend"):
+            repro.execute("bcast", "knomial", p=4, count=8,
+                          backend="quantum")
+
+    def test_faults_require_threaded(self):
+        from repro.faults.plan import FaultPlan
+
+        with pytest.raises(ExecutionError, match="threaded"):
+            repro.execute("bcast", "knomial", p=4, count=8,
+                          faults=FaultPlan(seed=0, drop_rate=0.1))
+
+    def test_p_count_keyword_only(self):
+        with pytest.raises(TypeError):
+            repro.execute("bcast", "knomial", 4, 8)
+
+
+class TestDeprecatedSpellings:
+    def test_each_legacy_name_warns_exactly_once(self, fresh_warnings):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            repro.build_schedule("bcast", "knomial", 4, k=2)
+            repro.build_schedule("bcast", "knomial", 4, k=2)
+            repro.run_collective("allreduce", "recursive_multiplying",
+                                 4, 8, k=2)
+            repro.run_collective("allreduce", "recursive_multiplying",
+                                 4, 8, k=2)
+        deps = [w for w in caught
+                if issubclass(w.category, DeprecationWarning)]
+        assert len(deps) == 2
+        assert "repro.build" in str(deps[0].message)
+        assert "repro.execute" in str(deps[1].message)
+
+    def test_legacy_execute_dispatches_on_schedule(self, fresh_warnings):
+        sched = repro.build("bcast", "knomial", p=4, k=2)
+        buffers = [np.zeros(8, dtype=np.int64) for _ in range(4)]
+        buffers[0][:] = 3
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            out = repro.execute(sched, buffers)
+        assert any(issubclass(w.category, DeprecationWarning)
+                   for w in caught)
+        assert all(np.array_equal(b, buffers[0]) for b in out)
+
+    def test_legacy_run_collective_threaded(self, fresh_warnings):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            bufs = repro.run_collective_threaded("bcast", "knomial",
+                                                 4, 8, k=2)
+        assert len(bufs) == 4
+        assert any("backend='threaded'" in str(w.message) for w in caught)
+
+    def test_implementation_modules_do_not_warn(self):
+        from repro.runtime.executor import run_collective
+        from repro.simnet import simulate as simnet_simulate
+        from repro.simnet.machines import reference
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            run_collective("bcast", "knomial", 4, 8, k=2)
+            sched = repro.build("bcast", "knomial", p=4, k=2)
+            simnet_simulate(sched, reference(4), 64, collect_timeline=True)
+        assert not [w for w in caught
+                    if issubclass(w.category, DeprecationWarning)]
+
+    def test_facade_calls_do_not_warn(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            sched = repro.build("bcast", "knomial", p=4, k=2)
+            repro.simulate(sched, repro.reference(4), nbytes=64)
+            repro.execute("bcast", "knomial", p=4, count=8, k=2)
+        assert not [w for w in caught
+                    if issubclass(w.category, DeprecationWarning)]

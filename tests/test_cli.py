@@ -124,3 +124,66 @@ class TestBenchOutput:
         assert rc == 0
         text = path.read_text()
         assert "table1" in text and "PASS" in text
+
+
+class TestTrace:
+    def test_writes_trace_and_metrics(self, tmp_path, capsys):
+        from repro.cli import main_trace
+
+        out = tmp_path / "trace.json"
+        rc = main_trace([
+            "allreduce", "recursive_multiplying",
+            "--p", "16", "--k", "4", "--nbytes", "4096",
+            "-o", str(out),
+        ])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        events = doc["traceEvents"]
+        pids = {e["pid"] for e in events}
+        assert 1 in pids and 1000 in pids  # host + sim tracks merged
+        metrics = json.loads((tmp_path / "trace-metrics.json").read_text())
+        assert metrics
+        prom = (tmp_path / "trace-metrics.prom").read_text()
+        for series in ("repro_cache_lookups_total",
+                       "repro_engine_events_total",
+                       "repro_sweep_points_total"):
+            assert series in prom
+        assert "wrote" in capsys.readouterr().out
+
+    def test_trace_leaves_global_obs_disabled(self, tmp_path):
+        from repro.cli import main_trace
+        from repro.obs import OBS
+
+        rc = main_trace([
+            "bcast", "knomial", "--p", "8", "--k", "2",
+            "--nbytes", "512", "-o", str(tmp_path / "t.json"),
+        ])
+        assert rc == 0
+        assert not OBS.enabled
+
+    def test_indivisible_ppn_rejected(self, tmp_path, capsys):
+        from repro.cli import main_trace
+
+        rc = main_trace([
+            "bcast", "knomial", "--p", "9", "--ppn", "2",
+            "-o", str(tmp_path / "t.json"),
+        ])
+        assert rc == 2
+        assert "divisible" in capsys.readouterr().err
+
+
+class TestMetricsOut:
+    def test_tune_metrics_out(self, tmp_path, capsys):
+        from repro.cli import main_tune
+
+        mpath = tmp_path / "tune-metrics.json"
+        rc = main_tune([
+            "--machine", "reference", "--nodes", "4",
+            "--min-bytes", "64", "--max-bytes", "4096",
+            "-o", str(tmp_path / "table.json"),
+            "--metrics-out", str(mpath),
+        ])
+        assert rc == 0
+        assert json.loads(mpath.read_text())
+        assert "repro_sweep_points_total" in (
+            tmp_path / "tune-metrics.prom").read_text()

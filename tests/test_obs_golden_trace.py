@@ -1,0 +1,58 @@
+"""Golden test: the Perfetto export schema of an 8-rank allreduce.
+
+Pins the *shape* of the merged trace — event names, phases, tracks, and
+per-event arg keys — for one fixed workload.  Wall-clock fields
+(``ts``/``dur`` of host spans, the sim anchor offset) are host-dependent
+and excluded; simulated payload args (bytes, dst, link) are
+deterministic and pinned by value.  A change here means the trace format
+changed: rerun with ``--update-golden`` and call it out in the commit.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.cache import global_schedule_cache
+from repro.core.registry import build_schedule
+from repro.obs import Obs
+from repro.simnet import reference, simulate
+
+
+def _projected_trace():
+    global_schedule_cache().clear()
+    o = Obs(enabled=True)
+    with o.span("trace", collective="allreduce", p=8):
+        sched = build_schedule("allreduce", "recursive_multiplying", 8, k=2)
+        simulate(sched, reference(8), 65536, collect_timeline=True, obs=o)
+    doc = o.trace_dict(metadata={"tool": "golden"})
+    events = []
+    for e in doc["traceEvents"]:
+        row = {
+            "name": e["name"],
+            "ph": e["ph"],
+            "pid": e["pid"],
+            "tid": e.get("tid", 0),
+            "cat": e.get("cat", ""),
+            "arg_keys": sorted(e.get("args", {})),
+        }
+        if e.get("cat", "").startswith("sim-") and e["ph"] == "X":
+            # Simulated payloads are deterministic: pin them by value.
+            row["args"] = e["args"]
+        if e["ph"] == "M":
+            # Track names embed the live os pid; pin the stable part.
+            row["track"] = re.sub(r"pid \d+", "pid N", str(e["args"]["name"]))
+        events.append(row)
+    return {
+        "displayTimeUnit": doc["displayTimeUnit"],
+        "metadata": doc["metadata"],
+        "n_events": len(events),
+        "events": events,
+    }
+
+
+def test_perfetto_schema_pinned(golden):
+    golden("perfetto_allreduce8").check(_projected_trace())
+
+
+def test_projection_is_deterministic():
+    assert _projected_trace() == _projected_trace()

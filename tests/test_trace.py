@@ -6,7 +6,7 @@ import json
 import pytest
 
 from repro.core.registry import build_schedule
-from repro.errors import MachineError
+from repro.errors import ReproError, TraceError
 from repro.simnet import frontier, reference, simulate
 from repro.simnet.trace import (
     timeline_stats,
@@ -25,8 +25,15 @@ class TestChromeTrace:
     def test_requires_timeline(self):
         sched = build_schedule("bcast", "binomial", 4)
         res = simulate(sched, reference(4), 8)  # no collect_timeline
-        with pytest.raises(MachineError, match="timeline"):
+        with pytest.raises(TraceError, match="timeline"):
             to_chrome_trace(res)
+        # TraceError is part of the package hierarchy, so blanket
+        # `except ReproError` handlers still catch it.
+        assert issubclass(TraceError, ReproError)
+
+    def test_timeline_present_no_raise(self, traced_result):
+        res, _ = traced_result
+        assert to_chrome_trace(res)["traceEvents"]
 
     def test_event_structure(self, traced_result):
         res, p = traced_result
