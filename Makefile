@@ -1,7 +1,7 @@
 # Convenience targets for the common workflows.
 
-.PHONY: install test chaos bench perf validate experiments tune examples \
-        trace-demo clean
+.PHONY: install test chaos chaos-recover bench perf validate experiments \
+        tune examples trace-demo clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -13,6 +13,13 @@ test:
 # chaos scenario on both backends). Excluded from plain `make test`.
 chaos:
 	pytest tests/ -m chaos
+
+# Tier 2b: the same chaos sweep with self-healing on (every partial
+# failure must recover), then the seeded recovery sweep writing the
+# time-to-recovery-vs-radix report CI uploads as an artifact.
+chaos-recover:
+	repro-chaos --recover
+	repro-recover --sweep -o recovery_report.json
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -74,6 +74,7 @@ from .errors import (
     MachineError,
     ModelError,
     ObsError,
+    RecoveryError,
     ReproError,
     ScheduleError,
     SelectionError,
@@ -82,6 +83,14 @@ from .errors import (
 )
 from .models import ModelParams, model_time, optimal_radix
 from .obs import OBS, Obs
+from .recovery import (
+    RecoveryPolicy,
+    RecoveryReport,
+    RecoveryRun,
+    SimRecoveryResult,
+    execute_with_recovery,
+    simulate_with_recovery,
+)
 from .runtime import SUM, Comm, ReduceOp, Session
 from .selection import (
     SelectionTable,
@@ -146,6 +155,13 @@ __all__ = [
     "speedup_curves",
     "run_experiment",
     "ALL_EXPERIMENTS",
+    # recovery (self-healing collectives — see repro.recovery)
+    "RecoveryPolicy",
+    "RecoveryReport",
+    "RecoveryRun",
+    "SimRecoveryResult",
+    "execute_with_recovery",
+    "simulate_with_recovery",
     # errors
     "ReproError",
     "ScheduleError",
@@ -156,6 +172,7 @@ __all__ = [
     "ModelError",
     "TraceError",
     "ObsError",
+    "RecoveryError",
     # deprecated (warn once, then delegate)
     "run_collective",
     "run_collective_threaded",

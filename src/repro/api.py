@@ -131,8 +131,9 @@ def execute(
     atol: float = 0.0,
     timeout: float = 30.0,
     faults=None,
+    recovery=None,
     obs: Optional[Obs] = None,
-) -> CollectiveRun:
+):
     """Build, run, and check a collective end to end on real data.
 
     Replaces the ``run_collective`` / ``run_collective_threaded`` split
@@ -145,6 +146,14 @@ def execute(
     :class:`~repro.runtime.executor.CollectiveRun` with the schedule,
     inputs, final buffers, and expected outputs.
 
+    ``recovery`` turns on self-healing: a mode string (``"abort"`` /
+    ``"shrink"`` / ``"spare"``) or a
+    :class:`~repro.recovery.RecoveryPolicy`.  Injected failures then
+    trigger detect→shrink→rebuild→rerun rounds instead of raising, and
+    the return value is a :class:`~repro.recovery.RecoveryRun` (same
+    schedule/buffers/expected fields, plus the survivor mapping and the
+    :class:`~repro.recovery.RecoveryReport`).
+
     >>> import numpy as np, repro
     >>> run = repro.execute("allreduce", "recursive_multiplying",
     ...                     p=9, count=17, k=3)
@@ -154,6 +163,27 @@ def execute(
     if backend not in BACKENDS:
         raise ExecutionError(
             f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+    if recovery is not None:
+        from .recovery import execute_with_recovery
+
+        return execute_with_recovery(
+            collective,
+            algorithm,
+            p=p,
+            count=count,
+            recovery=recovery,
+            backend=backend,
+            k=k,
+            root=root,
+            op=op,
+            dtype=dtype,
+            seed=seed,
+            check=check,
+            rtol=rtol,
+            atol=atol,
+            timeout=timeout,
+            faults=faults,
         )
     if backend == "lockstep":
         if faults is not None:

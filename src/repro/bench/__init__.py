@@ -4,6 +4,14 @@ and the per-figure experiment definitions."""
 from .experiments import ALL_EXPERIMENTS, ExperimentResult, run_experiment
 from .osu import LatencyPoint, default_sizes, osu_latency, osu_latency_schedule
 from .perf import check_regression, load_report, run_perf, write_report
+from .recovery import (
+    RecoveryPoint,
+    RecoveryRecord,
+    recovery_curve,
+    run_recovery_sweep,
+    summarize_recovery,
+    write_recovery_report,
+)
 from .report import format_size, format_table, geomean, speedup_str
 from .speedup import SpeedupCurve, SpeedupPoint, policy_latency, speedup_curves
 from .sweep import (
@@ -32,6 +40,12 @@ __all__ = [
     "check_regression",
     "write_report",
     "load_report",
+    "RecoveryPoint",
+    "RecoveryRecord",
+    "recovery_curve",
+    "run_recovery_sweep",
+    "summarize_recovery",
+    "write_recovery_report",
     "speedup_curves",
     "SpeedupCurve",
     "SpeedupPoint",

@@ -237,6 +237,53 @@ def _bench_obs_overhead(machine: MachineSpec, sizes: Sequence[int]) -> Dict:
     }
 
 
+def _bench_recovery_overhead(machine: MachineSpec, repeats: int) -> Dict:
+    """Plain simulation vs. the recovery wrapper with nothing to heal.
+
+    The self-healing layer must be pay-for-what-you-break: wrapping a
+    fault-free simulation in :func:`repro.recovery.simulate_with_recovery`
+    runs exactly one round whose simulated time equals the plain path's
+    bit for bit, and whose wall-clock cost stays within the same small
+    multiple the observability layer is held to.  This tier pins both.
+    """
+    from ..recovery import simulate_with_recovery
+
+    coll, alg, k, nbytes = "allreduce", "recursive_multiplying", 2, 1 << 16
+    entry = info(coll, alg)
+    schedule = entry.build(machine.nranks, k=k, root=0)
+
+    plain = simulate(schedule, machine, nbytes)
+    plain_s = _best_of(lambda: simulate(schedule, machine, nbytes), repeats)
+
+    wrapped = simulate_with_recovery(
+        coll, alg, machine, nbytes, k=k, recovery="shrink"
+    )  # warm the wrapper's schedule cache before timing
+    wrapped_s = _best_of(
+        lambda: simulate_with_recovery(
+            coll, alg, machine, nbytes, k=k, recovery="shrink"
+        ),
+        repeats,
+    )
+    identical = wrapped.rounds == 1 and wrapped.time == plain.time
+    if not identical:
+        raise ReproError(
+            "recovery overhead integrity check failed: the fault-free "
+            "recovery wrapper changed the simulated result"
+        )
+    return {
+        "collective": coll,
+        "algorithm": alg,
+        "p": machine.nranks,
+        "k": k,
+        "nbytes": nbytes,
+        "repeats": repeats,
+        "plain_us": plain_s * 1e6,
+        "wrapped_us": wrapped_s * 1e6,
+        "overhead_ratio": wrapped_s / plain_s if plain_s > 0 else float("inf"),
+        "results_identical": identical,
+    }
+
+
 def run_perf(
     *,
     machine_name: str = "frontier",
@@ -264,6 +311,7 @@ def run_perf(
         "schedule_build": _bench_schedule_build(machine, repeats * 20),
         "single_sim": _bench_single_sim(machine, repeats),
         "full_sweep": _bench_full_sweep(machine, sizes, jobs_levels),
+        "recovery": _bench_recovery_overhead(machine, repeats),
         "obs": _bench_obs_overhead(machine, sizes),
     }
     return report
@@ -307,6 +355,20 @@ def check_regression(
         )
     if not sweep.get("results_identical", False):
         failures.append("cached sweep results diverged from the cold path")
+    recovery = current.get("recovery")
+    if recovery is not None:
+        # Same skip-if-absent pattern as the obs section: older baselines
+        # without a "recovery" section gate only the current report's own
+        # invariants (result identity and the overhead ceiling).
+        if not recovery.get("results_identical", False):
+            failures.append(
+                "fault-free recovery wrapper changed the simulated result"
+            )
+        if recovery.get("overhead_ratio", 1.0) > 2.0:
+            failures.append(
+                f"fault-free recovery wrapper slows simulation "
+                f"{recovery['overhead_ratio']:.2f}x (allowed 2.0x)"
+            )
     obs = current.get("obs")
     base_obs = baseline.get("obs")
     if obs is not None:
@@ -380,6 +442,13 @@ def format_report(report: Dict) -> str:
             f"  --jobs {jobs:>2}      : {row['wall_s']:6.2f} s "
             f"({row['speedup_vs_before']:.2f}x vs cold, effective "
             f"workers {row['effective_jobs']})"
+        )
+    rec = report.get("recovery")
+    if rec is not None:
+        lines.append(
+            f"  recovery wrap  : plain {rec['plain_us']:7.1f} us | wrapped "
+            f"{rec['wrapped_us']:7.1f} us | {rec['overhead_ratio']:5.2f}x "
+            f"(fault-free, results identical: {rec['results_identical']})"
         )
     obs = report.get("obs")
     if obs is not None:

@@ -1,0 +1,277 @@
+"""Recovery sweep: time-to-recovery vs radix, for the CI chaos report.
+
+The generalization radix ``k`` trades latency against fan-out — and
+fan-out is exactly what a crash amputates.  This sweep quantifies that
+trade under failure: every generalized (collective, algorithm) from
+paper Table I is simulated across the radix grid with one seeded rank
+crash injected mid-schedule, healed by :mod:`repro.recovery`, and each
+point records how long detection + shrink + rebuild + rerun took
+(``time_to_recovery_us``) next to the healthy-path cost it settles into
+(``post_recovery_us``).
+
+The determinism contract mirrors :mod:`repro.bench.sweep`: every field
+in a :class:`RecoveryRecord` is a *simulated* quantity — no wall-clock
+times, no cache-hit booleans — so the records are bit-identical at any
+``jobs`` level and across reruns, and the JSON report written by
+:func:`write_recovery_report` diffs clean in CI.  A failing point never
+raises mid-sweep; it carries its own ``error`` field.
+
+Run it via ``repro-recover --sweep -o recovery_report.json`` or
+``make chaos-recover``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.registry import GENERALIZED_ALGORITHMS, info
+from ..errors import ReproError
+from ..faults.plan import Crash, FaultPlan
+from ..parallel import run_chunks
+from ..recovery import RecoveryPolicy, normalize_policy, simulate_with_recovery
+from ..selection.tuner import radix_grid
+from ..simnet.machine import MachineSpec
+
+__all__ = [
+    "RecoveryPoint",
+    "RecoveryRecord",
+    "recovery_curve",
+    "run_recovery_sweep",
+    "summarize_recovery",
+    "unrecovered",
+    "write_recovery_report",
+]
+
+#: Schema tag for the JSON report; bump on incompatible layout changes.
+REPORT_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class RecoveryPoint:
+    """One sweep configuration: an algorithm at one radix under one plan."""
+
+    collective: str
+    algorithm: str
+    nbytes: int
+    k: Optional[int] = None
+    root: int = 0
+
+    def case(self) -> str:
+        return f"{self.collective}/{self.algorithm}"
+
+
+@dataclass(frozen=True)
+class RecoveryRecord:
+    """Outcome of one recovery point — simulated quantities only.
+
+    Deliberately free of wall-clock times and cache accounting so that
+    records are bit-identical between serial and ``jobs=N`` sweeps and
+    across reruns (the property pinned by
+    ``tests/properties/test_recovery_properties.py``).
+    """
+
+    point: RecoveryPoint
+    recovered: bool
+    rounds: int
+    survivors: int
+    time_us: float
+    time_to_recovery_us: float
+    post_recovery_us: float
+    #: Schedule fingerprints, one per round — healthy, then rebuilt.
+    fingerprints: Tuple[str, ...] = ()
+    error: Optional[str] = None
+
+    def to_dict(self) -> Dict:
+        return {
+            "collective": self.point.collective,
+            "algorithm": self.point.algorithm,
+            "nbytes": self.point.nbytes,
+            "k": self.point.k,
+            "root": self.point.root,
+            "recovered": self.recovered,
+            "rounds": self.rounds,
+            "survivors": self.survivors,
+            "time_us": self.time_us,
+            "time_to_recovery_us": self.time_to_recovery_us,
+            "post_recovery_us": self.post_recovery_us,
+            "fingerprints": list(self.fingerprints),
+            "error": self.error,
+        }
+
+
+def _recovery_point(
+    machine: MachineSpec,
+    policy: RecoveryPolicy,
+    plan: FaultPlan,
+    point: RecoveryPoint,
+) -> RecoveryRecord:
+    """Simulate one point with healing; errors fold into the record."""
+    try:
+        res = simulate_with_recovery(
+            point.collective,
+            point.algorithm,
+            machine,
+            point.nbytes,
+            recovery=policy,
+            k=point.k,
+            root=point.root,
+            faults=plan,
+        )
+    except Exception as exc:  # noqa: BLE001 — isolation is the contract
+        return RecoveryRecord(
+            point=point,
+            recovered=False,
+            rounds=0,
+            survivors=0,
+            time_us=0.0,
+            time_to_recovery_us=0.0,
+            post_recovery_us=0.0,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+    return RecoveryRecord(
+        point=point,
+        recovered=res.recovered,
+        rounds=res.rounds,
+        survivors=len(res.survivors),
+        time_us=res.time_us,
+        time_to_recovery_us=res.time_to_recovery_us,
+        post_recovery_us=res.post_recovery_us,
+        fingerprints=res.report.fingerprints(),
+    )
+
+
+# A chunk ships everything one worker call needs in a single pickle;
+# grouping one (collective, algorithm) per chunk keeps each worker's
+# schedule cache warm across its radix grid.
+_ChunkTask = Tuple[MachineSpec, RecoveryPolicy, FaultPlan,
+                   Tuple[RecoveryPoint, ...]]
+
+
+def _run_chunk(task: _ChunkTask) -> List[RecoveryRecord]:
+    """Heal one chunk of points (runs inside a worker process)."""
+    machine, policy, plan, points = task
+    return [_recovery_point(machine, policy, plan, pt) for pt in points]
+
+
+def run_recovery_sweep(
+    machine: MachineSpec,
+    *,
+    nbytes: int = 65536,
+    crash_rank: int = 1,
+    crash_step: int = 1,
+    seed: int = 0,
+    recovery="shrink",
+    algorithms: Sequence[Tuple[str, str]] = GENERALIZED_ALGORITHMS,
+    ks: Optional[Sequence[int]] = None,
+    jobs: int = 0,
+) -> List[RecoveryRecord]:
+    """Chart time-to-recovery vs radix across the algorithm suite.
+
+    One seeded crash (``crash_rank`` dies after ``crash_step`` sends) is
+    injected into every (collective, algorithm, k) configuration on
+    ``machine`` and healed under ``recovery``; with ``ks=None`` the grid
+    is :func:`repro.selection.tuner.radix_grid` over the machine's rank
+    count.  Results come back in point order, bit-identical at any
+    ``jobs`` level — every recorded quantity is simulated.
+    """
+    policy = normalize_policy(recovery)
+    if policy is None:
+        raise ReproError("run_recovery_sweep needs a recovery policy")
+    p = machine.nranks
+    if not 0 <= crash_rank < p:
+        raise ReproError(
+            f"crash_rank={crash_rank} out of range for p={p}"
+        )
+    plan = FaultPlan(
+        seed=seed, crashes=(Crash(rank=crash_rank, step=crash_step),)
+    )
+    chunks: List[_ChunkTask] = []
+    for coll, alg in algorithms:
+        entry = info(coll, alg)
+        grid = list(ks) if ks is not None else radix_grid(
+            p, min_k=entry.min_k
+        )
+        points = tuple(
+            RecoveryPoint(coll, alg, nbytes, k=k) for k in grid
+        )
+        chunks.append((machine, policy, plan, points))
+    return run_chunks(_run_chunk, chunks, jobs=jobs)
+
+
+def recovery_curve(
+    records: Sequence[RecoveryRecord],
+) -> Dict[str, List[Tuple[Optional[int], float]]]:
+    """Per-algorithm ``(k, time_to_recovery_us)`` series for charting."""
+    curve: Dict[str, List[Tuple[Optional[int], float]]] = {}
+    for rec in records:
+        if rec.error is None and rec.recovered:
+            curve.setdefault(rec.point.case(), []).append(
+                (rec.point.k, rec.time_to_recovery_us)
+            )
+    return curve
+
+
+def unrecovered(records: Sequence[RecoveryRecord]) -> List[RecoveryRecord]:
+    """Records where healing failed or errored (empty when all healed)."""
+    return [r for r in records if r.error is not None or not r.recovered]
+
+
+def write_recovery_report(
+    records: Sequence[RecoveryRecord],
+    path,
+    *,
+    machine: MachineSpec,
+    policy,
+    seed: int = 0,
+) -> None:
+    """Write the sweep as a JSON report (the CI chaos-recover artifact)."""
+    policy = normalize_policy(policy)
+    doc = {
+        "schema": REPORT_SCHEMA,
+        "machine": machine.name,
+        "nranks": machine.nranks,
+        "policy": policy.describe() if policy else None,
+        "seed": seed,
+        "points": len(records),
+        "unrecovered": len(unrecovered(records)),
+        "records": [r.to_dict() for r in records],
+    }
+    Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+
+def summarize_recovery(records: Sequence[RecoveryRecord]) -> str:
+    """Human-readable roll-up: per-algorithm recovery cost bounds."""
+    lines = []
+    by_case: Dict[str, List[RecoveryRecord]] = {}
+    for rec in records:
+        by_case.setdefault(rec.point.case(), []).append(rec)
+    for case in sorted(by_case):
+        group = by_case[case]
+        healed = [r for r in group if r.recovered and r.error is None]
+        bad = [r for r in group if r.error is not None or not r.recovered]
+        if healed:
+            ttrs = [r.time_to_recovery_us for r in healed]
+            best = min(healed, key=lambda r: r.time_to_recovery_us)
+            lines.append(
+                f"{case:<36} {len(healed):3d}/{len(group):<3d} healed  "
+                f"ttr {min(ttrs):8.1f}..{max(ttrs):8.1f} us  "
+                f"best k={best.point.k}"
+            )
+        if bad:
+            lines.append(
+                f"{case:<36} {len(bad)} UNRECOVERED point(s): "
+                + "; ".join(
+                    f"k={r.point.k}"
+                    + (f" ({r.error})" if r.error else "")
+                    for r in bad[:4]
+                )
+            )
+    n_bad = len(unrecovered(records))
+    lines.append(
+        f"total: {len(records)} points, "
+        f"{len(records) - n_bad} healed, {n_bad} unrecovered"
+    )
+    return "\n".join(lines)

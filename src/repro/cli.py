@@ -22,7 +22,16 @@ Three console scripts are installed with the package:
     stragglers, crashes) across the paper's ten generalized algorithms on
     both backends and check the resilience contract — every case either
     completes with correct results or raises a structured fault error:
-    ``repro-chaos --p 8 --seed 0``.
+    ``repro-chaos --p 8 --seed 0``; add ``--recover`` to heal the
+    unmaskable faults through :mod:`repro.recovery` instead of merely
+    classifying them.
+
+``repro-recover``
+    The self-healing layer standalone: demo one collective surviving a
+    seeded mid-schedule rank crash (``repro-recover allreduce knomial
+    --p 8 --crash-rank 1``), or sweep time-to-recovery vs radix across
+    the whole algorithm suite and write the CI artifact
+    (``repro-recover --sweep -o recovery_report.json``).
 
 ``repro-bench-perf``
     Time schedule builds, single simulations, and the combined
@@ -58,6 +67,7 @@ __all__ = [
     "main_tune",
     "main_validate",
     "main_chaos",
+    "main_recover",
     "main_bench_perf",
     "main_trace",
 ]
@@ -268,12 +278,39 @@ def main_chaos(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--timeout", type=float, default=10.0,
                         help="per-receive timeout for the threaded "
                         "transport (seconds)")
+    parser.add_argument("--recover", action="store_true",
+                        help="heal unmaskable faults through "
+                        "repro.recovery (detect, shrink/substitute, "
+                        "rebuild, rerun) instead of just classifying "
+                        "them")
+    parser.add_argument("--recover-mode", default=None,
+                        choices=["abort", "shrink", "spare"],
+                        help="recovery policy mode (implies --recover; "
+                        "default with --recover: spare substitution "
+                        "with p spares)")
+    parser.add_argument("--allow-partial", action="store_true",
+                        help="exit 0 even when cases end in structured "
+                        "faults (without this, a sweep with unhealed "
+                        "partial failures exits 1)")
     parser.add_argument("-v", "--verbose", action="store_true",
                         help="print every case, not just the summary")
     args = parser.parse_args(argv)
 
-    from .faults.chaos import default_scenarios, run_chaos, summarize
+    from .faults.chaos import (
+        default_recovery_policy,
+        default_scenarios,
+        run_chaos,
+        summarize,
+    )
 
+    recover = None
+    if args.recover or args.recover_mode:
+        if args.recover_mode in (None, "spare"):
+            recover = default_recovery_policy(args.p)
+        else:
+            from .recovery import RecoveryPolicy
+
+            recover = RecoveryPolicy(mode=args.recover_mode)
     scenarios = default_scenarios(args.seed, args.p)
     if args.scenario is not None:
         scenarios = tuple(s for s in scenarios if s.name == args.scenario)
@@ -292,6 +329,7 @@ def main_chaos(argv: Optional[List[str]] = None) -> int:
             seed=args.seed,
             backends=backends,
             timeout=args.timeout,
+            recover=recover,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -302,7 +340,151 @@ def main_chaos(argv: Optional[List[str]] = None) -> int:
         print()
     print(summarize(results))
     violations = [r for r in results if not r.ok]
-    return 1 if violations else 0
+    if violations:
+        return 1
+    partial = [r for r in results if r.outcome == "fault"]
+    if partial and not args.allow_partial:
+        # A structured fault honors the fail-loud contract, but the
+        # collective still did not complete — that must not look like
+        # success to CI.  Healing them (or accepting them) is explicit.
+        print(
+            f"{len(partial)} case(s) ended in unhealed partial failures; "
+            "re-run with --recover to heal them or --allow-partial to "
+            "accept structured faults as success",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def main_recover(argv: Optional[List[str]] = None) -> int:
+    """``repro-recover``: self-healing demo and recovery sweep."""
+    parser = argparse.ArgumentParser(
+        prog="repro-recover",
+        description="Heal a seeded mid-schedule rank crash through "
+        "detect -> shrink/substitute -> rebuild -> rerun, or (--sweep) "
+        "chart time-to-recovery vs radix across the algorithm suite "
+        "and write a JSON report.",
+    )
+    parser.add_argument("collective", nargs="?", default="allreduce",
+                        choices=COLLECTIVES)
+    parser.add_argument("algorithm", nargs="?", default="knomial")
+    parser.add_argument("--p", type=int, default=8,
+                        help="ranks (default 8)")
+    parser.add_argument("--k", type=int, default=None,
+                        help="generalization radix")
+    parser.add_argument("--count", type=int, default=64,
+                        help="elements per buffer for the threaded demo "
+                        "(default 64)")
+    parser.add_argument("--nbytes", type=int, default=65536,
+                        help="message size for the simulated paths "
+                        "(default 65536)")
+    parser.add_argument("--mode", default="shrink",
+                        choices=["abort", "shrink", "spare"],
+                        help="recovery policy mode (default shrink)")
+    parser.add_argument("--crash-rank", type=int, default=1,
+                        help="rank that dies (default 1)")
+    parser.add_argument("--crash-step", type=int, default=1,
+                        help="sends completed before dying (default 1)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--backend", default="both",
+                        choices=["threaded", "sim", "both"],
+                        help="demo backend(s) (default both)")
+    parser.add_argument("--machine", default="reference",
+                        choices=["frontier", "polaris", "reference"])
+    parser.add_argument("--ppn", type=int, default=1)
+    parser.add_argument("--sweep", action="store_true",
+                        help="sweep every generalized algorithm across "
+                        "the radix grid instead of the single demo")
+    parser.add_argument("-j", "--jobs", type=int, default=0,
+                        help="worker processes for the sweep (0/1 "
+                        "serial, -1 all cores); records are identical "
+                        "at any job count")
+    parser.add_argument("-o", "--output", default=None, metavar="PATH",
+                        help="write the sweep's JSON report here")
+    args = parser.parse_args(argv)
+
+    from .errors import RecoveryError
+    from .faults.plan import Crash, FaultPlan
+    from .recovery import RecoveryPolicy
+
+    spares = args.p if args.mode == "spare" else 0
+    policy = RecoveryPolicy(mode=args.mode, spares=spares)
+    try:
+        machine = by_name(args.machine, args.p // args.ppn, args.ppn)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.sweep:
+        from .bench.recovery import (
+            run_recovery_sweep,
+            summarize_recovery,
+            unrecovered,
+            write_recovery_report,
+        )
+
+        try:
+            records = run_recovery_sweep(
+                machine,
+                nbytes=args.nbytes,
+                crash_rank=args.crash_rank,
+                crash_step=args.crash_step,
+                seed=args.seed,
+                recovery=policy,
+                jobs=args.jobs,
+            )
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(summarize_recovery(records))
+        if args.output:
+            write_recovery_report(records, args.output, machine=machine,
+                                  policy=policy, seed=args.seed)
+            print(f"wrote {args.output}")
+        return 1 if unrecovered(records) else 0
+
+    from .faults.plan import RetryPolicy
+
+    # Fast retry budget so the threaded demo detects the dead rank in
+    # milliseconds instead of the default multi-second RTO ladder.
+    plan = FaultPlan(
+        seed=args.seed,
+        crashes=(Crash(rank=args.crash_rank, step=args.crash_step),),
+        retry=RetryPolicy(max_retries=4, rto=0.02, backoff=2.0,
+                          max_rto=0.1),
+    )
+    status = 0
+    if args.backend in ("sim", "both"):
+        from .recovery import simulate_with_recovery
+
+        res = simulate_with_recovery(
+            args.collective, args.algorithm, machine, args.nbytes,
+            recovery=policy, k=args.k, faults=plan,
+        )
+        print(f"sim: {res.report.describe()}")
+        if res.recovered:
+            print(f"sim: total {res.time_us:.1f} us, time-to-recovery "
+                  f"{res.time_to_recovery_us:.1f} us, post-recovery "
+                  f"{res.post_recovery_us:.1f} us")
+        else:
+            status = 1
+    if args.backend in ("threaded", "both"):
+        from .recovery import execute_with_recovery
+
+        try:
+            run = execute_with_recovery(
+                args.collective, args.algorithm, p=args.p,
+                count=args.count, recovery=policy, k=args.k, faults=plan,
+            )
+        except RecoveryError as exc:
+            print(f"threaded: unrecovered: {exc}", file=sys.stderr)
+            status = 1
+        else:
+            print(f"threaded: {run.report.describe()}")
+            print(f"threaded: survivors host slots {list(run.hosts)}; "
+                  "results verified bit-exact over the survivor group")
+    return status
 
 
 def main_bench_perf(argv: Optional[List[str]] = None) -> int:

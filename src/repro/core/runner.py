@@ -59,10 +59,18 @@ class _Message(Generic[P]):
 
 @dataclass
 class RunResult:
-    """Bookkeeping returned by :func:`run_schedule`."""
+    """Bookkeeping returned by :func:`run_schedule`.
+
+    ``rank_steps`` is the per-rank completion state — how many steps each
+    rank finished.  On a clean run it equals every program's length; it
+    exists so recovery (:mod:`repro.recovery`) can report how far each
+    rank got, the resume-state the shrink protocol's re-contribution
+    semantics are defined against (DESIGN.md §11).
+    """
 
     delivered_messages: int
     progress_passes: int
+    rank_steps: Tuple[int, ...] = ()
 
 
 def run_schedule(schedule: Schedule, model: DataModel[P]) -> RunResult:
@@ -162,7 +170,11 @@ def run_schedule(schedule: Schedule, model: DataModel[P]) -> RunResult:
             f"{schedule.describe()}: {sum(leftovers.values())} message(s) "
             f"were sent but never received: {leftovers}"
         )
-    return RunResult(delivered_messages=delivered, progress_passes=passes)
+    return RunResult(
+        delivered_messages=delivered,
+        progress_passes=passes,
+        rank_steps=tuple(pc),
+    )
 
 
 def _describe_blocked(

@@ -22,6 +22,7 @@ __all__ = [
     "ObsError",
     "FaultError",
     "PartialFailure",
+    "RecoveryError",
 ]
 
 
@@ -108,6 +109,22 @@ class FaultError(ExecutionError):
         seq: Optional[int] = None,
         retries: Optional[int] = None,
     ) -> None:
+        # Fold the structured context into the message itself so a bare
+        # str(exc) — a log line, a CI failure — already says what died
+        # where, without the caller digging through attributes.
+        context = []
+        if rank is not None:
+            context.append(f"rank {rank}")
+        if step is not None:
+            context.append(f"step {step}")
+        if peer is not None:
+            context.append(f"peer {peer}")
+        if seq is not None:
+            context.append(f"seq {seq}")
+        if retries is not None:
+            context.append(f"{retries} retry attempt(s)")
+        if context:
+            message = f"{message} [{kind}: {', '.join(context)}]"
         super().__init__(message)
         self.kind = kind
         self.rank = rank
@@ -145,10 +162,33 @@ class PartialFailure(ExecutionError):
         stalled_ranks: Sequence[int] = (),
         faults: Sequence["FaultError"] = (),
     ) -> None:
-        detail = ""
+        bits = []
+        if failed_ranks:
+            bits.append(f"failed ranks {sorted(failed_ranks)}")
+        if stalled_ranks:
+            bits.append(f"stalled ranks {sorted(stalled_ranks)}")
         if faults:
-            detail = "; " + "; ".join(f.diagnosis() for f in faults)
+            bits.append("; ".join(f.diagnosis() for f in faults))
+        detail = f" [{'; '.join(bits)}]" if bits else ""
         super().__init__(message + detail)
         self.failed_ranks: Tuple[int, ...] = tuple(failed_ranks)
         self.stalled_ranks: Tuple[int, ...] = tuple(stalled_ranks)
         self.faults: Tuple[FaultError, ...] = tuple(faults)
+
+
+class RecoveryError(ExecutionError):
+    """Self-healing gave up: the failure could not be recovered.
+
+    Raised by :mod:`repro.recovery` when the policy is ``abort``, when the
+    retry budget (``max_rounds``) is exhausted, when the survivor set
+    shrinks below ``min_ranks``, or when a failure destroys data no
+    survivor holds (a dead bcast/scatter root with no spare to adopt its
+    checkpoint).  ``report`` carries the full
+    :class:`~repro.recovery.policy.RecoveryReport` accumulated up to the
+    point of surrender — every detected failure, shrink round, and rebuilt
+    schedule fingerprint.
+    """
+
+    def __init__(self, message: str, *, report=None) -> None:
+        super().__init__(message)
+        self.report = report

@@ -22,13 +22,22 @@ the machine model.  Each case is classified:
     Raised :class:`~repro.errors.FaultError` /
     :class:`~repro.errors.PartialFailure` (or reported a partial
     completion) with a full diagnosis — the *correct* outcome for
-    unmaskable faults like crashes and dead links.
+    unmaskable faults like crashes and dead links when recovery is off.
+``recovered``
+    (With ``recover=``.)  The unmaskable fault fired, but the
+    :mod:`repro.recovery` detect→shrink→rebuild→rerun loop healed it and
+    the survivors' results verified bit-exact.
+``unrecovered``
+    (With ``recover=``.)  Recovery was asked for but gave up — budget
+    exhausted, group below ``min_ranks``, or a dead rooted-collective
+    root with no spare.  Counts against the exit status like ``FAIL``.
 ``FAIL``
     Anything else: wrong data, an unstructured error, a deadlock.  The
     sweep's exit status.
 
-Run it via ``repro-chaos`` or ``make chaos``; the pytest marker
-``chaos`` runs the same sweep in CI tier 2.
+Run it via ``repro-chaos`` (``--recover`` for the self-healing sweep) or
+``make chaos`` / ``make chaos-recover``; the pytest marker ``chaos``
+runs the same sweep in CI tier 2.
 """
 
 from __future__ import annotations
@@ -44,6 +53,7 @@ from .plan import Crash, FaultPlan, LinkFault, RetryPolicy, Straggler
 __all__ = [
     "ChaosScenario",
     "ChaosResult",
+    "default_recovery_policy",
     "default_scenarios",
     "run_case",
     "run_chaos",
@@ -73,15 +83,20 @@ class ChaosResult:
     collective: str
     algorithm: str
     backend: str  # "threaded" | "sim"
-    outcome: str  # "ok" | "fault" | "FAIL"
+    outcome: str  # "ok" | "fault" | "recovered" | "unrecovered" | "FAIL"
     detail: str = ""
     retransmissions: int = 0
     elapsed: float = 0.0
 
     @property
     def ok(self) -> bool:
-        """True unless the resilience contract was violated."""
-        return self.outcome != "FAIL"
+        """True unless the resilience contract was violated.
+
+        ``fault`` is fine (structured, loud) when recovery is off;
+        ``unrecovered`` is a violation because the caller asked the
+        recovery layer to heal and it could not.
+        """
+        return self.outcome not in ("FAIL", "unrecovered")
 
     def describe(self) -> str:
         tail = f" [{self.detail}]" if self.detail else ""
@@ -163,6 +178,21 @@ def default_scenarios(seed: int = 0, nranks: int = 8) -> Tuple[ChaosScenario, ..
     return tuple(scenarios)
 
 
+def default_recovery_policy(p: int):
+    """The sweep's healing policy: spare-substitution with ``p`` spares.
+
+    Spare mode (not shrink) because the ``dead_link`` scenario blames the
+    sender on link ``0 → p-1`` — rank 0, the root of every rooted
+    collective in the suite.  A dead bcast/scatter root is unrecoverable
+    by shrinking (its data existed nowhere else) but trivially
+    recoverable by substituting a spare that restores the slot's input
+    from checkpoint.  ``p`` spares means no scenario can exhaust them.
+    """
+    from ..recovery import RecoveryPolicy
+
+    return RecoveryPolicy(mode="spare", spares=p)
+
+
 def run_case(
     collective: str,
     algorithm: str,
@@ -174,14 +204,21 @@ def run_case(
     count: int = 64,
     timeout: float = 10.0,
     machine=None,
+    recover=None,
 ) -> ChaosResult:
-    """Run one algorithm under one plan and classify the outcome."""
+    """Run one algorithm under one plan and classify the outcome.
+
+    ``recover`` — ``None`` (fail loud, the default), a mode string, or a
+    :class:`~repro.recovery.RecoveryPolicy`: unmaskable faults then go
+    through the self-healing loop and classify as ``recovered`` /
+    ``unrecovered`` instead of ``fault``.
+    """
     if backend == "threaded":
         return _run_threaded(collective, algorithm, plan, scenario, p, count,
-                             timeout)
+                             timeout, recover)
     if backend == "sim":
         return _run_sim(collective, algorithm, plan, scenario, p, count,
-                        machine)
+                        machine, recover)
     raise ExecutionError(f"unknown chaos backend {backend!r}")
 
 
@@ -193,6 +230,7 @@ def _run_threaded(
     p: int,
     count: int,
     timeout: float,
+    recover=None,
 ) -> ChaosResult:
     # Imported here: repro.faults must stay importable without pulling in
     # the runtime package (noise.py imports repro.faults.rng at startup).
@@ -204,6 +242,9 @@ def _run_threaded(
     )
     from ..runtime.threaded import execute_threaded
 
+    if recover is not None:
+        return _run_threaded_recover(collective, algorithm, plan, scenario,
+                                     p, count, timeout, recover)
     start = time.perf_counter()
     sched = build_schedule(collective, algorithm, p)
     inputs = make_inputs(collective, p, count)
@@ -253,6 +294,51 @@ def _run_threaded(
     return done("ok")
 
 
+def _run_threaded_recover(
+    collective: str,
+    algorithm: str,
+    plan: FaultPlan,
+    scenario: str,
+    p: int,
+    count: int,
+    timeout: float,
+    recover,
+) -> ChaosResult:
+    from ..errors import RecoveryError
+    from ..recovery import execute_with_recovery
+
+    start = time.perf_counter()
+
+    def done(outcome: str, detail: str = "") -> ChaosResult:
+        return ChaosResult(
+            scenario=scenario,
+            collective=collective,
+            algorithm=algorithm,
+            backend="threaded",
+            outcome=outcome,
+            detail=detail,
+            elapsed=time.perf_counter() - start,
+        )
+
+    try:
+        run = execute_with_recovery(
+            collective, algorithm, p=p, count=count, recovery=recover,
+            backend="threaded", timeout=timeout, faults=plan,
+        )
+    except RecoveryError as exc:
+        return done("unrecovered", str(exc))
+    except ReproError as exc:
+        return done("FAIL", f"unstructured error: {exc}")
+    report = run.report
+    if report.nrounds == 1:
+        return done("ok")
+    return done(
+        "recovered",
+        f"rounds={report.nrounds} survivors={len(run.slots)}/{p} "
+        f"ttr={report.time_to_recovery * 1e3:.1f}ms",
+    )
+
+
 def _run_sim(
     collective: str,
     algorithm: str,
@@ -261,6 +347,7 @@ def _run_sim(
     p: int,
     count: int,
     machine,
+    recover=None,
 ) -> ChaosResult:
     from ..simnet.machines import reference
     from ..simnet.simulate import simulate
@@ -268,7 +355,6 @@ def _run_sim(
     if machine is None:
         machine = reference(p)
     start = time.perf_counter()
-    sched = build_schedule(collective, algorithm, p)
 
     def done(outcome: str, detail: str = "", retx: int = 0) -> ChaosResult:
         return ChaosResult(
@@ -282,6 +368,32 @@ def _run_sim(
             elapsed=time.perf_counter() - start,
         )
 
+    if recover is not None:
+        from ..recovery import simulate_with_recovery
+
+        try:
+            rres = simulate_with_recovery(
+                collective, algorithm, machine, count * 8,
+                recovery=recover, faults=plan,
+            )
+        except ReproError as exc:
+            return done("FAIL", f"unstructured error: {exc}")
+        if not rres.recovered:
+            return done(
+                "unrecovered",
+                f"gave up after {rres.rounds} round(s): "
+                + rres.report.describe(),
+            )
+        if rres.rounds == 1:
+            return done("ok", f"t={rres.time_us:.2f}us")
+        return done(
+            "recovered",
+            f"rounds={rres.rounds} survivors={len(rres.survivors)}/{p} "
+            f"ttr={rres.time_to_recovery_us:.1f}us "
+            f"t={rres.time_us:.2f}us",
+        )
+
+    sched = build_schedule(collective, algorithm, p)
     try:
         res = simulate(sched, machine, count * 8, faults=plan)
     except ReproError as exc:
@@ -308,10 +420,18 @@ def run_chaos(
     backends: Sequence[str] = ("threaded", "sim"),
     algorithms: Sequence[Tuple[str, str]] = GENERALIZED_ALGORITHMS,
     timeout: float = 10.0,
+    recover=None,
 ) -> List[ChaosResult]:
-    """The full sweep: scenarios x Table I algorithms x backends."""
+    """The full sweep: scenarios x Table I algorithms x backends.
+
+    ``recover=True`` heals with :func:`default_recovery_policy`; a mode
+    string or :class:`~repro.recovery.RecoveryPolicy` picks the policy
+    explicitly.
+    """
     if scenarios is None:
         scenarios = default_scenarios(seed, p)
+    if recover is True:
+        recover = default_recovery_policy(p)
     results: List[ChaosResult] = []
     for scen in scenarios:
         for backend in backends:
@@ -326,16 +446,25 @@ def run_chaos(
                         p=p,
                         count=count,
                         timeout=timeout,
+                        recover=recover,
                     )
                 )
     return results
 
 
 def summarize(results: Sequence[ChaosResult]) -> str:
-    """Human-readable sweep report; flags every contract violation."""
+    """Human-readable sweep report; flags every contract violation.
+
+    Besides the per-scenario roll-up, any algorithm that produced a
+    non-``ok`` outcome gets its own line — so a sweep that ends with
+    faults (or worse) names exactly which collective/algorithm pairs
+    they came from, not just how many there were.
+    """
     lines = []
     n_ok = sum(1 for r in results if r.outcome == "ok")
     n_fault = sum(1 for r in results if r.outcome == "fault")
+    n_recovered = sum(1 for r in results if r.outcome == "recovered")
+    n_unrecovered = sum(1 for r in results if r.outcome == "unrecovered")
     bad = [r for r in results if not r.ok]
     for r in results:
         if not r.ok:
@@ -346,15 +475,42 @@ def summarize(results: Sequence[ChaosResult]) -> str:
     for name, group in by_scenario.items():
         ok = sum(1 for r in group if r.outcome == "ok")
         fault = sum(1 for r in group if r.outcome == "fault")
+        healed = sum(1 for r in group if r.outcome == "recovered")
         retx = sum(r.retransmissions for r in group)
+        extra = f" {healed:3d} recovered," if healed else ""
         lines.append(
             f"{name:<14} {len(group):3d} cases: {ok:3d} ok, "
-            f"{fault:3d} structured fault(s), "
+            f"{fault:3d} structured fault(s),{extra} "
             f"{len([r for r in group if not r.ok]):2d} violation(s), "
             f"{retx} retransmission(s)"
         )
+    by_algorithm: dict = {}
+    for r in results:
+        if r.outcome != "ok":
+            key = f"{r.collective}/{r.algorithm}"
+            by_algorithm.setdefault(key, []).append(r)
+    if by_algorithm:
+        lines.append("failures by algorithm:")
+        for case in sorted(by_algorithm):
+            group = by_algorithm[case]
+            counts = {}
+            for r in group:
+                counts[r.outcome] = counts.get(r.outcome, 0) + 1
+            breakdown = ", ".join(
+                f"{counts[o]} {o}" for o in
+                ("fault", "recovered", "unrecovered", "FAIL") if o in counts
+            )
+            scens = sorted({r.scenario for r in group})
+            lines.append(
+                f"  {case:<36} {breakdown}  "
+                f"[{', '.join(scens)}]"
+            )
+    tail = ""
+    if n_recovered or n_unrecovered:
+        tail = (f", {n_recovered} recovered, "
+                f"{n_unrecovered} unrecovered")
     lines.append(
         f"total: {len(results)} cases, {n_ok} ok, {n_fault} structured "
-        f"fault(s), {len(bad)} contract violation(s)"
+        f"fault(s){tail}, {len(bad)} contract violation(s)"
     )
     return "\n".join(lines)

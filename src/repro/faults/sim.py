@@ -24,12 +24,13 @@ otherwise raise.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
-from ..core.schedule import Schedule
+from ..core.schedule import RecvOp, Schedule, SendOp
+from ..errors import MachineError
 from .plan import FaultPlan
 
-__all__ = ["MsgMeta", "FaultStatics", "analyze"]
+__all__ = ["MsgMeta", "FaultStatics", "match_messages", "analyze"]
 
 
 @dataclass(frozen=True)
@@ -42,6 +43,58 @@ class MsgMeta:
     seq: int         # per-(src, dst)-link FIFO sequence number
     send_step: int   # step index of the SendOp in src's program
     recv_step: int   # step index of the RecvOp in dst's program
+    blocks: Tuple[int, ...] = ()   # block ids the send carries
+    reduce: bool = False           # whether the matched recv reduces
+
+
+def match_messages(schedule: Schedule) -> List[MsgMeta]:
+    """Match every send to its receive (FIFO per channel), statically.
+
+    The matching rule is the one every executor implements — per-(src,
+    dst) FIFO order — so the returned metas describe exactly the messages
+    the simulator and the threaded transport will exchange.  Raises
+    :class:`~repro.errors.MachineError` on an unmatched send or receive.
+    """
+    pending_recvs: Dict[Tuple[int, int], List[Tuple[int, RecvOp]]] = {}
+    for prog in schedule.programs:
+        for step_idx, op in prog.iter_ops():
+            if isinstance(op, RecvOp):
+                pending_recvs.setdefault((op.peer, prog.rank), []).append(
+                    (step_idx, op)
+                )
+    cursor: Dict[Tuple[int, int], int] = {}
+    metas: List[MsgMeta] = []
+    for prog in schedule.programs:
+        for step_idx, op in prog.iter_ops():
+            if isinstance(op, SendOp):
+                key = (prog.rank, op.peer)
+                idx = cursor.get(key, 0)
+                rlist = pending_recvs.get(key, [])
+                if idx >= len(rlist):
+                    raise MachineError(
+                        f"{schedule.describe()}: unmatched send "
+                        f"{prog.rank}->{op.peer}"
+                    )
+                cursor[key] = idx + 1
+                recv_step, rop = rlist[idx]
+                metas.append(
+                    MsgMeta(
+                        index=len(metas),
+                        src=prog.rank,
+                        dst=op.peer,
+                        seq=idx,
+                        send_step=step_idx,
+                        recv_step=recv_step,
+                        blocks=op.blocks,
+                        reduce=rop.reduce,
+                    )
+                )
+    for key, rlist in pending_recvs.items():
+        if cursor.get(key, 0) != len(rlist):
+            raise MachineError(
+                f"{schedule.describe()}: unmatched receive on channel {key}"
+            )
+    return metas
 
 
 @dataclass(frozen=True)

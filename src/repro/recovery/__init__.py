@@ -1,0 +1,73 @@
+"""Self-healing collectives: detect, shrink, rebuild, resume.
+
+ULFM-inspired fault tolerance over both execution backends.  A failure
+mid-collective — an injected crash, an exhausted retry budget, a silent
+rank — no longer ends in a terminal
+:class:`~repro.errors.PartialFailure`: the
+:class:`~repro.recovery.policy.RecoveryPolicy` decides whether to abort,
+shrink the group and rerun over survivors, or substitute spare
+processes, and the loop rebuilds the schedule for the new group size
+through the :class:`~repro.core.cache.ScheduleCache` (the paper's
+generalized algorithms are parameterized by ``p``, so "rebuild for the
+survivors" is just another registry build — the property that makes
+shrink recovery natural here).
+
+Entry points:
+
+* :func:`~repro.recovery.execute.execute_with_recovery` — real data,
+  threaded backend, wall-clock recovery (also reachable as
+  ``repro.execute(..., recovery=...)``);
+* :func:`~repro.recovery.sim.simulate_with_recovery` — simulated
+  time-to-recovery on a modeled machine, deterministic and
+  sweep-friendly;
+* :func:`~repro.recovery.retune.retune_degraded` — re-pick
+  ``(algorithm, k)`` under degraded links.
+
+See DESIGN.md §11 for the recovery model (detector semantics, shrink
+protocol, resume-state invariants).
+"""
+
+from .detect import (
+    HeartbeatDetector,
+    LinkDegraded,
+    RankFailure,
+    failures_from,
+    simulated_failures,
+    suspects_of,
+)
+from .execute import RecoveryRun, execute_with_recovery
+from .policy import (
+    RECOVERY_MODES,
+    RecoveryPolicy,
+    RecoveryReport,
+    RoundRecord,
+    normalize_policy,
+)
+from .retune import degraded_plan, retune_degraded
+from .shrink import elect_root, shrink_machine, shrink_plan, substitute_plan
+from .sim import SimRecoveryResult, detection_timeout, simulate_with_recovery
+
+__all__ = [
+    "HeartbeatDetector",
+    "LinkDegraded",
+    "RankFailure",
+    "failures_from",
+    "simulated_failures",
+    "suspects_of",
+    "RecoveryRun",
+    "execute_with_recovery",
+    "RECOVERY_MODES",
+    "RecoveryPolicy",
+    "RecoveryReport",
+    "RoundRecord",
+    "normalize_policy",
+    "degraded_plan",
+    "retune_degraded",
+    "elect_root",
+    "shrink_machine",
+    "shrink_plan",
+    "substitute_plan",
+    "SimRecoveryResult",
+    "detection_timeout",
+    "simulate_with_recovery",
+]

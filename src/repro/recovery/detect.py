@@ -1,0 +1,303 @@
+"""Failure detection: heartbeats for real threads, statics for the sim.
+
+Two detectors share one vocabulary of structured notifications —
+:class:`RankFailure` and :class:`LinkDegraded` — so the recovery policy
+layer (:mod:`repro.recovery.policy`) is backend-agnostic:
+
+* :class:`HeartbeatDetector` is the wall-clock detector the threaded
+  transport and sessions feed.  Ranks beat on every completed step; a
+  rank silent for longer than the timeout becomes *suspected*, a late
+  heartbeat cancels the suspicion (the classic eventually-perfect
+  detector compromise), and a structured fault observation *confirms* it
+  (confirmed failures are final — no heartbeat resurrects them).  The
+  detector itself is deterministic: it never reads a clock, callers pass
+  time in, which is what makes the edge cases unit-testable.
+* :func:`simulated_failures` is the simulator's detector.  Schedules are
+  static and every :class:`~repro.faults.plan.FaultPlan` decision is
+  deterministic, so who dies and which links degrade is computable
+  without running anything: it replays the plan through
+  :func:`repro.faults.sim.analyze` and emits the notifications the
+  heartbeat detector *would* have produced.
+
+Suspicion semantics follow ULFM: an exhausted retry budget on a link is
+blamed on the *sender* (the receiver cannot distinguish a dead peer from
+a dead link, so the peer is declared failed — false positives are the
+price of progress, and why the ``spare`` policy exists for data that
+cannot be re-contributed).
+
+Every notification is mirrored into :mod:`repro.obs` when enabled
+(``repro_recovery_failures_detected_total`` /
+``repro_recovery_links_degraded_total``), so chaos runs chart detection
+the same way they chart retransmissions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..core.schedule import Schedule
+from ..errors import ExecutionError, FaultError
+from ..faults.plan import FaultPlan
+from ..faults.sim import analyze, match_messages
+from ..obs import OBS
+
+__all__ = [
+    "RankFailure",
+    "LinkDegraded",
+    "HeartbeatDetector",
+    "suspects_of",
+    "failures_from",
+    "simulated_failures",
+    "emit_notifications",
+]
+
+
+@dataclass(frozen=True)
+class RankFailure:
+    """A rank declared failed, and why.
+
+    ``kind`` mirrors :class:`~repro.errors.FaultError` kinds (``crash``,
+    ``retries_exhausted``, ``timeout``) plus the detector's own
+    ``heartbeat`` (silence past the timeout with no structured fault to
+    pin it on).  ``step`` is the schedule step the rank died at (or the
+    last step it was seen alive at, for heartbeat suspicions); ``peer``
+    is the rank that observed the failure, where one did.
+    """
+
+    rank: int
+    kind: str = "crash"
+    step: Optional[int] = None
+    peer: Optional[int] = None
+    detected_at: Optional[float] = None  # backend clock: wall or simulated
+
+    def describe(self) -> str:
+        bits = [f"rank {self.rank} ({self.kind}"]
+        if self.step is not None:
+            bits.append(f" at step {self.step}")
+        if self.peer is not None:
+            bits.append(f", observed by rank {self.peer}")
+        return "".join(bits) + ")"
+
+
+@dataclass(frozen=True)
+class LinkDegraded:
+    """A link running slow (but alive) — input to degraded-mode re-tuning."""
+
+    src: int
+    dst: int
+    delay_factor: float = 1.0
+    bandwidth_factor: float = 1.0
+    drop_rate: float = 0.0
+
+    def describe(self) -> str:
+        return (
+            f"link {self.src}->{self.dst} degraded "
+            f"(delay x{self.delay_factor:g}, bandwidth /"
+            f"{self.bandwidth_factor:g}, drop {self.drop_rate:g})"
+        )
+
+
+class HeartbeatDetector:
+    """Deterministic heartbeat/timeout failure detector.
+
+    The caller owns the clock: feed :meth:`heartbeat` as ranks make
+    progress and :meth:`poll` at observation points.  A rank whose last
+    heartbeat is older than ``timeout`` becomes suspected; a later
+    heartbeat cancels the suspicion unless the failure was confirmed
+    (via :meth:`confirm`, from a structured fault observation).
+    """
+
+    def __init__(self, nranks: int, timeout: float, *, now: float = 0.0) -> None:
+        if nranks < 1:
+            raise ExecutionError(f"detector needs nranks >= 1, got {nranks}")
+        if timeout <= 0:
+            raise ExecutionError(f"detector timeout must be > 0, got {timeout}")
+        self.nranks = nranks
+        self.timeout = timeout
+        self._last: Dict[int, float] = {r: now for r in range(nranks)}
+        self._last_step: Dict[int, int] = {}
+        self._suspected: Dict[int, RankFailure] = {}
+        self._confirmed: Dict[int, RankFailure] = {}
+        self._cancellations = 0
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.nranks:
+            raise ExecutionError(
+                f"detector rank {rank} out of range [0, {self.nranks})"
+            )
+
+    def heartbeat(self, rank: int, now: float, *, step: Optional[int] = None) -> bool:
+        """Record liveness; returns True when it cancels a suspicion."""
+        self._check_rank(rank)
+        self._last[rank] = now
+        if step is not None:
+            self._last_step[rank] = step
+        if rank in self._suspected and rank not in self._confirmed:
+            del self._suspected[rank]
+            self._cancellations += 1
+            return True
+        return False
+
+    def confirm(
+        self,
+        rank: int,
+        *,
+        kind: str = "crash",
+        step: Optional[int] = None,
+        peer: Optional[int] = None,
+        now: Optional[float] = None,
+    ) -> RankFailure:
+        """Mark ``rank`` definitively failed (no heartbeat undoes this)."""
+        self._check_rank(rank)
+        failure = RankFailure(
+            rank=rank, kind=kind, step=step, peer=peer, detected_at=now
+        )
+        self._confirmed[rank] = failure
+        self._suspected.pop(rank, None)
+        return failure
+
+    def poll(self, now: float) -> List[RankFailure]:
+        """Suspect every silent rank; returns the *newly* suspected ones."""
+        fresh: List[RankFailure] = []
+        for rank in range(self.nranks):
+            if rank in self._confirmed or rank in self._suspected:
+                continue
+            if now - self._last[rank] > self.timeout:
+                failure = RankFailure(
+                    rank=rank,
+                    kind="heartbeat",
+                    step=self._last_step.get(rank),
+                    detected_at=now,
+                )
+                self._suspected[rank] = failure
+                fresh.append(failure)
+        return fresh
+
+    def suspects(self) -> Tuple[RankFailure, ...]:
+        """Current unconfirmed suspicions, in rank order."""
+        return tuple(self._suspected[r] for r in sorted(self._suspected))
+
+    def confirmed(self) -> Tuple[RankFailure, ...]:
+        """Confirmed failures, in rank order."""
+        return tuple(self._confirmed[r] for r in sorted(self._confirmed))
+
+    @property
+    def cancellations(self) -> int:
+        """How many suspicions were cancelled by a late heartbeat."""
+        return self._cancellations
+
+    def alive(self) -> Tuple[int, ...]:
+        """Ranks neither suspected nor confirmed failed."""
+        dead = set(self._suspected) | set(self._confirmed)
+        return tuple(r for r in range(self.nranks) if r not in dead)
+
+
+def suspects_of(faults: Iterable[FaultError]) -> Tuple[int, ...]:
+    """The ranks a set of structured fault observations blames.
+
+    A ``crash`` blames the crashed rank; an exhausted retry budget blames
+    the *peer* the receiver was waiting on (ULFM semantics: a dead link is
+    indistinguishable from a dead sender, so the sender is declared
+    failed).  Sorted, deduplicated.
+    """
+    blamed: Set[int] = set()
+    for fault in faults:
+        if fault.kind == "retries_exhausted" and fault.peer is not None:
+            blamed.add(fault.peer)
+        elif fault.rank is not None:
+            blamed.add(fault.rank)
+    return tuple(sorted(blamed))
+
+
+def failures_from(
+    faults: Iterable[FaultError], *, detected_at: Optional[float] = None
+) -> Tuple[RankFailure, ...]:
+    """Convert structured fault errors into :class:`RankFailure` records,
+    one per blamed rank (first observation wins)."""
+    seen: Dict[int, RankFailure] = {}
+    for fault in faults:
+        if fault.kind == "retries_exhausted" and fault.peer is not None:
+            rank, peer = fault.peer, fault.rank
+        elif fault.rank is not None:
+            rank, peer = fault.rank, fault.peer
+        else:  # pragma: no cover - faults always carry a rank today
+            continue
+        if rank not in seen:
+            seen[rank] = RankFailure(
+                rank=rank,
+                kind=fault.kind,
+                step=fault.step,
+                peer=peer,
+                detected_at=detected_at,
+            )
+    return tuple(seen[r] for r in sorted(seen))
+
+
+def simulated_failures(
+    schedule: Schedule, plan: Optional[FaultPlan]
+) -> Tuple[Tuple[RankFailure, ...], Tuple[LinkDegraded, ...]]:
+    """The simulator's detector: what the plan will kill, statically.
+
+    Replays ``plan`` through the static fault analysis
+    (:func:`repro.faults.sim.analyze`) and reports the resulting
+    notifications: a :class:`RankFailure` per crashed rank and per sender
+    of a message whose every retry is dropped (dead link → sender blamed,
+    matching :func:`suspects_of`), and a :class:`LinkDegraded` per
+    declared link fault that slows traffic without killing it.
+    """
+    if plan is None or not plan.is_active:
+        return (), ()
+    degraded = tuple(
+        LinkDegraded(
+            src=lf.src,
+            dst=lf.dst,
+            delay_factor=lf.delay_factor,
+            bandwidth_factor=lf.bandwidth_factor,
+            drop_rate=lf.drop_rate,
+        )
+        for lf in plan.links
+        if (lf.delay_factor > 1.0 or lf.bandwidth_factor > 1.0)
+        and lf.drop_rate < 1.0
+    )
+    metas = match_messages(schedule)
+    statics = analyze(schedule, plan, metas)
+    if statics is None:
+        return (), degraded
+    failures: Dict[int, RankFailure] = {}
+    for rank in sorted(statics.crashed):
+        failures[rank] = RankFailure(
+            rank=rank, kind="crash", step=plan.crash_step(rank)
+        )
+    for idx in sorted(statics.failed):
+        meta = metas[idx]
+        if meta.src not in failures:
+            failures[meta.src] = RankFailure(
+                rank=meta.src,
+                kind="retries_exhausted",
+                step=meta.send_step,
+                peer=meta.dst,
+            )
+    return tuple(failures[r] for r in sorted(failures)), degraded
+
+
+def emit_notifications(
+    failures: Iterable[RankFailure],
+    degraded: Iterable[LinkDegraded] = (),
+    *,
+    backend: str = "threaded",
+) -> None:
+    """Mirror detection events into the observability scope (when on)."""
+    if not OBS.enabled:
+        return
+    m = OBS.metrics
+    for failure in failures:
+        m.counter(
+            "repro_recovery_failures_detected_total",
+            backend=backend,
+            kind=failure.kind,
+        ).inc()
+    for _ in degraded:
+        m.counter(
+            "repro_recovery_links_degraded_total", backend=backend
+        ).inc()

@@ -1,0 +1,207 @@
+"""Recovery policy and the report it produces.
+
+:class:`RecoveryPolicy` is the one knob surface for self-healing: what to
+do on failure (``abort`` / ``shrink`` / ``spare``), how many
+detect-shrink-rebuild rounds to attempt before surrendering, how many
+spare processes can be substituted, and the detection timeout the
+heartbeat (or simulated) detector uses.  It is frozen — policies are
+values, safely shared across rounds and processes.
+
+:class:`RecoveryReport` is the flight recorder: one :class:`RoundRecord`
+per attempt, carrying the detected failures, the survivor set agreed on,
+and the fingerprint of the rebuilt schedule.  The property tests pin
+these (same seed → same survivors, same fingerprints); the chaos harness
+and the CI artifact serialize them via :meth:`RecoveryReport.to_dict`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from ..errors import ExecutionError
+from .detect import LinkDegraded, RankFailure
+
+__all__ = [
+    "RECOVERY_MODES",
+    "RecoveryPolicy",
+    "normalize_policy",
+    "RoundRecord",
+    "RecoveryReport",
+]
+
+RECOVERY_MODES = ("abort", "shrink", "spare")
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """How an execution reacts to detected rank failures.
+
+    ``mode``:
+
+    * ``"abort"`` — classic MPI: any failure raises
+      :class:`~repro.errors.RecoveryError` immediately.
+    * ``"shrink"`` — ULFM shrink-and-retry: drop the failed ranks, rebuild
+      the schedule over the survivors, re-contribute survivor inputs, and
+      rerun.  The result is the collective *over the survivors* (what a
+      shrunk communicator computes); data held only by a failed rank —
+      a bcast/scatter root — is unrecoverable in this mode.
+    * ``"spare"`` — substitute-spare: each failed rank's slot is adopted
+      by a fresh spare process that restores the slot's input from its
+      checkpoint, so the *original* p-rank result is preserved.  Bounded
+      by ``spares``; when spares run out the policy degrades to shrink.
+
+    ``max_rounds`` bounds detect→shrink→rebuild→rerun attempts (each new
+    failure costs a round).  ``min_ranks`` is the floor the group may
+    shrink to.  ``detection_timeout`` (seconds for the threaded backend,
+    microseconds for the simulator) overrides the backend's derived
+    heartbeat timeout when set.  ``retune`` re-picks ``(algorithm, k)``
+    for degraded links before rebuilding.
+    """
+
+    mode: str = "shrink"
+    max_rounds: int = 4
+    spares: int = 0
+    min_ranks: int = 1
+    detection_timeout: Optional[float] = None
+    retune: bool = False
+
+    def __post_init__(self) -> None:
+        if self.mode not in RECOVERY_MODES:
+            raise ExecutionError(
+                f"unknown recovery mode {self.mode!r}; "
+                f"expected one of {RECOVERY_MODES}"
+            )
+        if self.max_rounds < 1:
+            raise ExecutionError(
+                f"recovery max_rounds must be >= 1, got {self.max_rounds}"
+            )
+        if self.spares < 0:
+            raise ExecutionError(f"recovery spares must be >= 0, got {self.spares}")
+        if self.min_ranks < 1:
+            raise ExecutionError(
+                f"recovery min_ranks must be >= 1, got {self.min_ranks}"
+            )
+        if self.detection_timeout is not None and self.detection_timeout <= 0:
+            raise ExecutionError(
+                f"recovery detection_timeout must be > 0, "
+                f"got {self.detection_timeout}"
+            )
+
+    def describe(self) -> str:
+        bits = [self.mode, f"max_rounds={self.max_rounds}"]
+        if self.spares:
+            bits.append(f"spares={self.spares}")
+        if self.retune:
+            bits.append("retune")
+        return " ".join(bits)
+
+
+def normalize_policy(
+    recovery: Union[None, str, RecoveryPolicy]
+) -> Optional[RecoveryPolicy]:
+    """Accept the ``recovery=`` argument in all its spellings.
+
+    ``None`` means recovery off (failures raise as before); a string is a
+    mode with default knobs; a :class:`RecoveryPolicy` passes through.
+    """
+    if recovery is None:
+        return None
+    if isinstance(recovery, RecoveryPolicy):
+        return recovery
+    if isinstance(recovery, str):
+        return RecoveryPolicy(mode=recovery)
+    raise ExecutionError(
+        f"recovery must be None, a mode string, or a RecoveryPolicy; "
+        f"got {type(recovery).__name__}"
+    )
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """One detect→shrink→rebuild→rerun attempt.
+
+    ``survivors`` are the *global* ranks (original numbering, spares
+    included) whose slots this round executed over; ``fingerprint`` is
+    the rebuilt schedule's content hash; ``action`` is what the policy
+    did after the previous round's failures ("initial", "shrink",
+    "spare", "retune").
+    """
+
+    round: int
+    action: str
+    nranks: int
+    survivors: Tuple[int, ...]
+    fingerprint: str
+    algorithm: str
+    k: Optional[int]
+    failures: Tuple[RankFailure, ...] = ()
+    degraded: Tuple[LinkDegraded, ...] = ()
+    succeeded: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "round": self.round,
+            "action": self.action,
+            "nranks": self.nranks,
+            "survivors": list(self.survivors),
+            "fingerprint": self.fingerprint,
+            "algorithm": self.algorithm,
+            "k": self.k,
+            "failures": [f.describe() for f in self.failures],
+            "degraded": [d.describe() for d in self.degraded],
+            "succeeded": self.succeeded,
+        }
+
+
+@dataclass
+class RecoveryReport:
+    """The full recovery history of one collective execution."""
+
+    policy: RecoveryPolicy
+    rounds: List[RoundRecord] = field(default_factory=list)
+    recovered: bool = False
+    time_to_recovery: float = 0.0   # backend clock units (s wall / us sim)
+
+    @property
+    def nrounds(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def survivors(self) -> Tuple[int, ...]:
+        """Survivor set of the last round (the final group)."""
+        return self.rounds[-1].survivors if self.rounds else ()
+
+    @property
+    def failures(self) -> Tuple[RankFailure, ...]:
+        """Every failure detected across all rounds, in detection order."""
+        out: List[RankFailure] = []
+        for record in self.rounds:
+            out.extend(record.failures)
+        return tuple(out)
+
+    def fingerprints(self) -> Tuple[str, ...]:
+        """Schedule fingerprint per round — the determinism invariant."""
+        return tuple(r.fingerprint for r in self.rounds)
+
+    def to_dict(self) -> dict:
+        return {
+            "policy": self.policy.describe(),
+            "recovered": self.recovered,
+            "time_to_recovery": self.time_to_recovery,
+            "rounds": [r.to_dict() for r in self.rounds],
+        }
+
+    def describe(self) -> str:
+        if not self.rounds:
+            return "no rounds executed"
+        last = self.rounds[-1]
+        status = "recovered" if self.recovered else "UNRECOVERED"
+        nfail = len(self.failures)
+        return (
+            f"{status} after {self.nrounds} round(s): "
+            f"{nfail} failure(s), final group {last.nranks} rank(s) "
+            f"[{last.algorithm}"
+            + (f" k={last.k}" if last.k is not None else "")
+            + "]"
+        )

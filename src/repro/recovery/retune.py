@@ -1,0 +1,108 @@
+"""Degraded-mode re-tuning: re-pick ``(algorithm, k)`` after a degradation.
+
+A link that survives but runs slow (a flapping cable, a congested
+dragonfly global link) changes which generalized algorithm — and which
+radix — wins.  A wide k-nomial that was optimal on a healthy fabric
+funnels a large fan-in through the degraded link; a different radix (or
+k-ring's link-aware rotation) can route around the penalty.
+
+This module turns the detector's :class:`~repro.recovery.detect.LinkDegraded`
+notifications back into a :class:`~repro.faults.plan.FaultPlan` carrying
+only the degradations, then re-runs the selection sweep under that plan
+(:func:`repro.selection.tuner.sweep_collective` grew ``faults=`` for
+exactly this) and returns the new winner.  Deterministic: the sweep is
+bit-identical at any ``jobs``, so the re-pick is too.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+from ..errors import SelectionError
+from ..faults.plan import FaultPlan, LinkFault
+from ..obs import OBS
+from ..simnet.machine import MachineSpec
+from .detect import LinkDegraded
+
+__all__ = ["degraded_plan", "retune_degraded"]
+
+
+def degraded_plan(
+    degraded: Iterable[LinkDegraded], *, seed: int = 0
+) -> Optional[FaultPlan]:
+    """A fault plan carrying only the observed degradations (no loss).
+
+    This is what re-tuning sweeps under: the simulator applies the link
+    delay/bandwidth penalties while everything still completes.
+    """
+    links = tuple(
+        LinkFault(
+            src=d.src,
+            dst=d.dst,
+            delay_factor=d.delay_factor,
+            bandwidth_factor=d.bandwidth_factor,
+        )
+        for d in degraded
+        if d.delay_factor > 1.0 or d.bandwidth_factor > 1.0
+    )
+    if not links:
+        return None
+    return FaultPlan(seed=seed, links=links)
+
+
+def retune_degraded(
+    collective: str,
+    machine: MachineSpec,
+    nbytes: int,
+    degraded: Iterable[LinkDegraded],
+    *,
+    algorithms: Optional[Sequence[str]] = None,
+    root: int = 0,
+    jobs: int = 0,
+) -> Tuple[str, Optional[int]]:
+    """Best ``(algorithm, k)`` for ``collective`` at ``nbytes`` given the
+    degradations.
+
+    Sweeps the registered (or given) algorithms over the radix grid under
+    a plan built from ``degraded`` and returns the argmin.  With no
+    effective degradation this is the plain healthy-machine winner.
+    """
+    from ..selection.tuner import sweep_collective
+
+    plan = degraded_plan(degraded)
+    sweep = sweep_collective(
+        collective,
+        machine,
+        [int(nbytes)],
+        algorithms=algorithms,
+        root=root,
+        faults=plan,
+        jobs=jobs,
+    )
+    best = sweep.best(int(nbytes))
+    if OBS.enabled:
+        OBS.metrics.counter(
+            "repro_recovery_retunes_total", collective=collective
+        ).inc()
+    return best.choice.algorithm, best.choice.k
+
+
+def retune_or_keep(
+    collective: str,
+    algorithm: str,
+    machine: MachineSpec,
+    nbytes: int,
+    degraded: Iterable[LinkDegraded],
+    *,
+    k: Optional[int] = None,
+    root: int = 0,
+) -> Tuple[str, Optional[int]]:
+    """Like :func:`retune_degraded`, but falls back to the current
+    ``(algorithm, k)`` when the sweep cannot run (e.g. an algorithm set
+    with no registered entry for this collective)."""
+    try:
+        return retune_degraded(
+            collective, machine, nbytes, degraded, root=root
+        )
+    except SelectionError:
+        return algorithm, k

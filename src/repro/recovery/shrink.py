@@ -1,0 +1,146 @@
+"""Communicator shrink: remapping fault plans, roots, and machines.
+
+When the group shrinks from ``p`` local ranks to the survivors, every
+rank-indexed artifact must be renumbered into the new dense ``[0, p')``
+space: the :class:`~repro.faults.plan.FaultPlan` (so faults declared on
+survivors keep firing in later rounds, and faults on the dead are
+dropped), the collective root (re-elected when the old root died), and
+the simulated :class:`~repro.simnet.machine.MachineSpec` (fewer ranks,
+same fabric).  All pure functions of their inputs — shrink is as
+deterministic as the failures that triggered it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from ..errors import MachineError
+from ..faults.plan import Crash, FaultPlan, LinkFault, Straggler
+from ..simnet.machine import MachineSpec
+
+__all__ = ["shrink_plan", "substitute_plan", "elect_root", "shrink_machine"]
+
+
+def _position_map(survivors: Sequence[int]) -> dict:
+    return {old: new for new, old in enumerate(survivors)}
+
+
+def shrink_plan(
+    plan: Optional[FaultPlan], survivors: Sequence[int]
+) -> Optional[FaultPlan]:
+    """Renumber a fault plan into the survivors' dense rank space.
+
+    Faults addressing a dead rank are dropped; faults on survivors are
+    remapped to their new indices so multi-failure scenarios unfold round
+    by round (a crash declared on old rank 5 still fires after old rank 1
+    died, now addressed as the shrunk group's rank 4).  Global rates
+    (drop/dup/delay) and the seed carry over unchanged — the counter-based
+    RNG keys on (link, seq, attempt), so survivor traffic stays seeded
+    identically regardless of group size.
+    """
+    if plan is None:
+        return None
+    pos = _position_map(survivors)
+    links = tuple(
+        LinkFault(
+            src=pos[lf.src],
+            dst=pos[lf.dst],
+            drop_rate=lf.drop_rate,
+            dup_rate=lf.dup_rate,
+            delay_factor=lf.delay_factor,
+            bandwidth_factor=lf.bandwidth_factor,
+        )
+        for lf in plan.links
+        if lf.src in pos and lf.dst in pos
+    )
+    stragglers = tuple(
+        Straggler(rank=pos[s.rank], factor=s.factor)
+        for s in plan.stragglers
+        if s.rank in pos
+    )
+    crashes = tuple(
+        Crash(rank=pos[c.rank], step=c.step)
+        for c in plan.crashes
+        if c.rank in pos
+    )
+    return FaultPlan(
+        drop_rate=plan.drop_rate,
+        dup_rate=plan.dup_rate,
+        delay_rate=plan.delay_rate,
+        delay_factor=plan.delay_factor,
+        seed=plan.seed,
+        links=links,
+        stragglers=stragglers,
+        crashes=crashes,
+        retry=plan.retry,
+        straggler_step_delay=plan.straggler_step_delay,
+    )
+
+
+def substitute_plan(
+    plan: Optional[FaultPlan], replaced: Sequence[int]
+) -> Optional[FaultPlan]:
+    """Drop faults addressed at slots a spare just adopted.
+
+    The group keeps its size and numbering — only the processes behind
+    the ``replaced`` local slots are fresh — so the plan keeps its rank
+    space too, minus the faults that already fired on (or were aimed at)
+    the replaced slots.  Without this, a substituted spare would
+    immediately re-crash on the same declared ``Crash`` and recovery
+    could never converge.
+    """
+    if plan is None:
+        return None
+    dead = set(replaced)
+    return FaultPlan(
+        drop_rate=plan.drop_rate,
+        dup_rate=plan.dup_rate,
+        delay_rate=plan.delay_rate,
+        delay_factor=plan.delay_factor,
+        seed=plan.seed,
+        links=tuple(
+            lf for lf in plan.links if lf.src not in dead and lf.dst not in dead
+        ),
+        stragglers=tuple(s for s in plan.stragglers if s.rank not in dead),
+        crashes=tuple(c for c in plan.crashes if c.rank not in dead),
+        retry=plan.retry,
+        straggler_step_delay=plan.straggler_step_delay,
+    )
+
+
+def elect_root(
+    root_global: int, survivors: Sequence[int]
+) -> Tuple[int, bool]:
+    """Map a rooted collective's root into the shrunk group.
+
+    Returns ``(local_root, alive)``: the survivor-local index of the old
+    root when it survived, else the lowest-numbered survivor (ULFM's
+    usual deterministic re-election) with ``alive=False`` so the caller
+    can decide whether the root's data is recoverable.
+    """
+    pos = _position_map(survivors)
+    if root_global in pos:
+        return pos[root_global], True
+    return 0, False
+
+
+def shrink_machine(machine: MachineSpec, nranks: int) -> MachineSpec:
+    """A machine spec for the shrunk group, same fabric parameters.
+
+    Keeps the node geometry when the survivor count still fills whole
+    nodes (and whole dragonfly groups); otherwise falls back to one rank
+    per node with no dragonfly layer — the conservative all-internode
+    assumption, since survivors of node failures rarely stay
+    block-packed anyway.
+    """
+    if nranks == machine.nranks:
+        return machine
+    if machine.ppn > 1 and nranks % machine.ppn == 0:
+        try:
+            return machine.with_(nodes=nranks // machine.ppn)
+        except MachineError:
+            pass  # shrunk node count no longer fills dragonfly groups
+    try:
+        return machine.with_(nodes=nranks, ppn=1)
+    except MachineError:
+        return machine.with_(nodes=nranks, ppn=1, dragonfly=None)

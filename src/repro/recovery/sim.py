@@ -1,0 +1,274 @@
+"""Simulated self-healing: time-to-recovery on the modeled machine.
+
+The simulator's recovery loop mirrors the threaded one
+(:mod:`repro.recovery.execute`) but in simulated time, which is what the
+recovery sweeps chart: how long from the crash until the survivors have
+a result, and what the rebuilt collective costs.
+
+Each round:
+
+1. the static detector (:func:`repro.recovery.detect.simulated_failures`)
+   derives which ranks the fault plan kills;
+2. the discrete-event simulator runs the schedule anyway, charging the
+   *progress time* — how far the live part of the schedule got before
+   draining (crashed/stalled ranks hold their peers up exactly as long
+   as the message matching says they do);
+3. the detection timeout is charged (heartbeats are not simulated as
+   traffic; the detector's timeout is the modeled delay between the
+   failure and every survivor agreeing on it — see
+   :func:`detection_timeout`);
+4. the policy shrinks the group or substitutes spares, the schedule is
+   rebuilt over the survivors via the
+   :class:`~repro.core.cache.ScheduleCache`, and the shrunk group rains
+   through again.
+
+Everything here is a pure function of ``(collective, algorithm, machine,
+nbytes, plan, policy)`` — no wall clock, no RNG — so recovery sweeps are
+bit-identical at any ``--jobs`` setting, the property the parallel sweep
+engine guarantees for plain sweeps.  An unrecoverable scenario returns a
+:class:`SimRecoveryResult` with ``recovered=False`` (sweeps chart
+failures; they don't crash), unlike the threaded path which raises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dc_replace
+from typing import List, Optional, Tuple, Union
+
+from ..core.blocks import block_sizes
+from ..core.cache import ScheduleCache, global_schedule_cache
+from ..errors import ExecutionError
+from ..faults.plan import FaultPlan
+from ..obs import OBS
+from ..simnet.machine import MachineSpec
+from ..simnet.simulate import SimResult, simulate
+from .detect import emit_notifications, simulated_failures
+from .policy import (
+    RecoveryPolicy,
+    RecoveryReport,
+    RoundRecord,
+    normalize_policy,
+)
+from .shrink import shrink_machine, shrink_plan, substitute_plan
+
+__all__ = [
+    "SimRecoveryResult",
+    "detection_timeout",
+    "simulate_with_recovery",
+]
+
+
+@dataclass(frozen=True)
+class SimRecoveryResult:
+    """Simulated cost of a collective that healed (or failed to).
+
+    All times in seconds (``*_us`` properties convert).  ``time`` is the
+    end-to-end makespan: progress before each failure, detection
+    timeouts, and the final successful run.  ``time_to_recovery`` spans
+    first failure to the start of the last round (0.0 for a clean run);
+    ``post_recovery_time`` is the final round's cost alone.
+    """
+
+    time: float
+    time_to_recovery: float
+    post_recovery_time: float
+    rounds: int
+    survivors: Tuple[int, ...]
+    recovered: bool
+    result: Optional[SimResult]
+    report: RecoveryReport
+
+    @property
+    def time_us(self) -> float:
+        return self.time * 1e6
+
+    @property
+    def time_to_recovery_us(self) -> float:
+        return self.time_to_recovery * 1e6
+
+    @property
+    def post_recovery_us(self) -> float:
+        return self.post_recovery_time * 1e6
+
+
+def detection_timeout(machine: MachineSpec, policy: RecoveryPolicy) -> float:
+    """The modeled failure-detection delay, in seconds.
+
+    ``policy.detection_timeout`` when set; otherwise ten heartbeat
+    intervals of the machine's small-message latency — the conventional
+    suspicion threshold (a few missed heartbeats) scaled to the fabric
+    the heartbeats ride on.
+    """
+    if policy.detection_timeout is not None:
+        return policy.detection_timeout
+    return 10.0 * (machine.alpha_inter + machine.port_msg_overhead)
+
+
+def _shrunk_nbytes(collective: str, nbytes: int, p: int, slots: Tuple[int, ...]) -> int:
+    """Total wire payload for the shrunk group.
+
+    Gather-family totals are the sum of per-rank contributions, so they
+    shrink with the group; rooted-vector and reduction collectives keep
+    the full buffer.
+    """
+    if collective in ("gather", "allgather", "scatter", "reduce_scatter"):
+        sizes = block_sizes(nbytes, p)
+        return sum(sizes[g] for g in slots)
+    return nbytes
+
+
+def simulate_with_recovery(
+    collective: str,
+    algorithm: str,
+    machine: MachineSpec,
+    nbytes: int,
+    *,
+    recovery: Union[str, RecoveryPolicy] = "shrink",
+    k: Optional[int] = None,
+    root: int = 0,
+    faults: Optional[FaultPlan] = None,
+    noise=None,
+    cache: Optional[ScheduleCache] = None,
+) -> SimRecoveryResult:
+    """Simulate a collective under ``faults`` with self-healing.
+
+    Deterministic: same arguments → same result, bit for bit.  Returns a
+    :class:`SimRecoveryResult`; surrendering (abort policy, budget
+    exhausted, group below ``min_ranks``, dead rooted-collective root
+    with no spare) yields ``recovered=False`` rather than raising, so
+    recovery sweeps can chart unrecoverable corners.
+    """
+    policy = normalize_policy(recovery)
+    if policy is None:
+        raise ExecutionError(
+            "simulate_with_recovery needs a recovery policy; "
+            "use repro.simulate for the unrecovered path"
+        )
+    cache = cache or global_schedule_cache()
+    p = machine.nranks
+
+    slots: List[int] = list(range(p))
+    hosts: List[int] = list(range(p))
+    spares_left = policy.spares
+    next_spare = p
+    plan = faults
+    action = "initial"
+    report = RecoveryReport(policy=policy)
+    total = 0.0
+    failed_at: Optional[float] = None
+
+    def surrender() -> SimRecoveryResult:
+        if OBS.enabled:
+            OBS.metrics.counter(
+                "repro_recovery_runs_total", backend="sim",
+                outcome="unrecovered",
+            ).inc()
+        return SimRecoveryResult(
+            time=total,
+            time_to_recovery=(total - failed_at) if failed_at is not None else 0.0,
+            post_recovery_time=0.0,
+            rounds=report.nrounds,
+            survivors=tuple(hosts),
+            recovered=False,
+            result=None,
+            report=report,
+        )
+
+    for round_idx in range(policy.max_rounds):
+        p_cur = len(slots)
+        root_alive = root in slots
+        local_root = slots.index(root) if root_alive else 0
+        if collective in ("bcast", "scatter") and not root_alive:
+            # The root's data existed nowhere else: unrecoverable by
+            # shrinking.  (Spare mode replaces the root's slot before we
+            # ever get here.)
+            return surrender()
+        machine_cur = shrink_machine(machine, p_cur)
+        nbytes_cur = _shrunk_nbytes(collective, nbytes, p, tuple(slots))
+        schedule, _ = cache.get_or_build(
+            collective, algorithm, p_cur, k=k, root=local_root
+        )
+        failures, degraded = simulated_failures(schedule, plan)
+        if policy.retune and degraded and round_idx == 0:
+            # Degraded links change which (algorithm, k) wins: re-pick
+            # once, up front, under the observed degradations.
+            from .retune import retune_or_keep
+
+            algorithm, k = retune_or_keep(
+                collective, algorithm, machine_cur, nbytes_cur, degraded,
+                k=k, root=local_root,
+            )
+            schedule, _ = cache.get_or_build(
+                collective, algorithm, p_cur, k=k, root=local_root
+            )
+            failures, degraded = simulated_failures(schedule, plan)
+            action = "retune"
+        record = RoundRecord(
+            round=round_idx,
+            action=action,
+            nranks=p_cur,
+            survivors=tuple(hosts),
+            fingerprint=schedule.fingerprint(),
+            algorithm=algorithm,
+            k=schedule.k,
+            failures=failures,
+            degraded=degraded,
+        )
+        res = simulate(
+            schedule, machine_cur, nbytes_cur, noise=noise, faults=plan
+        )
+        if not failures and res.complete:
+            total += res.time
+            report.rounds.append(dc_replace(record, succeeded=True))
+            report.recovered = True
+            ttr = 0.0
+            if failed_at is not None:
+                ttr = (total - res.time) - failed_at
+                report.time_to_recovery = ttr
+            if OBS.enabled:
+                OBS.metrics.counter(
+                    "repro_recovery_runs_total", backend="sim",
+                    outcome="recovered" if round_idx else "clean",
+                ).inc()
+            return SimRecoveryResult(
+                time=total,
+                time_to_recovery=ttr,
+                post_recovery_time=res.time,
+                rounds=report.nrounds,
+                survivors=tuple(hosts),
+                recovered=True,
+                result=res,
+                report=report,
+            )
+        # Failure round: charge the progress made plus detection delay.
+        emit_notifications(failures, degraded, backend="sim")
+        report.rounds.append(record)
+        progress = res.time
+        detect = detection_timeout(machine_cur, policy)
+        if failed_at is None:
+            failed_at = total + progress
+        total += progress + detect
+        if policy.mode == "abort":
+            return surrender()
+        blamed_local = tuple(
+            sorted({f.rank for f in failures if 0 <= f.rank < p_cur})
+        )
+        if not blamed_local:  # pragma: no cover - incomplete sim implies blame
+            return surrender()
+        if p_cur - len(blamed_local) < policy.min_ranks:
+            return surrender()
+        if policy.mode == "spare" and spares_left >= len(blamed_local):
+            for local in blamed_local:
+                hosts[local] = next_spare
+                next_spare += 1
+            spares_left -= len(blamed_local)
+            plan = substitute_plan(plan, blamed_local)
+            action = "spare"
+        else:
+            dead = set(blamed_local)
+            survivors_local = [i for i in range(p_cur) if i not in dead]
+            slots = [slots[i] for i in survivors_local]
+            hosts = [hosts[i] for i in survivors_local]
+            plan = shrink_plan(plan, survivors_local)
+            action = "shrink"
+    return surrender()

@@ -68,11 +68,17 @@ class _Shared:
         table: SelectionTable,
         timeout: float,
         faults: Optional[FaultPlan] = None,
+        detector=None,
     ) -> None:
         self.nranks = nranks
         self.table = table
         self.timeout = timeout
         self.faults = faults if faults is not None and faults.is_active else None
+        # Optional failure detector (duck-typed to
+        # repro.recovery.HeartbeatDetector): ranks beat it on every
+        # collective call, and structured faults are confirmed on it when
+        # the session aggregates failures.
+        self.detector = detector
         # One collective-call counter per rank; each rank thread only ever
         # touches its own slot (crash/straggler faults index by call).
         self.call_counts = [0] * nranks
@@ -414,12 +420,16 @@ class Comm:
         p = self.size
         n = count if count is not None else len(buf)
         faults = shared.faults
+        # At session level, Crash.step / straggler slowdown index the
+        # rank's Nth collective call (schedules vary per call, so a
+        # schedule-step index would be meaningless here).
+        call_idx = shared.call_counts[self.global_rank]
+        shared.call_counts[self.global_rank] = call_idx + 1
+        if shared.detector is not None:
+            shared.detector.heartbeat(
+                self.global_rank, time.monotonic(), step=call_idx
+            )
         if faults is not None:
-            # At session level, Crash.step / straggler slowdown index the
-            # rank's Nth collective call (schedules vary per call, so a
-            # schedule-step index would be meaningless here).
-            call_idx = shared.call_counts[self.global_rank]
-            shared.call_counts[self.global_rank] = call_idx + 1
             if faults.crash_step(self.global_rank) == call_idx:
                 raise FaultError(
                     f"rank {self.global_rank} crashed before collective "
@@ -546,6 +556,7 @@ class Session:
         table: Optional[SelectionTable] = None,
         timeout: float = 30.0,
         faults: Optional[FaultPlan] = None,
+        detector=None,
     ) -> None:
         if nranks < 1:
             raise ExecutionError(f"nranks must be >= 1, got {nranks}")
@@ -553,6 +564,7 @@ class Session:
         self.table = table or mpich_policy()
         self.timeout = timeout
         self.faults = faults
+        self.detector = detector
 
     def run(self, fn: Callable[[Comm], object]) -> List[object]:
         """Run ``fn(comm)`` on every rank; returns per-rank results.
@@ -561,7 +573,10 @@ class Session:
         injected faults surface as a :class:`~repro.errors.PartialFailure`
         aggregating every rank's structured diagnosis.
         """
-        shared = _Shared(self.nranks, self.table, self.timeout, self.faults)
+        shared = _Shared(
+            self.nranks, self.table, self.timeout, self.faults,
+            detector=self.detector,
+        )
         results: List[object] = [None] * self.nranks
         failures: List[Tuple[int, BaseException]] = []
         lock = threading.Lock()
@@ -606,6 +621,20 @@ class Session:
                 if isinstance(exc, FaultError)
             ]
             if primary:
+                if self.detector is not None:
+                    now = time.monotonic()
+                    for _, exc in primary:
+                        blamed = (
+                            exc.peer
+                            if exc.kind == "retries_exhausted"
+                            and exc.peer is not None
+                            else exc.rank
+                        )
+                        if blamed is not None:
+                            self.detector.confirm(
+                                blamed, kind=exc.kind, step=exc.step,
+                                peer=exc.peer, now=now,
+                            )
                 raise PartialFailure(
                     f"session: rank(s) {sorted(r for r, _ in primary)} "
                     f"failed under injected faults",

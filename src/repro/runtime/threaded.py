@@ -83,6 +83,15 @@ class ThreadedTransport:
         plan's :class:`~repro.faults.plan.RetryPolicy`); exhausted retries
         and rank crashes raise a structured
         :class:`~repro.errors.PartialFailure`.
+    detector:
+        Optional failure detector (duck-typed to
+        :class:`repro.recovery.HeartbeatDetector`): every rank heartbeats
+        it as it completes a step, and structured faults are confirmed on
+        it before the transport raises — so a recovery loop wrapping this
+        transport sees suspicion state, not just the final exception.
+
+    The transport also tracks ``progress`` — per-rank completed-step
+    counts — which is the completion state recovery resumes from.
     """
 
     def __init__(
@@ -91,10 +100,13 @@ class ThreadedTransport:
         *,
         timeout: float = 30.0,
         faults: Optional[FaultPlan] = None,
+        detector=None,
     ) -> None:
         self.schedule = schedule
         self.timeout = timeout
         self.faults = faults if faults is not None and faults.is_active else None
+        self.detector = detector
+        self.progress: List[int] = [0] * schedule.nranks
         self._channels: Dict[Tuple[int, int], LossyChannel] = {}
         self._failures: List[_RankFailure] = []
         self._aborted_ranks: List[int] = []
@@ -211,6 +223,27 @@ class ThreadedTransport:
             )
         if faults:
             failed = sorted({f.rank for f in faults})
+            if self.detector is not None:
+                # Confirm the blamed rank on the detector: a crash blames
+                # itself, an exhausted retry budget blames the silent
+                # peer (ULFM semantics — see repro.recovery.detect).
+                now = time.monotonic()
+                for f in faults:
+                    err = f.error
+                    blamed = (
+                        err.peer
+                        if err.kind == "retries_exhausted"
+                        and err.peer is not None
+                        else err.rank
+                    )
+                    if blamed is not None:
+                        self.detector.confirm(
+                            blamed,
+                            kind=err.kind,
+                            step=err.step,
+                            peer=err.peer,
+                            now=now,
+                        )
             with self._failure_lock:
                 stalled = sorted(
                     set(self._aborted_ranks) - set(failed)
@@ -268,6 +301,11 @@ class ThreadedTransport:
                         if payload is None:
                             return  # aborted: primary failure is elsewhere
                         model.apply_recv(rank, sop, payload)
+                self.progress[rank] = step_idx + 1
+                if self.detector is not None:
+                    self.detector.heartbeat(
+                        rank, time.monotonic(), step=step_idx
+                    )
         except BaseException as exc:  # propagate to run()
             with self._failure_lock:
                 self._failures.append(_RankFailure(rank=rank, error=exc))
@@ -323,10 +361,13 @@ def execute_threaded(
     op: ReduceOp = SUM,
     timeout: float = 30.0,
     faults: Optional[FaultPlan] = None,
+    detector=None,
 ) -> List[np.ndarray]:
     """Convenience wrapper: run ``schedule`` on a fresh threaded transport
     and verify no messages were left unconsumed."""
-    transport = ThreadedTransport(schedule, timeout=timeout, faults=faults)
+    transport = ThreadedTransport(
+        schedule, timeout=timeout, faults=faults, detector=detector
+    )
     transport.run(buffers, op=op)
     leftovers = transport.leftover_messages()
     if leftovers:

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.registry import algorithms_for, info
 from ..errors import SelectionError
+from ..faults.plan import FaultPlan
 from ..simnet.machine import MachineSpec
 from ..simnet.noise import NoiseModel
 from .table import Choice, Rule, SelectionTable
@@ -86,6 +87,7 @@ def sweep_collective(
     algorithms: Optional[Sequence[str]] = None,
     root: int = 0,
     noise: Optional[NoiseModel] = None,
+    faults: Optional["FaultPlan"] = None,
     skip: Sequence[str] = ("linear",),
     jobs: int = 0,
 ) -> SweepResult:
@@ -96,6 +98,10 @@ def sweep_collective(
     ``jobs >= 2`` fans the grid out over the parallel sweep engine
     (:func:`repro.bench.sweep.run_sweep`); the winners are provably
     independent of ``jobs`` (see ``tests/test_selection.py``).
+    ``faults`` sweeps under a fault plan — degraded-mode tuning: the
+    winners then reflect link delay/bandwidth penalties, which is how
+    recovery re-picks ``(algorithm, k)`` after a degradation
+    (:func:`repro.recovery.retune.retune_degraded`).
     """
     # Imported lazily: repro.bench.sweep imports radix_grid from this
     # module at import time, so the reverse dependency must resolve at
@@ -127,7 +133,7 @@ def sweep_collective(
                         root=root if entry.takes_root else 0,
                     )
                 )
-    results = run_sweep(points, machine, jobs=jobs, noise=noise)
+    results = run_sweep(points, machine, jobs=jobs, noise=noise, faults=faults)
     errors = sweep_errors(results)
     if errors:
         raise SelectionError(
@@ -151,6 +157,7 @@ def tune(
     *,
     collectives: Sequence[str] = ("bcast", "reduce", "allgather", "allreduce"),
     noise: Optional[NoiseModel] = None,
+    faults: Optional["FaultPlan"] = None,
     name: Optional[str] = None,
     jobs: int = 0,
 ) -> SelectionTable:
@@ -172,7 +179,8 @@ def tune(
     table = SelectionTable(name=name or f"tuned-{machine.name}")
     for collective in collectives:
         sweep = sweep_collective(
-            collective, machine, sorted_sizes, noise=noise, jobs=jobs
+            collective, machine, sorted_sizes, noise=noise, faults=faults,
+            jobs=jobs,
         )
         winners: List[Tuple[int, Choice]] = [
             (n, sweep.best(n).choice) for n in sorted_sizes

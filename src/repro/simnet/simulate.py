@@ -37,7 +37,7 @@ from ..core.schedule import CopyOp, RecvOp, Schedule, SendOp
 from ..errors import MachineError
 from ..faults.plan import FaultPlan
 from ..obs import Obs, get_obs
-from ..faults.sim import MsgMeta, analyze
+from ..faults.sim import analyze, match_messages
 from .engine import Acquire, AllOf, Engine, Event, Resource, Timeout
 from .machine import MachineSpec
 from .noise import NoiseModel
@@ -189,60 +189,28 @@ def simulate(
 
     # ------------------------------------------------------------------
     # Match sends and receives into messages (FIFO per channel), mirroring
-    # the data executors' matching exactly.
+    # the data executors' matching exactly.  The structural matching lives
+    # in repro.faults.sim.match_messages so the static fault analysis and
+    # the recovery layer's simulated failure detector see the same
+    # messages this engine exchanges.
     # ------------------------------------------------------------------
+    metas = match_messages(schedule)
     send_q: Dict[Tuple[int, int], Deque[_Msg]] = {}
     recv_q: Dict[Tuple[int, int], Deque[_Msg]] = {}
     messages: List[_Msg] = []
-    metas: List[MsgMeta] = []
-    pending_recvs: Dict[Tuple[int, int], List[Tuple[int, RecvOp]]] = {}
-    for prog in schedule.programs:
-        for step_idx, op in prog.iter_ops():
-            if isinstance(op, RecvOp):
-                pending_recvs.setdefault((op.peer, prog.rank), []).append(
-                    (step_idx, op)
-                )
-    recv_cursor: Dict[Tuple[int, int], int] = {}
-    for prog in schedule.programs:
-        for step_idx, op in prog.iter_ops():
-            if isinstance(op, SendOp):
-                key = (prog.rank, op.peer)
-                idx = recv_cursor.get(key, 0)
-                rlist = pending_recvs.get(key, [])
-                if idx >= len(rlist):
-                    raise MachineError(
-                        f"{schedule.describe()}: unmatched send "
-                        f"{prog.rank}->{op.peer}"
-                    )
-                recv_cursor[key] = idx + 1
-                recv_step, rop = rlist[idx]
-                msg = _Msg(
-                    engine,
-                    src=prog.rank,
-                    dst=op.peer,
-                    nbytes=blocks.bytes_of(op.blocks),
-                    reduce=rop.reduce,
-                    index=len(messages),
-                    seq=idx,
-                )
-                messages.append(msg)
-                metas.append(
-                    MsgMeta(
-                        index=msg.index,
-                        src=msg.src,
-                        dst=msg.dst,
-                        seq=idx,
-                        send_step=step_idx,
-                        recv_step=recv_step,
-                    )
-                )
-                send_q.setdefault(key, deque()).append(msg)
-                recv_q.setdefault(key, deque()).append(msg)
-    for key, rlist in pending_recvs.items():
-        if recv_cursor.get(key, 0) != len(rlist):
-            raise MachineError(
-                f"{schedule.describe()}: unmatched receive on channel {key}"
-            )
+    for meta in metas:
+        msg = _Msg(
+            engine,
+            src=meta.src,
+            dst=meta.dst,
+            nbytes=blocks.bytes_of(meta.blocks),
+            reduce=meta.reduce,
+            index=meta.index,
+            seq=meta.seq,
+        )
+        messages.append(msg)
+        send_q.setdefault((meta.src, meta.dst), deque()).append(msg)
+        recv_q.setdefault((meta.src, meta.dst), deque()).append(msg)
 
     # ------------------------------------------------------------------
     # Fault plan: pre-compute the fate of messages and ranks (decisions

@@ -1,0 +1,44 @@
+"""Golden regression test: exact pinned recovery costs.
+
+The canonical healing scenario — an 8-rank k-nomial allreduce on the
+reference machine with rank 1 crashing after one send — is frozen to the
+last digit: total simulated time, time-to-recovery (first failure instant
+to the start of the final successful round, including the detection
+timeout), the post-recovery round's cost, the survivor set, and the
+schedule fingerprints of the healthy and rebuilt rounds.  Any change to
+the detector, the shrink bookkeeping, the cost engine, or the schedule
+builders that perturbs healing shows up here.  An intentional change
+regenerates the file with::
+
+    pytest tests/test_golden_recovery.py --update-golden
+
+and justifies the diff in the commit message.
+"""
+
+from __future__ import annotations
+
+from repro.faults.plan import Crash, FaultPlan
+from repro.recovery import simulate_with_recovery
+from repro.simnet.machines import reference
+
+#: The pinned scenario: one mid-schedule crash, healed by shrinking.
+PLAN = FaultPlan(seed=7, crashes=(Crash(rank=1, step=1),))
+
+
+def test_recovery_costs_pinned(golden):
+    res = simulate_with_recovery(
+        "allreduce", "knomial", reference(8), 65536, k=2,
+        recovery="shrink", faults=PLAN,
+    )
+    assert res.recovered, "the golden scenario must heal"
+    actual = {
+        "recovered": res.recovered,
+        "rounds": res.rounds,
+        "survivors": list(res.survivors),
+        "time_us": res.time_us,
+        "time_to_recovery_us": res.time_to_recovery_us,
+        "post_recovery_us": res.post_recovery_us,
+        "fingerprints": list(res.report.fingerprints()),
+        "round_actions": [r.action for r in res.report.rounds],
+    }
+    golden("recovery_costs").check(actual)
