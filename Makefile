@@ -1,7 +1,7 @@
 # Convenience targets for the common workflows.
 
 .PHONY: install test chaos chaos-recover bench perf validate experiments \
-        tune examples trace-demo clean
+        tune examples trace-demo check clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -40,6 +40,12 @@ trace-demo:
 
 validate:
 	repro-validate --max-p 24
+
+# Static-analysis gate: deadlock, buffer-hazard, dataflow, and
+# model-consistency lints over every registry pair across the
+# acceptance grid (p in {2..17, 32, 64}, k in {2..8}) — no simulator.
+check:
+	repro-check --all --jobs -1
 
 experiments:
 	repro-bench all

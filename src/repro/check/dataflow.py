@@ -1,0 +1,179 @@
+"""Symbolic-dataflow lint: garbage reads and double-counted reductions.
+
+This pass reuses the contribution-set abstraction of
+:mod:`repro.core.validate` — every ``(rank, block)`` slot tracks which
+ranks' original inputs are folded into it — but collects *findings*
+instead of raising on the first violation, so one run reports every
+garbage send, every double-counted reduction, and every postcondition
+miss in a broken schedule.
+
+It must only run on schedules the deadlock/channel passes found
+executable (the generic runner drives it, and an unmatched or
+shape-mismatched message would abort the walk); the orchestrator in
+:mod:`repro.check` enforces that ordering.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.runner import run_schedule
+from ..core.schedule import CopyOp, RecvOp, Schedule, SendOp
+from ..core.validate import Content, initial_state, postcondition_errors
+from .findings import Finding
+
+__all__ = ["check_dataflow"]
+
+
+class _LintModel:
+    """Tolerant contribution-set model: records findings, keeps walking.
+
+    Where :class:`repro.core.validate._SymbolicModel` raises, this model
+    appends a :class:`Finding` and picks the least-surprising recovery
+    (garbage stays garbage, overlapping reductions union anyway) so the
+    walk reaches the postcondition check regardless.
+    """
+
+    def __init__(self, schedule: Schedule) -> None:
+        self.schedule = schedule
+        self.state = initial_state(schedule)
+        self.findings: List[Finding] = []
+
+    def snapshot(self, rank: int, op: SendOp) -> Tuple[Content, ...]:
+        payload = tuple(self.state[rank][b] for b in op.blocks)
+        for b, content in zip(op.blocks, payload):
+            if content is None:
+                self.findings.append(
+                    Finding(
+                        code="dataflow-garbage-send",
+                        severity="error",
+                        message=(
+                            f"rank {rank} sends uninitialized (garbage) "
+                            f"block {b} to rank {op.peer}"
+                        ),
+                        rank=rank,
+                        op=f"send{list(op.blocks)}->{op.peer}",
+                    )
+                )
+        return payload
+
+    def apply_recv(
+        self, rank: int, op: RecvOp, payload: Tuple[Content, ...]
+    ) -> None:
+        for b, content in zip(op.blocks, payload):
+            if not op.reduce:
+                self.state[rank][b] = content
+                continue
+            local = self.state[rank][b]
+            if local is None:
+                self.findings.append(
+                    Finding(
+                        code="dataflow-reduce-garbage",
+                        severity="error",
+                        message=(
+                            f"rank {rank} reduces an incoming message "
+                            f"into uninitialized (garbage) block {b}"
+                        ),
+                        rank=rank,
+                        op=f"recv+reduce{list(op.blocks)}<-{op.peer}",
+                    )
+                )
+                self.state[rank][b] = content
+                continue
+            if content is None:
+                # Garbage payload was already reported at the sender.
+                continue
+            overlap = local & content
+            if overlap and not self.schedule.meta.get("idempotent_only"):
+                self.findings.append(
+                    Finding(
+                        code="dataflow-double-count",
+                        severity="error",
+                        message=(
+                            f"rank {rank} block {b} double-counts "
+                            f"contributions {sorted(overlap)} (local "
+                            f"{sorted(local)} ∪ incoming {sorted(content)}) "
+                            f"— corrupts non-idempotent reductions (SUM)"
+                        ),
+                        rank=rank,
+                        op=f"recv+reduce{list(op.blocks)}<-{op.peer}",
+                    )
+                )
+            self.state[rank][b] = local | content
+
+    def apply_copy(self, rank: int, op: CopyOp) -> None:
+        src = self.state[rank][op.src]
+        if src is None:
+            self.findings.append(
+                Finding(
+                    code="dataflow-garbage-copy",
+                    severity="error",
+                    message=(
+                        f"rank {rank} copies uninitialized (garbage) "
+                        f"block {op.src} into block {op.dst}"
+                    ),
+                    rank=rank,
+                    op=f"copy {op.src}->{op.dst}",
+                )
+            )
+        self.state[rank][op.dst] = src
+
+
+def _annotate_steps(schedule: Schedule, findings: List[Finding]) -> None:
+    # The runner's callbacks don't see step indices; recover them by
+    # locating the named op in the rank's program (the first occurrence
+    # — repeated identical ops are reported once, at their first site).
+    for i, finding in enumerate(findings):
+        if finding.rank is None or finding.step is not None or not finding.op:
+            continue
+        prog = schedule.programs[finding.rank]
+        for step_idx, op in prog.iter_ops():
+            if _render(op) == finding.op:
+                findings[i] = Finding(
+                    code=finding.code,
+                    severity=finding.severity,
+                    message=f"step {step_idx}: {finding.message}",
+                    rank=finding.rank,
+                    step=step_idx,
+                    op=finding.op,
+                )
+                break
+
+
+def _render(op) -> str:
+    if isinstance(op, SendOp):
+        return f"send{list(op.blocks)}->{op.peer}"
+    if isinstance(op, RecvOp):
+        kind = "recv+reduce" if op.reduce else "recv"
+        return f"{kind}{list(op.blocks)}<-{op.peer}"
+    return f"copy {op.src}->{op.dst}"
+
+
+def check_dataflow(schedule: Schedule) -> List[Finding]:
+    """Symbolically execute and lint the schedule's dataflow.
+
+    Precondition: the deadlock/channel passes reported no errors (the
+    walk reuses the reference runner, which aborts on those).
+    """
+    model = _LintModel(schedule)
+    run_schedule(schedule, model)
+    findings = model.findings
+    for text in postcondition_errors(schedule, model.state):
+        rank: Optional[int] = None
+        if text.startswith("rank "):
+            try:
+                rank = int(text.split()[1])
+            except (IndexError, ValueError):
+                rank = None
+        findings.append(
+            Finding(
+                code="dataflow-postcondition",
+                severity="error",
+                message=(
+                    f"{schedule.collective} postcondition failed: {text}"
+                ),
+                rank=rank,
+            )
+        )
+    _annotate_steps(schedule, findings)
+    return findings

@@ -1,0 +1,183 @@
+"""Finding and report types shared by every lint in :mod:`repro.check`.
+
+A *finding* is one diagnosed problem, pinned to the rank/step/op it was
+observed at whenever that location exists (model-level lints are
+schedule-wide and carry no rank).  Severities form a strict ladder:
+
+``error``
+    A structural bug: the schedule deadlocks, races, loses or corrupts
+    data, or contradicts its analytical model beyond the documented
+    divergences.  Errors fail ``repro-check`` (exit 1) and the CI gate.
+``warning``
+    Defined by the IR's step semantics but hazardous on a real
+    nonblocking transport (e.g. a receive landing in a block a same-step
+    send reads — legal here because sends snapshot at step start,
+    a data race under MPI's "don't touch the send buffer until wait"
+    rule).  Warnings fail only under ``repro-check --strict``.
+``info``
+    A note: a canonical idiom worth knowing about (butterfly
+    send/reduce-recv overlap needs a staging buffer in a zero-copy
+    implementation) or a documented model divergence.  Never fails.
+
+The taxonomy itself — which overlap class lands at which severity and
+why — is specified in DESIGN.md §12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+__all__ = ["SEVERITIES", "Finding", "CheckReport"]
+
+#: Severity ladder, most severe first.
+SEVERITIES = ("error", "warning", "info")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnosed problem in a schedule.
+
+    ``code`` is a stable machine-readable identifier (e.g.
+    ``deadlock-rendezvous``, ``hazard-write-write``, ``model-rounds``);
+    ``message`` is the human diagnosis and always names the offending
+    rank/step/op when the finding has a location.
+    """
+
+    code: str
+    severity: str
+    message: str
+    rank: Optional[int] = None
+    step: Optional[int] = None
+    op: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"severity must be one of {SEVERITIES}, got {self.severity!r}"
+            )
+
+    def describe(self) -> str:
+        """One-line rendering: ``severity code [rank r step s op]: message``."""
+        where = []
+        if self.rank is not None:
+            where.append(f"rank {self.rank}")
+        if self.step is not None:
+            where.append(f"step {self.step}")
+        if self.op is not None:
+            where.append(self.op)
+        loc = f" [{', '.join(where)}]" if where else ""
+        return f"{self.severity} {self.code}{loc}: {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe rendering (stable keys, ``None`` fields omitted)."""
+        out: Dict[str, object] = {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+        }
+        for key in ("rank", "step", "op"):
+            value = getattr(self, key)
+            if value is not None:
+                out[key] = value
+        return out
+
+
+def _count(findings: Tuple[Finding, ...], severity: str) -> int:
+    return sum(1 for f in findings if f.severity == severity)
+
+
+@dataclass(frozen=True)
+class CheckReport:
+    """The outcome of running the static-analysis suite on one schedule.
+
+    ``checks`` names the passes that ran (``deadlock-eager``,
+    ``deadlock-rendezvous``, ``hazards``, ``dataflow``, ``model``), so a
+    clean report also says what it is clean *of*.  Findings are sorted
+    most-severe-first at construction time by :func:`make_report`.
+    """
+
+    schedule: str
+    fingerprint: str
+    nbytes: int
+    findings: Tuple[Finding, ...]
+    checks: Tuple[str, ...]
+    eager_threshold: Optional[int] = None
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def errors(self) -> int:
+        """Number of error-severity findings."""
+        return _count(self.findings, "error")
+
+    @property
+    def warnings(self) -> int:
+        """Number of warning-severity findings."""
+        return _count(self.findings, "warning")
+
+    @property
+    def infos(self) -> int:
+        """Number of info-severity findings."""
+        return _count(self.findings, "info")
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity finding was produced."""
+        return self.errors == 0
+
+    @property
+    def strict_ok(self) -> bool:
+        """True when no error- or warning-severity finding was produced."""
+        return self.errors == 0 and self.warnings == 0
+
+    def describe(self, *, max_findings: int = 20) -> str:
+        """Multi-line human summary (verdict line + one line per finding)."""
+        verdict = (
+            "clean"
+            if not self.findings
+            else f"{self.errors} error(s), {self.warnings} warning(s), "
+            f"{self.infos} note(s)"
+        )
+        lines = [f"{self.schedule}: {verdict} "
+                 f"({', '.join(self.checks)})"]
+        for finding in self.findings[:max_findings]:
+            lines.append("  " + finding.describe())
+        hidden = len(self.findings) - max_findings
+        if hidden > 0:
+            lines.append(f"  ... and {hidden} more")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe rendering of the full report."""
+        return {
+            "schedule": self.schedule,
+            "fingerprint": self.fingerprint,
+            "nbytes": self.nbytes,
+            "eager_threshold": self.eager_threshold,
+            "checks": list(self.checks),
+            "ok": self.ok,
+            "errors": self.errors,
+            "warnings": self.warnings,
+            "infos": self.infos,
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+
+def severity_rank(finding: Finding) -> int:
+    """Sort key: most severe first, then location for stable output."""
+    return SEVERITIES.index(finding.severity)
+
+
+def sort_findings(findings) -> Tuple[Finding, ...]:
+    """Order findings most-severe-first, then by (rank, step, code)."""
+    return tuple(
+        sorted(
+            findings,
+            key=lambda f: (
+                severity_rank(f),
+                f.rank if f.rank is not None else -1,
+                f.step if f.step is not None else -1,
+                f.code,
+            ),
+        )
+    )

@@ -1,0 +1,167 @@
+"""Intra-step buffer-hazard detection.
+
+All ops inside a :class:`~repro.core.schedule.Step` post concurrently
+and complete together at the waitall; within that window, two ops that
+touch the same block on the same rank can race on a real transport.
+The IR's reference semantics (sends snapshot at step start, copies
+apply at step start, recvs apply at step end in op order) make many of
+these overlaps well-defined *here* — the severity ladder encodes which
+of them survive contact with a zero-copy MPI implementation:
+
+error — two concurrent writers with no defined order on real hardware:
+    * ``hazard-write-write`` — two plain (non-reduce) recvs, or a plain
+      recv and a reduce recv, landing in the same block: last-writer
+      wins nondeterministically.
+    * ``hazard-copy-recv`` — a copy's destination is also written by a
+      concurrent recv (the copy applies at step start in the IR, but a
+      real memcpy races the incoming message).
+    * ``hazard-copy-copy`` — two copies with the same destination.
+warning — read-write pairs legal under snapshot semantics but racy
+    under MPI's "don't touch the buffer until wait completes" rules:
+    * ``hazard-read-write`` — a send reads a block a concurrent plain
+      recv or copy overwrites.
+    * ``hazard-copy-read`` — a copy reads a block a concurrent recv
+      overwrites.
+info — the canonical butterfly idiom, flagged so implementers know a
+    staging buffer is required, never a failure:
+    * ``hazard-send-reduce`` — a send reads a block a concurrent
+      *reduce* recv combines into (recursive-multiplying/halving
+      exchanges do this on every step).
+
+Two reduce recvs into the same block produce **no** finding: the IR
+applies them in op order, reduction order is deterministic, and the
+k-nomial reduce idiom depends on it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..core.schedule import CopyOp, RecvOp, Schedule, SendOp, Step
+from .findings import Finding
+
+__all__ = ["check_hazards"]
+
+
+def _op_name(op) -> str:
+    if isinstance(op, SendOp):
+        return f"send{list(op.blocks)}->{op.peer}"
+    if isinstance(op, RecvOp):
+        kind = "recv+reduce" if op.reduce else "recv"
+        return f"{kind}{list(op.blocks)}<-{op.peer}"
+    return f"copy {op.src}->{op.dst}"
+
+
+def _classify(step: Step):
+    """Per-block access sets for one step.
+
+    Returns ``(writes, reads)`` where writes maps block -> list of
+    (op, kind) with kind in {"recv", "reduce", "copy"} and reads maps
+    block -> list of (op, kind) with kind in {"send", "copy"}.
+    """
+    writes: Dict[int, List[Tuple[object, str]]] = {}
+    reads: Dict[int, List[Tuple[object, str]]] = {}
+    for op in step.ops:
+        if isinstance(op, SendOp):
+            for b in op.blocks:
+                reads.setdefault(b, []).append((op, "send"))
+        elif isinstance(op, RecvOp):
+            kind = "reduce" if op.reduce else "recv"
+            for b in op.blocks:
+                writes.setdefault(b, []).append((op, kind))
+        elif isinstance(op, CopyOp):
+            reads.setdefault(op.src, []).append((op, "copy"))
+            writes.setdefault(op.dst, []).append((op, "copy"))
+    return writes, reads
+
+
+def check_hazards(schedule: Schedule) -> List[Finding]:
+    """Scan every rank's steps for concurrent same-block access pairs."""
+    findings: List[Finding] = []
+    for prog in schedule.programs:
+        for step_idx, step in enumerate(prog.steps):
+            if len(step.ops) < 2:
+                continue
+            writes, reads = _classify(step)
+            seen: Set[Tuple[str, int, int, int]] = set()
+
+            def emit(code, severity, block, a, b, detail):
+                # One finding per (code, block, op-pair), not per block
+                # permutation, keeps ring-family reports readable.
+                key = (code, block, id(a), id(b))
+                if key in seen:
+                    return
+                seen.add(key)
+                findings.append(
+                    Finding(
+                        code=code,
+                        severity=severity,
+                        message=(
+                            f"rank {prog.rank} step {step_idx} block "
+                            f"{block}: {_op_name(a)} and {_op_name(b)} "
+                            f"{detail}"
+                        ),
+                        rank=prog.rank,
+                        step=step_idx,
+                        op=_op_name(a),
+                    )
+                )
+
+            for block, writers in writes.items():
+                # write/write pairs
+                for i in range(len(writers)):
+                    for j in range(i + 1, len(writers)):
+                        (op_a, kind_a), (op_b, kind_b) = writers[i], writers[j]
+                        kinds = {kind_a, kind_b}
+                        if kinds == {"reduce"}:
+                            continue  # deterministic in-order reduction
+                        if "copy" in kinds and kinds != {"copy"}:
+                            emit(
+                                "hazard-copy-recv", "error", block,
+                                op_a, op_b,
+                                "both write it concurrently (local copy "
+                                "races the incoming message)",
+                            )
+                        elif kinds == {"copy"}:
+                            emit(
+                                "hazard-copy-copy", "error", block,
+                                op_a, op_b,
+                                "are two concurrent copies into the same "
+                                "destination",
+                            )
+                        else:
+                            emit(
+                                "hazard-write-write", "error", block,
+                                op_a, op_b,
+                                "both write it concurrently — last writer "
+                                "wins nondeterministically",
+                            )
+                # read/write pairs
+                for op_r, kind_r in reads.get(block, ()):
+                    for op_w, kind_w in writers:
+                        if op_r is op_w:
+                            continue
+                        if kind_r == "send" and kind_w == "reduce":
+                            emit(
+                                "hazard-send-reduce", "info", block,
+                                op_r, op_w,
+                                "overlap (butterfly exchange idiom: a "
+                                "zero-copy implementation needs a staging "
+                                "buffer for the incoming reduction)",
+                            )
+                        elif kind_r == "send":
+                            emit(
+                                "hazard-read-write", "warning", block,
+                                op_r, op_w,
+                                "overlap: the send reads a block the "
+                                "concurrent write overwrites (safe only "
+                                "under snapshot-at-post semantics)",
+                            )
+                        else:  # copy reads a block something overwrites
+                            emit(
+                                "hazard-copy-read", "warning", block,
+                                op_r, op_w,
+                                "overlap: the copy reads a block the "
+                                "concurrent write overwrites",
+                            )
+    return findings

@@ -1,6 +1,6 @@
 """Command-line entry points.
 
-Three console scripts are installed with the package:
+Eight console scripts are installed with the package:
 
 ``repro-bench``
     Run one (or all) of the paper's experiments and print the figure data
@@ -46,6 +46,16 @@ Three console scripts are installed with the package:
     message timeline on one timebase) plus a metrics snapshot (JSON and
     Prometheus text): ``repro-trace allreduce recursive_multiplying
     --p 64 --k 4 --nbytes 65536 -o trace.json``.
+
+``repro-check``
+    Static schedule analysis — deadlock (eager + rendezvous send
+    semantics), intra-step buffer hazards, dataflow lint, and
+    model-consistency checks, without running the simulator: one point
+    (``repro-check allreduce knomial --p 16 --k 4``), a serialized
+    schedule (``repro-check --schedule sched.json``), or the whole
+    registry over the acceptance grid as the CI gate
+    (``repro-check --all --jobs 4``).  ``--json`` emits the machine
+    report; ``--strict`` fails on warnings too.
 """
 
 from __future__ import annotations
@@ -70,6 +80,7 @@ __all__ = [
     "main_recover",
     "main_bench_perf",
     "main_trace",
+    "main_check",
 ]
 
 
@@ -152,6 +163,10 @@ def main_tune(argv: Optional[List[str]] = None) -> int:
                         help="enable observability for the sweep and "
                         "write a metrics snapshot here (JSON; Prometheus "
                         "text beside it as .prom)")
+    parser.add_argument("--check", action="store_true",
+                        help="statically analyze every candidate schedule "
+                        "(repro.check) before sweeping; refuse to tune "
+                        "over one with error findings")
     args = parser.parse_args(argv)
 
     from .obs import OBS
@@ -164,7 +179,8 @@ def main_tune(argv: Optional[List[str]] = None) -> int:
         sizes = [n for n in default_sizes(args.min_bytes, args.max_bytes)]
         # Tuning every power of two is slow in simulation; every other
         # power of two bounds the sweep while keeping cutoffs tight.
-        table = tune(machine, sizes[::2] + [sizes[-1]], jobs=args.jobs)
+        table = tune(machine, sizes[::2] + [sizes[-1]], jobs=args.jobs,
+                     check=args.check)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -680,6 +696,147 @@ def main_trace(argv: Optional[List[str]] = None) -> int:
           f"(open at https://ui.perfetto.dev or chrome://tracing)")
     print(f"wrote {metrics_out} (+ .prom)")
     return 1 if stats.errors else 0
+
+
+def main_check(argv: Optional[List[str]] = None) -> int:
+    """``repro-check``: static schedule analysis (no simulator)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-check",
+        description="Statically analyze collective schedules: deadlock "
+        "detection under eager and rendezvous send semantics, intra-step "
+        "buffer hazards, symbolic dataflow lint, and model-consistency "
+        "checks against repro.models — without running the simulator.",
+    )
+    parser.add_argument("collective", nargs="?", default=None,
+                        choices=COLLECTIVES)
+    parser.add_argument("algorithm", nargs="?", default=None)
+    parser.add_argument("--p", type=int, default=8,
+                        help="ranks for the single-point check (default 8)")
+    parser.add_argument("--k", type=int, default=None,
+                        help="generalization radix")
+    parser.add_argument("--root", type=int, default=0,
+                        help="root rank for rooted collectives (default 0)")
+    parser.add_argument("--nbytes", type=int, default=1 << 20,
+                        help="payload size the analyses price blocks at "
+                        "(default 1 MiB)")
+    parser.add_argument("--eager-threshold", type=int, default=None,
+                        metavar="BYTES",
+                        help="additionally analyze the mixed send regime: "
+                        "payloads <= BYTES buffer eagerly, larger ones "
+                        "rendezvous (the eager and rendezvous extremes "
+                        "always run)")
+    parser.add_argument("--schedule", default=None, metavar="PATH",
+                        help="check a serialized schedule JSON (as written "
+                        "by repro-validate --dump) instead of building "
+                        "from the registry")
+    parser.add_argument("--all", action="store_true",
+                        help="sweep every registry (collective, algorithm) "
+                        "pair over the acceptance grid "
+                        "(p in {2..17, 32, 64}, k in {2..8}) — the CI gate")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 on warnings, not just errors")
+    parser.add_argument("--json", action="store_true",
+                        help="print the machine-readable JSON report "
+                        "instead of the human summary")
+    parser.add_argument("-j", "--jobs", type=int, default=0,
+                        help="worker processes for --all (0/1 serial, "
+                        "-1 all cores); records are identical at any "
+                        "job count")
+    parser.add_argument("-o", "--output", default=None, metavar="PATH",
+                        help="also write the JSON report to a file")
+    args = parser.parse_args(argv)
+
+    import json as _json
+
+    if args.all:
+        from .bench.checksweep import (
+            grid_points,
+            run_check_sweep,
+            summarize_check_sweep,
+        )
+
+        points = grid_points(
+            nbytes=args.nbytes,
+            eager_threshold=args.eager_threshold,
+            collective=args.collective,
+            algorithm=args.algorithm,
+        )
+        if not points:
+            print("error: no registry entries match the filter",
+                  file=sys.stderr)
+            return 2
+        records = run_check_sweep(points, jobs=args.jobs)
+        summary = summarize_check_sweep(records)
+        doc = {
+            "summary": summary,
+            "records": [r.to_dict() for r in records],
+        }
+        if args.json:
+            print(_json.dumps(doc, indent=2))
+        else:
+            print(
+                f"checked {summary['points']} configurations: "
+                f"{summary['ok']} ok, {summary['failing']} failing, "
+                f"{summary['warnings']} warning(s)"
+            )
+            for record in records:
+                if record.ok and not (args.strict and record.warnings):
+                    continue
+                where = f"{record.collective}/{record.algorithm} " \
+                        f"p={record.p} k={record.k}"
+                if record.error:
+                    print(f"  FAIL {where}: {record.error}")
+                for finding in record.findings:
+                    print(f"  FAIL {where}: {finding['message']}")
+        if args.output:
+            from pathlib import Path
+
+            Path(args.output).write_text(_json.dumps(doc, indent=2) + "\n")
+            print(f"wrote {args.output}")
+        failing = summary["failing"]
+        if args.strict and summary["warnings"]:
+            failing += summary["warnings"]
+        return 1 if failing else 0
+
+    from .check import run_checks
+
+    try:
+        if args.schedule:
+            from .core.serialize import load_schedule
+
+            sched = load_schedule(args.schedule)
+        elif args.collective and args.algorithm:
+            sched = build_schedule(
+                args.collective, args.algorithm, args.p,
+                k=args.k, root=args.root,
+            )
+        else:
+            print(
+                "error: name a (collective, algorithm) pair, or use "
+                "--schedule PATH / --all",
+                file=sys.stderr,
+            )
+            return 2
+        report = run_checks(
+            sched,
+            nbytes=args.nbytes,
+            eager_threshold=args.eager_threshold,
+        )
+    except (ReproError, OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(_json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.describe())
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(
+            _json.dumps(report.to_dict(), indent=2) + "\n"
+        )
+        print(f"wrote {args.output}")
+    return 0 if (report.strict_ok if args.strict else report.ok) else 1
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation helper

@@ -33,6 +33,7 @@ from .schedule import RecvOp, Schedule, SendOp
 __all__ = [
     "critical_path_rounds",
     "critical_path_bytes",
+    "dependency_rounds",
     "volume_profile",
     "VolumeProfile",
 ]
@@ -85,6 +86,98 @@ def critical_path_bytes(schedule: Schedule, nbytes: int) -> int:
         return 0
     machine = _degenerate_machine(schedule.nranks, alpha=0.0, beta=1.0)
     return round(simulate(schedule, machine, nbytes).time)
+
+
+def dependency_rounds(schedule: Schedule) -> int:
+    """Longest message dependency chain, computed without the simulator.
+
+    The purely static counterpart of :func:`critical_path_rounds`: a
+    longest-path walk over the message DAG (each message is one edge of
+    unit depth, each step completes at the max of its predecessor step
+    and its incoming messages), evaluated in eager completion order.
+    The two agree on every executable schedule — the property test suite
+    pins that — but this one is usable from static analysis contexts
+    (:mod:`repro.check`) that must not spin up the DES engine.
+
+    Raises :class:`~repro.errors.ScheduleError` on schedules that cannot
+    complete under eager semantics (run the deadlock check first).
+
+    >>> from repro.core.knomial import knomial_bcast
+    >>> dependency_rounds(knomial_bcast(27, 3))
+    3
+    """
+    p = schedule.nranks
+    programs = schedule.programs
+    if p == 1:
+        return 0
+
+    # FIFO matching per (src, dst) channel: the n-th send matches the
+    # n-th recv.  recv (rank, step, op_idx) -> (src_rank, src_step).
+    sends: Dict[tuple, list] = {}
+    recvs: Dict[tuple, list] = {}
+    for prog in programs:
+        for step_idx, step in enumerate(prog.steps):
+            for op_idx, op in enumerate(step.ops):
+                if isinstance(op, SendOp):
+                    sends.setdefault((prog.rank, op.peer), []).append(step_idx)
+                elif isinstance(op, RecvOp):
+                    recvs.setdefault((op.peer, prog.rank), []).append(
+                        (prog.rank, step_idx, op_idx)
+                    )
+    match: Dict[tuple, tuple] = {}
+    for channel, rr in recvs.items():
+        ss = sends.get(channel, [])
+        if len(ss) < len(rr):
+            raise ScheduleError(
+                f"{schedule.describe()}: channel {channel} has "
+                f"{len(rr)} recvs but only {len(ss)} sends"
+            )
+        for (r_rank, r_step, r_idx), s_step in zip(rr, ss):
+            match[(r_rank, r_step, r_idx)] = (channel[0], s_step)
+
+    # done[r][j] = depth after rank r completes step j.  A message
+    # starts once BOTH endpoints have posted (the simulator's transfer
+    # rule: rendezvous timing, eager completion) and flies for one unit:
+    # arrival = max(sender entered its step, receiver entered its step)
+    # + 1.  Evaluate in the eager fixpoint order, which is a topological
+    # order of the step DAG.
+    done = [[0] * len(programs[r].steps) for r in range(p)]
+    pc = [0] * p
+    lengths = [len(programs[r].steps) for r in range(p)]
+    remaining = sum(1 for r in range(p) if lengths[r])
+    changed = True
+    while remaining and changed:
+        changed = False
+        for rank in range(p):
+            while pc[rank] < lengths[rank]:
+                step_idx = pc[rank]
+                step = programs[rank].steps[step_idx]
+                start = done[rank][step_idx - 1] if step_idx else 0
+                depth = start
+                ready = True
+                for op_idx, op in enumerate(step.ops):
+                    if not isinstance(op, RecvOp):
+                        continue
+                    src_rank, src_step = match[(rank, step_idx, op_idx)]
+                    if pc[src_rank] < src_step:
+                        ready = False
+                        break
+                    posted_at = done[src_rank][src_step - 1] if src_step else 0
+                    depth = max(depth, max(posted_at, start) + 1)
+                if not ready:
+                    break
+                done[rank][step_idx] = depth
+                pc[rank] += 1
+                changed = True
+                if pc[rank] == lengths[rank]:
+                    remaining -= 1
+    if remaining:
+        raise ScheduleError(
+            f"{schedule.describe()}: schedule cannot complete under eager "
+            f"semantics (ranks {[r for r in range(p) if pc[r] < lengths[r]]} "
+            f"stuck) — run repro.check's deadlock pass for the diagnosis"
+        )
+    return max((row[-1] for row in done if row), default=0)
 
 
 @dataclass(frozen=True)

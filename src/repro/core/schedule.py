@@ -209,6 +209,7 @@ class Schedule:
         return BlockMap(total, self.nblocks)
 
     def program(self, rank: int) -> RankProgram:
+        """The per-rank step program executed by ``rank``."""
         return self.programs[rank]
 
     def describe(self) -> str:

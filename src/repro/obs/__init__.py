@@ -120,6 +120,7 @@ class Obs:
         return self
 
     def disable(self) -> "Obs":
+        """Turn instrumentation off; recorded spans/metrics are kept."""
         self.enabled = False
         return self
 
@@ -140,6 +141,7 @@ class Obs:
     # -- export --------------------------------------------------------
 
     def trace_dict(self, *, metadata: Optional[Dict[str, object]] = None) -> Dict:
+        """The merged Perfetto/Chrome trace as a JSON-ready dict."""
         return to_perfetto(
             self.tracer.spans(), self.tracer.timelines(), metadata=metadata
         )
@@ -188,4 +190,5 @@ def disable() -> Obs:
 
 
 def is_enabled() -> bool:
+    """True when the process-global scope is recording."""
     return OBS.enabled

@@ -74,6 +74,7 @@ class Counter:
         self.value = 0.0
 
     def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the count."""
         if amount < 0:
             raise ObsError(f"counter increment must be >= 0, got {amount}")
         self.value += amount
@@ -89,12 +90,15 @@ class Gauge:
         self.value = 0.0
 
     def set(self, value: float) -> None:
+        """Replace the gauge's current level."""
         self.value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
+        """Raise the level by ``amount``."""
         self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
+        """Lower the level by ``amount``."""
         self.value -= amount
 
     def set_max(self, value: float) -> None:
@@ -124,6 +128,7 @@ class Histogram:
         self.count = 0
 
     def observe(self, value: float) -> None:
+        """Record one sample into its bucket and the sum/count."""
         idx = bisect_left(self.buckets, value)
         if idx < len(self.counts):
             self.counts[idx] += 1
@@ -146,9 +151,11 @@ class MetricSeries:
 
     @property
     def key(self) -> Tuple[str, Labels]:
+        """The registry identity: ``(name, sorted labels)``."""
         return (self.name, self.labels)
 
     def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form (histograms include buckets/counts/sum)."""
         out: Dict[str, object] = {
             "name": self.name,
             "kind": self.kind,
@@ -186,6 +193,7 @@ class MetricsSnapshot:
     series: Tuple[MetricSeries, ...]
 
     def get(self, name: str, **labels: object) -> Optional[MetricSeries]:
+        """The series exactly matching ``name`` + labels, or ``None``."""
         want = _labels_of(labels)
         for s in self.series:
             if s.name == name and s.labels == want:
@@ -202,9 +210,11 @@ class MetricsSnapshot:
         return sum(s.value for s in self.series if s.name == name)
 
     def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form: ``{"metrics": [series...]}``."""
         return {"metrics": [s.to_dict() for s in self.series]}
 
     def to_json(self, *, indent: int = 2) -> str:
+        """Stable (sorted-keys) JSON rendering of :meth:`to_dict`."""
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
     def to_prometheus(self) -> str:
@@ -300,9 +310,11 @@ class MetricsRegistry:
         return inst
 
     def counter(self, name: str, **labels: object) -> Counter:
+        """Get-or-create the counter for ``name`` + labels."""
         return self._get(Counter, name, labels)
 
     def gauge(self, name: str, **labels: object) -> Gauge:
+        """Get-or-create the gauge for ``name`` + labels."""
         return self._get(Gauge, name, labels)
 
     def histogram(
@@ -312,9 +324,11 @@ class MetricsRegistry:
         buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
         **labels: object,
     ) -> Histogram:
+        """Get-or-create the histogram (buckets fixed at creation)."""
         return self._get(Histogram, name, labels, buckets=buckets)
 
     def snapshot(self) -> MetricsSnapshot:
+        """Freeze every registered series into an immutable snapshot."""
         series: List[MetricSeries] = []
         for (name, labels), inst in sorted(self._instruments.items()):
             if isinstance(inst, Histogram):

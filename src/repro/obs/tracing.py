@@ -60,9 +60,11 @@ class SpanRecord:
 
     @property
     def duration(self) -> float:
+        """Span length in seconds (monotonic clock)."""
         return self.t1 - self.t0
 
     def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form (used by the trace exporters)."""
         return {
             "trace_id": self.trace_id,
             "span_id": self.span_id,
@@ -207,6 +209,7 @@ class Tracer:
         return _Span(self, name, packed)
 
     def current_span_id(self) -> Optional[str]:
+        """Id of this thread's innermost open span, or ``None``."""
         stack = self._stack()
         return stack[-1] if stack else None
 
@@ -250,10 +253,12 @@ class Tracer:
             )
 
     def spans(self) -> Tuple[SpanRecord, ...]:
+        """Every finished span recorded so far, in completion order."""
         with self._lock:
             return tuple(self._spans)
 
     def timelines(self) -> Tuple[SimTimeline, ...]:
+        """Every attached simulated per-rank message timeline."""
         with self._lock:
             return tuple(self._timelines)
 
@@ -281,6 +286,7 @@ class Tracer:
             self._timelines.extend(timelines)
 
     def reset(self) -> None:
+        """Drop all recorded spans and timelines."""
         with self._lock:
             self._spans.clear()
             self._timelines.clear()

@@ -72,6 +72,7 @@ class RankFailure:
     detected_at: Optional[float] = None  # backend clock: wall or simulated
 
     def describe(self) -> str:
+        """One-line summary naming the rank, kind, step, and observer."""
         bits = [f"rank {self.rank} ({self.kind}"]
         if self.step is not None:
             bits.append(f" at step {self.step}")
@@ -91,6 +92,7 @@ class LinkDegraded:
     drop_rate: float = 0.0
 
     def describe(self) -> str:
+        """One-line summary of the degraded link and its factors."""
         return (
             f"link {self.src}->{self.dst} degraded "
             f"(delay x{self.delay_factor:g}, bandwidth /"

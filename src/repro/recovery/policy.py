@@ -89,6 +89,7 @@ class RecoveryPolicy:
             )
 
     def describe(self) -> str:
+        """One-line summary of the policy (mode, round cap, options)."""
         bits = [self.mode, f"max_rounds={self.max_rounds}"]
         if self.spares:
             bits.append(f"spares={self.spares}")
@@ -140,6 +141,7 @@ class RoundRecord:
     succeeded: bool = False
 
     def to_dict(self) -> dict:
+        """JSON-ready form (as embedded in recovery reports)."""
         return {
             "round": self.round,
             "action": self.action,
@@ -165,6 +167,7 @@ class RecoveryReport:
 
     @property
     def nrounds(self) -> int:
+        """Number of execution rounds, including the failed ones."""
         return len(self.rounds)
 
     @property
@@ -185,6 +188,7 @@ class RecoveryReport:
         return tuple(r.fingerprint for r in self.rounds)
 
     def to_dict(self) -> dict:
+        """JSON-ready form (what ``repro-recover -o`` serializes)."""
         return {
             "policy": self.policy.describe(),
             "recovered": self.recovered,
@@ -193,6 +197,7 @@ class RecoveryReport:
         }
 
     def describe(self) -> str:
+        """One-line human summary: outcome, rounds, failures, survivors."""
         if not self.rounds:
             return "no rounds executed"
         last = self.rounds[-1]

@@ -80,14 +80,17 @@ class SimRecoveryResult:
 
     @property
     def time_us(self) -> float:
+        """End-to-end makespan in simulator microseconds."""
         return self.time * 1e6
 
     @property
     def time_to_recovery_us(self) -> float:
+        """First failure to the start of the last round, in µs."""
         return self.time_to_recovery * 1e6
 
     @property
     def post_recovery_us(self) -> float:
+        """Cost of the final (successful) round alone, in µs."""
         return self.post_recovery_time * 1e6
 
 

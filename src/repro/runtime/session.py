@@ -234,6 +234,7 @@ class Comm:
         return out if self.rank == root else None
 
     def allreduce(self, data: np.ndarray, *, op: ReduceOp = SUM) -> np.ndarray:
+        """Reduce across all ranks; every rank returns the full result."""
         return self._run("allreduce", np.array(data, copy=True), op=op)
 
     def gather(self, data: np.ndarray, *, root: int = 0) -> Optional[np.ndarray]:
@@ -262,6 +263,8 @@ class Comm:
         return out[start:stop]
 
     def allgather(self, data: np.ndarray) -> np.ndarray:
+        """Gather equal-size contributions; every rank returns the
+        concatenation in rank order."""
         total, buf = self._blockwise_buffer(data)
         return self._run("allgather", buf, count=total)
 

@@ -146,6 +146,7 @@ class SelectionTable:
     # ------------------------------------------------------------------
 
     def to_json(self) -> str:
+        """Serialize to the §VI-G configuration-file JSON format."""
         payload = {
             "name": self.name,
             "rules": [
@@ -169,6 +170,7 @@ class SelectionTable:
 
     @classmethod
     def from_json(cls, text: str) -> "SelectionTable":
+        """Parse :meth:`to_json` output, validating every rule."""
         try:
             payload = json.loads(text)
         except json.JSONDecodeError as exc:
@@ -195,10 +197,12 @@ class SelectionTable:
         return table
 
     def save(self, path: Union[str, Path]) -> None:
+        """Write the table to ``path`` as JSON (see :meth:`to_json`)."""
         Path(path).write_text(self.to_json())
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "SelectionTable":
+        """Read a table previously written by :meth:`save`."""
         return cls.from_json(Path(path).read_text())
 
     # ------------------------------------------------------------------

@@ -90,6 +90,7 @@ def sweep_collective(
     faults: Optional["FaultPlan"] = None,
     skip: Sequence[str] = ("linear",),
     jobs: int = 0,
+    check: bool = False,
 ) -> SweepResult:
     """Simulate every (algorithm, radix, size) combination.
 
@@ -102,6 +103,11 @@ def sweep_collective(
     winners then reflect link delay/bandwidth penalties, which is how
     recovery re-picks ``(algorithm, k)`` after a degradation
     (:func:`repro.recovery.retune.retune_degraded`).
+    ``check=True`` statically analyzes every distinct (algorithm, radix)
+    schedule through :mod:`repro.check` before any simulation and
+    refuses to tune over one with error findings — a table must never
+    recommend a schedule that deadlocks or corrupts data.  Reports
+    memoize by fingerprint, so the pre-pass costs each schedule once.
     """
     # Imported lazily: repro.bench.sweep imports radix_grid from this
     # module at import time, so the reverse dependency must resolve at
@@ -133,6 +139,23 @@ def sweep_collective(
                         root=root if entry.takes_root else 0,
                     )
                 )
+    if check:
+        from ..check import check_schedule
+
+        seen: set = set()
+        for point in points:
+            config = (point.algorithm, point.k, point.root)
+            if config in seen:
+                continue
+            seen.add(config)
+            report = check_schedule(
+                collective, point.algorithm, p, k=point.k, root=point.root
+            )
+            if not report.ok:
+                raise SelectionError(
+                    f"refusing to tune over a broken schedule: "
+                    f"{report.describe(max_findings=3)}"
+                )
     results = run_sweep(points, machine, jobs=jobs, noise=noise, faults=faults)
     errors = sweep_errors(results)
     if errors:
@@ -160,6 +183,7 @@ def tune(
     faults: Optional["FaultPlan"] = None,
     name: Optional[str] = None,
     jobs: int = 0,
+    check: bool = False,
 ) -> SelectionTable:
     """Produce a selection table tuned for ``machine``.
 
@@ -172,6 +196,8 @@ def tune(
     ``jobs`` parallelizes the underlying sweeps without affecting the
     chosen winners: times are bit-identical to the serial sweep, so the
     argmin per size — and therefore the emitted table — cannot change.
+    ``check=True`` gates every candidate schedule through the static
+    analysis suite first (see :func:`sweep_collective`).
     """
     sorted_sizes = sorted(set(int(s) for s in sizes))
     if not sorted_sizes:
@@ -180,7 +206,7 @@ def tune(
     for collective in collectives:
         sweep = sweep_collective(
             collective, machine, sorted_sizes, noise=noise, faults=faults,
-            jobs=jobs,
+            jobs=jobs, check=check,
         )
         winners: List[Tuple[int, Choice]] = [
             (n, sweep.best(n).choice) for n in sorted_sizes

@@ -190,6 +190,7 @@ class MachineSpec:
         return node // self.dragonfly.nodes_per_group
 
     def same_node(self, a: int, b: int) -> bool:
+        """True if ranks ``a`` and ``b`` share a node (intranode link)."""
         return self.node_of(a) == self.node_of(b)
 
     def crosses_groups(self, a: int, b: int) -> bool:

@@ -1,0 +1,155 @@
+"""CLI help audit: documented flags must exist.
+
+The docs show `repro-*` invocations in four places — the
+:mod:`repro.cli` module docstring, each parser's ``description``/
+``epilog``, README.md's bash fences, the Makefile, and the CI workflow.
+A renamed or removed argparse flag silently strands every one of those
+examples; this gate cross-checks each documented invocation against the
+*actual* parser the verb builds, so flag drift fails CI with the exact
+source line.
+
+The parsers are built inside the ``main_*`` functions, so the audit
+captures them by intercepting ``parse_args`` — no CLI needs to be
+installed, and the check covers the same objects users hit.
+"""
+
+import argparse
+import re
+import tomllib
+from pathlib import Path
+
+import pytest
+
+from repro import cli
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+class _Captured(Exception):
+    pass
+
+
+def capture_parser(main, monkeypatch):
+    """The argparse parser a ``main_*`` entry point builds."""
+    seen = {}
+    def spy(self, args=None, namespace=None):
+        seen["parser"] = self
+        raise _Captured
+    monkeypatch.setattr(argparse.ArgumentParser, "parse_args", spy)
+    with pytest.raises(_Captured):
+        main([])
+    return seen["parser"]
+
+
+def console_scripts():
+    """{verb: main function} from pyproject's [project.scripts]."""
+    scripts = tomllib.loads(
+        (ROOT / "pyproject.toml").read_text(encoding="utf-8")
+    )["project"]["scripts"]
+    out = {}
+    for verb, target in scripts.items():
+        module, func = target.split(":")
+        assert module == "repro.cli", f"{verb} points outside repro.cli"
+        out[verb] = getattr(cli, func)
+    return out
+
+
+@pytest.fixture(scope="module")
+def known_flags(request):
+    """{verb: set of option strings (long and short) its parser accepts}."""
+    monkeypatch = pytest.MonkeyPatch()
+    request.addfinalizer(monkeypatch.undo)
+    flags = {}
+    for verb, main in console_scripts().items():
+        parser = capture_parser(main, monkeypatch)
+        flags[verb] = {
+            opt for action in parser._actions for opt in action.option_strings
+        }
+        monkeypatch.undo()
+    return flags
+
+
+# A flag token needs a letter after the dashes, so negative numbers
+# (``--jobs -1``) and lone dashes don't count.
+_FLAG = re.compile(r"(?<![\w-])(--?[a-zA-Z][\w-]*)")
+_VERB = re.compile(r"(?<![\w-])(repro-[a-z-]+)\b")
+
+
+def invocations(text):
+    """Yield (verb, flags, line) for every repro-* invocation in text.
+
+    Backslash continuations are joined first so multi-line examples
+    (ci.yml's repro-trace) audit as one invocation.
+    """
+    text = text.replace("\\\n", " ")
+    for line in text.splitlines():
+        match = _VERB.search(line)
+        if not match:
+            continue
+        tail = line[match.end():]
+        # The invocation ends at a shell separator or the closing
+        # backtick of an inline code span — later flags belong to a
+        # different command (`repro-bench all` / `pytest --benchmark-only`).
+        tail = re.split(r"`|;|&&|\|", tail)[0]
+        yield match.group(1), _FLAG.findall(tail), line.strip()
+
+
+def audit(text, known, source):
+    problems = []
+    for verb, flags, line in invocations(text):
+        if verb not in known:
+            problems.append(f"{source}: unknown verb {verb!r} in: {line}")
+            continue
+        for flag in flags:
+            if flag in ("--help", "-h"):
+                continue
+            if flag not in known[verb]:
+                problems.append(
+                    f"{source}: {verb} has no {flag!r} flag (line: {line})"
+                )
+    return problems
+
+
+def test_module_docstring_examples(known_flags):
+    """Every verb is documented in the cli module docstring, with real
+    flags, and the docstring's script count hasn't drifted."""
+    doc = cli.__doc__
+    for verb in known_flags:
+        assert f"``{verb}``" in doc, (
+            f"{verb} is installed but undocumented in repro/cli.py's "
+            f"module docstring"
+        )
+    problems = audit(doc, known_flags, "repro/cli.py docstring")
+    assert not problems, "\n".join(problems)
+    count = re.search(r"(\w+) console scripts", doc)
+    words = ["zero", "one", "two", "three", "four", "five", "six", "seven",
+             "eight", "nine", "ten"]
+    assert count and count.group(1).lower() == words[len(known_flags)], (
+        f"cli.py docstring advertises {count and count.group(1)!r} console "
+        f"scripts; pyproject installs {len(known_flags)}"
+    )
+
+
+def test_parser_descriptions_and_epilogs(known_flags, monkeypatch):
+    problems = []
+    for verb, main in console_scripts().items():
+        parser = capture_parser(main, monkeypatch)
+        own = parser.format_help()
+        problems += audit(parser.description or "", known_flags,
+                          f"{verb} description")
+        problems += audit(parser.epilog or "", known_flags, f"{verb} epilog")
+        # Cross-references inside help strings ("see repro-check --all")
+        # must also point at real flags.
+        problems += audit(own, known_flags, f"{verb} --help")
+        monkeypatch.undo()
+    assert not problems, "\n".join(problems)
+
+
+@pytest.mark.parametrize("doc", [
+    "README.md", "EXPERIMENTS.md", "CONTRIBUTING.md", "Makefile",
+    ".github/workflows/ci.yml",
+])
+def test_documented_invocations_use_real_flags(doc, known_flags):
+    problems = audit((ROOT / doc).read_text(encoding="utf-8"),
+                     known_flags, doc)
+    assert not problems, "\n".join(problems)
