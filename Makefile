@@ -1,7 +1,7 @@
 # Convenience targets for the common workflows.
 
 .PHONY: install test chaos chaos-recover bench perf validate experiments \
-        tune examples trace-demo check clean
+        tune examples trace-demo check soak clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -46,6 +46,15 @@ validate:
 # acceptance grid (p in {2..17, 32, 64}, k in {2..8}) — no simulator.
 check:
 	repro-check --all --jobs -1
+
+# Durability soak: seeded crash-storm over real repro-sweep subprocesses
+# — kill -9, deterministic worker poison, random file damage (bit flips,
+# truncated store entries, torn journal tails) between rounds, every
+# round resumed and compared byte-for-byte against an undisturbed
+# reference. Artifacts (journals, per-round results, soak_summary.json)
+# land in soak-artifacts/; CI uploads them on every run.
+soak:
+	python -m repro.bench.soak --rounds 6 -o soak-artifacts
 
 experiments:
 	repro-bench all

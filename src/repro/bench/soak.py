@@ -1,0 +1,307 @@
+"""Randomized crash-storm soak for the durability layer.
+
+``python -m repro.bench.soak`` drives the *real* ``repro-sweep`` CLI in
+subprocesses through seeded rounds of abuse — worker poison that kills
+the process mid-run (``os._exit``, the segfault stand-in), asynchronous
+``SIGKILL``, and on-disk damage to the schedule store and journal
+between the crash and the resume — then resumes every round and demands
+the final results JSON be **byte-identical** to an undisturbed
+reference run.
+
+This is the durability contract stated as a single executable claim: no
+matter where a sweep dies and what state the crash leaves on disk, the
+resumed run converges to the same artifact.  Each round's journal and
+the machine-readable summary land in the output directory so CI can
+upload them as artifacts when a round fails.
+
+Everything is seeded (``--seed``): a failing round reproduces exactly,
+which is what separates a soak from a flake generator.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from ..core.registry import algorithms_for, info
+from ..selection.tuner import radix_grid
+from ..simnet.machines import by_name
+from ..store.journal import read_journal
+from .osu import default_sizes
+from .sweep import POISON_ENV, SweepPoint
+
+__all__ = ["run_soak", "main"]
+
+#: Crash modes, cycled through deterministically-shuffled per seed.
+MODES = ("poison-serial", "sigkill", "poison-parallel")
+
+#: On-disk damage injected between the crash and the resume.
+DAMAGES = ("flip-byte", "truncate-entry", "orphan-tmp", "torn-journal", "none")
+
+
+def _sweep_argv(flags: Sequence[str]) -> List[str]:
+    """A subprocess argv running the real ``repro-sweep`` entry point."""
+    return [
+        sys.executable,
+        "-c",
+        "import sys; from repro.cli import main_sweep; "
+        "sys.exit(main_sweep(sys.argv[1:]))",
+        *flags,
+    ]
+
+
+def _sweep_env(poison: Optional[str] = None) -> Dict[str, str]:
+    """Subprocess environment: repro importable, poison optionally armed."""
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2])
+    extra = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{extra}" if extra else src
+    env.pop(POISON_ENV, None)
+    if poison is not None:
+        env[POISON_ENV] = poison
+    return env
+
+
+def _grid_points(
+    machine_name: str,
+    nodes: int,
+    ppn: int,
+    collective: str,
+    sizes: Sequence[int],
+) -> List[SweepPoint]:
+    """The same grid ``repro-sweep`` builds for these flags (poison
+    specs must name real points)."""
+    machine = by_name(machine_name, nodes, ppn)
+    points: List[SweepPoint] = []
+    for alg in algorithms_for(collective):
+        ks = radix_grid(machine.nranks) if info(collective, alg).takes_k \
+            else [None]
+        for k in ks:
+            for nbytes in sizes:
+                points.append(SweepPoint(collective, alg, nbytes, k=k))
+    return points
+
+
+def _poison_spec(point: SweepPoint) -> str:
+    return (
+        f"{point.collective}/{point.algorithm}/{point.k}/{point.nbytes}"
+    )
+
+
+def _inject_damage(
+    damage: str, store_root: Path, journal: Path, rng: random.Random
+) -> str:
+    """Apply one kind of damage; returns what was actually done (a
+    target may not exist yet — e.g. no store entries before the first
+    point completed — in which case the round records the no-op)."""
+    entries = sorted((store_root / "entries").glob("*.json")) \
+        if (store_root / "entries").is_dir() else []
+    if damage == "flip-byte" and entries:
+        victim = rng.choice(entries)
+        blob = bytearray(victim.read_bytes())
+        if blob:
+            pos = rng.randrange(len(blob))
+            blob[pos] ^= 0xFF
+            victim.write_bytes(bytes(blob))
+            return f"flip-byte:{victim.name}@{pos}"
+    elif damage == "truncate-entry" and entries:
+        victim = rng.choice(entries)
+        size = victim.stat().st_size
+        victim.write_bytes(victim.read_bytes()[: size // 2])
+        return f"truncate-entry:{victim.name}"
+    elif damage == "orphan-tmp":
+        tmp_dir = store_root / "entries"
+        tmp_dir.mkdir(parents=True, exist_ok=True)
+        orphan = tmp_dir / f"soak-{rng.randrange(1 << 30):08x}.json.tmp"
+        orphan.write_bytes(b'{"torn": ')
+        return f"orphan-tmp:{orphan.name}"
+    elif damage == "torn-journal" and journal.exists():
+        blob = journal.read_bytes()
+        if blob.count(b"\n") > 1:
+            # Strip the final newline plus a few bytes: the last record
+            # becomes a torn line, exactly what SIGKILL mid-write leaves.
+            journal.write_bytes(blob[: len(blob) - 1 - rng.randrange(1, 9)])
+            return "torn-journal:tail"
+    return f"{damage}:skipped"
+
+
+def _crash_run(
+    mode: str,
+    flags: List[str],
+    points: Sequence[SweepPoint],
+    rng: random.Random,
+) -> Dict:
+    """Launch one doomed sweep and let the chosen crash mode kill it."""
+    if mode == "poison-serial":
+        # The poisoned point os._exit()s the (serial) sweep process
+        # itself — a deterministic mid-run crash, no timing races.
+        spec = _poison_spec(rng.choice(points))
+        proc = subprocess.run(
+            _sweep_argv(flags), env=_sweep_env(poison=spec),
+            capture_output=True, text=True, timeout=600,
+        )
+        return {"mode": mode, "poison": spec, "rc": proc.returncode}
+    if mode == "poison-parallel":
+        # Worker processes die instead; the executor quarantines the
+        # point as an error record and the sweep *completes* (rc 1).
+        spec = _poison_spec(rng.choice(points))
+        proc = subprocess.run(
+            _sweep_argv(flags + ["--jobs", "2", "--isolate"]),
+            env=_sweep_env(poison=spec),
+            capture_output=True, text=True, timeout=600,
+        )
+        return {"mode": mode, "poison": spec, "rc": proc.returncode}
+    # sigkill: the asynchronous crash — no cooperation from the victim.
+    delay = rng.uniform(0.2, 1.5)
+    popen = subprocess.Popen(
+        _sweep_argv(flags), env=_sweep_env(),
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    time.sleep(delay)
+    survived = popen.poll() is not None
+    if not survived:
+        popen.send_signal(signal.SIGKILL)
+    rc = popen.wait(timeout=600)
+    return {"mode": mode, "delay_s": round(delay, 3),
+            "survived": survived, "rc": rc}
+
+
+def run_soak(
+    *,
+    rounds: int = 4,
+    seed: int = 20230823,
+    out_dir: Path,
+    machine: str = "frontier",
+    nodes: int = 16,
+    ppn: int = 1,
+    collective: str = "allreduce",
+    min_bytes: int = 64,
+    max_bytes: int = 16384,
+) -> Dict:
+    """Run the crash storm; returns the summary (also written to disk)."""
+    rng = random.Random(seed)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    store_root = out_dir / "store"
+    base_flags = [
+        "--machine", machine, "--nodes", str(nodes), "--ppn", str(ppn),
+        "--collective", collective,
+        "--min-bytes", str(min_bytes), "--max-bytes", str(max_bytes),
+    ]
+    points = _grid_points(
+        machine, nodes, ppn, collective,
+        default_sizes(min_bytes, max_bytes),
+    )
+
+    # The undisturbed reference artifact every round must converge to.
+    ref_path = out_dir / "reference.json"
+    ref = subprocess.run(
+        _sweep_argv(base_flags + ["-o", str(ref_path)]),
+        env=_sweep_env(), capture_output=True, text=True, timeout=600,
+    )
+    if ref.returncode != 0:
+        raise RuntimeError(
+            f"reference sweep failed (rc {ref.returncode}):\n{ref.stderr}"
+        )
+    ref_bytes = ref_path.read_bytes()
+
+    results: List[Dict] = []
+    for i in range(rounds):
+        journal = out_dir / f"journal_r{i}.jsonl"
+        output = out_dir / f"out_r{i}.json"
+        flags = base_flags + [
+            "--journal", str(journal), "--store", str(store_root),
+        ]
+        mode = MODES[i % len(MODES)]
+        crash = _crash_run(mode, flags, points, rng)
+        damage = _inject_damage(
+            rng.choice(DAMAGES), store_root, journal, rng
+        )
+        resume = subprocess.run(
+            _sweep_argv(flags + ["--resume", "-o", str(output)]),
+            env=_sweep_env(), capture_output=True, text=True, timeout=600,
+        )
+        records, skipped = read_journal(journal)
+        identical = (
+            output.exists() and output.read_bytes() == ref_bytes
+        )
+        round_doc = {
+            "round": i,
+            "crash": crash,
+            "damage": damage,
+            "resume_rc": resume.returncode,
+            "journal_records": len(records),
+            "journal_skipped": skipped,
+            "identical": identical,
+            "ok": identical and resume.returncode == 0,
+        }
+        if not round_doc["ok"]:
+            round_doc["resume_stderr"] = resume.stderr[-2000:]
+        results.append(round_doc)
+        status = "ok" if round_doc["ok"] else "FAIL"
+        print(
+            f"round {i}: {crash['mode']} rc={crash['rc']} "
+            f"damage={damage} resume_rc={resume.returncode} "
+            f"records={len(records)} identical={identical} [{status}]"
+        )
+
+    summary = {
+        "seed": seed,
+        "rounds": results,
+        "points": len(points),
+        "ok": all(r["ok"] for r in results),
+    }
+    (out_dir / "soak_summary.json").write_text(
+        json.dumps(summary, indent=2, sort_keys=True) + "\n"
+    )
+    return summary
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.soak",
+        description="Seeded crash-storm soak: kill repro-sweep mid-run "
+        "(worker poison, SIGKILL), damage the store and journal, resume, "
+        "and demand byte-identical results.",
+    )
+    parser.add_argument("--rounds", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=20230823)
+    parser.add_argument("-o", "--out", default="soak-artifacts",
+                        metavar="DIR",
+                        help="journals + summary land here (CI uploads "
+                        "this directory on failure)")
+    parser.add_argument("--machine", default="frontier",
+                        choices=["frontier", "polaris", "reference"])
+    parser.add_argument("--nodes", type=int, default=16)
+    parser.add_argument("--ppn", type=int, default=1)
+    parser.add_argument("--collective", default="allreduce")
+    parser.add_argument("--min-bytes", type=int, default=64)
+    parser.add_argument("--max-bytes", type=int, default=16384)
+    args = parser.parse_args(argv)
+
+    summary = run_soak(
+        rounds=args.rounds, seed=args.seed, out_dir=Path(args.out),
+        machine=args.machine, nodes=args.nodes, ppn=args.ppn,
+        collective=args.collective,
+        min_bytes=args.min_bytes, max_bytes=args.max_bytes,
+    )
+    failed = [r["round"] for r in summary["rounds"] if not r["ok"]]
+    if failed:
+        print(f"SOAK FAILED: rounds {failed} (seed {summary['seed']})")
+        return 1
+    print(
+        f"soak ok: {len(summary['rounds'])} rounds, "
+        f"{summary['points']} points each, seed {summary['seed']}"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

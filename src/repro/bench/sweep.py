@@ -23,6 +23,18 @@ Two layers live here:
   grouping), so a (k × sizes) grid builds each schedule once per worker
   instead of once per point.
 
+  Since the durability PR the engine is also **crash-safe**: pass
+  ``journal=`` to append every completed point to a crash-safe JSONL
+  journal (:mod:`repro.store.journal`) and ``resume=True`` to replay it,
+  re-running only missing or failed points — the merged results carry
+  the same ``(point, time, error)`` content as an uninterrupted run.
+  ``store=`` backs schedule builds with a disk-persistent
+  :class:`~repro.store.schedules.PersistentScheduleCache` for the
+  duration of the sweep, and worker crashes are healed by the hardened
+  executor (:mod:`repro.parallel`): a poison point that keeps killing
+  its worker is quarantined as a structured error record while its
+  siblings complete.
+
 * :class:`RadixSweep` holds the full (k × message-size) latency surface
   for one generalized algorithm on one machine, with accessors for the
   views the paper plots: latency-vs-k at a size (Fig. 8), latency-vs-size
@@ -32,21 +44,31 @@ Two layers live here:
 
 from __future__ import annotations
 
+import hashlib
 import os
 import time
+import traceback
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from ..core.cache import global_schedule_cache, schedule_key
+from ..core.cache import (
+    ScheduleCache,
+    global_schedule_cache,
+    schedule_key,
+    set_global_schedule_cache,
+)
 from ..core.registry import info
-from ..errors import ReproError
+from ..errors import ReproError, StoreError
 from ..faults.plan import FaultPlan
 from ..obs import OBS, MetricsSnapshot, SimTimeline, SpanRecord, TraceContext
-from ..parallel import resolve_jobs, run_chunks
+from ..parallel import ChunkFailure, resolve_jobs, run_chunks
 from ..simnet.machine import MachineSpec
 from ..simnet.noise import NoiseModel
 from ..simnet.simulate import simulate
 from ..selection.tuner import radix_grid
+from ..store.journal import JournalWriter, journal_header, read_journal
+from ..store.schedules import open_schedule_store
 
 __all__ = [
     "SweepPoint",
@@ -57,9 +79,17 @@ __all__ = [
     "clear_sim_memo",
     "run_sweep",
     "sweep_errors",
+    "sweep_fingerprint",
     "RadixSweep",
     "radix_latency_sweep",
 ]
+
+#: Crash-injection hook for the durability tests and the soak harness: a
+#: ``collective/algorithm/k/nbytes`` spec in this environment variable
+#: makes the matching point kill its process with ``os._exit`` —
+#: simulating a worker segfault mid-chunk.  Only meaningful with
+#: ``jobs >= 2`` (in the serial path there is no worker to sacrifice).
+POISON_ENV = "REPRO_SWEEP_POISON"
 
 
 # ----------------------------------------------------------------------
@@ -91,6 +121,11 @@ class SweepPointResult:
     simulated identical points.  Both travel with the result (rather
     than living in worker-process globals) so hit rates aggregate
     correctly across any number of pool workers.
+
+    ``traceback`` preserves the worker-side stack for failed points —
+    the worker that raised may be long gone (or dead) by the time the
+    record is read, and journal replay of a historical run has nothing
+    else to explain the failure with.
     """
 
     point: SweepPoint
@@ -98,6 +133,7 @@ class SweepPointResult:
     cache_hit: bool
     error: Optional[str] = None
     sim_hit: bool = False
+    traceback: Optional[str] = None
 
     @property
     def time_us(self) -> float:
@@ -258,8 +294,31 @@ def _simulate_point_impl(
         return SweepPointResult(point, sim.time, hit)
     except Exception as exc:  # noqa: BLE001 — isolation is the contract
         return SweepPointResult(
-            point, None, False, f"{type(exc).__name__}: {exc}"
+            point,
+            None,
+            False,
+            f"{type(exc).__name__}: {exc}",
+            traceback=traceback.format_exc(),
         )
+
+
+def _maybe_injected_crash(point: SweepPoint) -> None:
+    """Kill the process if ``point`` matches the ``POISON_ENV`` spec.
+
+    The crash is deliberately unmaskable (``os._exit`` skips every
+    ``finally`` and atexit hook, like a segfault would) — it exists so
+    the durability tests and ``repro.bench.soak`` can prove a poisoned
+    point is quarantined rather than aborting the sweep.
+    """
+    spec = os.environ.get(POISON_ENV)
+    if not spec:
+        return
+    parts = spec.split("/")
+    if len(parts) != 4:
+        return
+    if (point.collective, point.algorithm, str(point.k),
+            str(point.nbytes)) == tuple(parts):
+        os._exit(139)
 
 
 # A chunk ships everything one worker call needs in a single pickle.
@@ -298,12 +357,15 @@ def _run_chunk(task: _ChunkTask):
         # pool), where records land directly in the live registry.  The
         # pid check, not OBS.enabled, identifies a worker: fork-started
         # workers inherit the parent's enabled scope wholesale.
-        return [
-            simulate_point(
-                machine, pt, noise=noise, faults=faults, reuse=reuse
+        out = []
+        for pt in points:
+            _maybe_injected_crash(pt)
+            out.append(
+                simulate_point(
+                    machine, pt, noise=noise, faults=faults, reuse=reuse
+                )
             )
-            for pt in points
-        ]
+        return out
     # Pool worker joining an observed parent sweep: open a fresh scope
     # under the parent's trace context, capture, and ship everything back.
     OBS.reset()
@@ -311,12 +373,14 @@ def _run_chunk(task: _ChunkTask):
     t0 = time.perf_counter()
     try:
         with OBS.span("sweep_chunk", points=len(points)):
-            results = [
-                simulate_point(
-                    machine, pt, noise=noise, faults=faults, reuse=reuse
+            results = []
+            for pt in points:
+                _maybe_injected_crash(pt)
+                results.append(
+                    simulate_point(
+                        machine, pt, noise=noise, faults=faults, reuse=reuse
+                    )
                 )
-                for pt in points
-            ]
     finally:
         busy = time.perf_counter() - t0
         spans = OBS.tracer.spans()
@@ -362,6 +426,134 @@ def _chunk_points(
     return chunks
 
 
+def _split_chunk(task: _ChunkTask) -> List[_ChunkTask]:
+    """Split a failing chunk into single-point tasks (poison cornering)."""
+    machine, noise, faults, reuse, points, ctx = task
+    return [
+        (machine, noise, faults, reuse, (pt,), ctx) for pt in points
+    ]
+
+
+def _chunk_error_records(
+    task: _ChunkTask, failure: ChunkFailure
+) -> List[SweepPointResult]:
+    """Structured error records for a quarantined chunk's points.
+
+    The executor hands us a chunk whose worker kept dying (or hanging);
+    there is no worker traceback to preserve — the process is gone — so
+    the record carries the executor's mechanical story instead.
+    """
+    points = task[4]
+    error = f"ChunkFailure: {failure}"
+    note = (
+        "worker process lost before a traceback could be captured "
+        f"(failure kind: {failure.kind}, attempts: {failure.attempts})"
+    )
+    return [
+        SweepPointResult(pt, None, False, error, traceback=note)
+        for pt in points
+    ]
+
+
+# ----------------------------------------------------------------------
+# The sweep journal: each completed point becomes one crash-safe record
+# ----------------------------------------------------------------------
+
+
+def _point_key(point: SweepPoint) -> str:
+    """The journal identity of one point (duplicates share a key)."""
+    return (
+        f"{point.collective}/{point.algorithm}/k={point.k}/"
+        f"root={point.root}/n={point.nbytes}"
+    )
+
+
+def sweep_fingerprint(
+    points: Sequence[SweepPoint],
+    machine: MachineSpec,
+    *,
+    noise: Optional[NoiseModel] = None,
+    faults: Optional[FaultPlan] = None,
+    reuse: bool = True,
+) -> str:
+    """Content hash of a sweep configuration.
+
+    Written into the journal header and re-checked on ``resume=True`` so
+    a journal can never be spliced into a sweep over a different grid,
+    machine, or noise/fault plan — replaying foreign results would
+    silently corrupt science.  All components hash by ``repr`` of frozen
+    dataclasses, which pin every parameter that affects a result.
+    """
+    h = hashlib.sha256()
+    h.update(repr(machine).encode())
+    h.update(f"|noise={noise!r}|faults={faults!r}|reuse={reuse}".encode())
+    for pt in points:
+        h.update(b"|")
+        h.update(_point_key(pt).encode())
+    return h.hexdigest()
+
+
+def _result_record(res: SweepPointResult) -> Dict:
+    """One journal line's payload for a completed point."""
+    return {
+        "kind": "point",
+        "key": _point_key(res.point),
+        "time": res.time,
+        "error": res.error,
+        "traceback": res.traceback,
+        "cache_hit": res.cache_hit,
+        "sim_hit": res.sim_hit,
+    }
+
+
+def _result_from_record(rec: Dict, point: SweepPoint) -> SweepPointResult:
+    """Rehydrate a journaled record against the current sweep's point."""
+    return SweepPointResult(
+        point,
+        rec.get("time"),
+        bool(rec.get("cache_hit")),
+        rec.get("error"),
+        sim_hit=bool(rec.get("sim_hit")),
+        traceback=rec.get("traceback"),
+    )
+
+
+def _open_sweep_journal(
+    path: Union[str, Path],
+    resume: bool,
+    fingerprint: str,
+) -> Tuple[JournalWriter, Dict[str, Dict]]:
+    """Open (or resume) a sweep journal.
+
+    Returns the writer plus the successfully completed records to
+    replay, keyed by point key.  Resuming validates the header
+    fingerprint; a fresh run truncates whatever was there.  Failed
+    points are deliberately *not* replayed — resume re-runs them, which
+    is how a transient crash heals instead of being remembered forever.
+    """
+    replayed: Dict[str, Dict] = {}
+    has_header = False
+    if resume:
+        records, _skipped = read_journal(path)
+        header = journal_header(records)
+        if header is not None:
+            if header.get("sweep") != fingerprint:
+                raise StoreError(
+                    f"journal {path} was written by a different sweep "
+                    f"configuration (header fingerprint "
+                    f"{header.get('sweep')!r} != {fingerprint!r}); "
+                    "refusing to splice foreign results"
+                )
+            has_header = True
+        for rec in records:
+            if rec.get("kind") == "point" and rec.get("error") is None:
+                replayed[rec["key"]] = rec
+    writer = JournalWriter(path, truncate=not resume)
+    if not has_header:
+        writer.append({"kind": "header", "sweep": fingerprint})
+    return writer, replayed
+
+
 def run_sweep(
     points: Sequence[SweepPoint],
     machine: MachineSpec,
@@ -370,6 +562,12 @@ def run_sweep(
     noise: Optional[NoiseModel] = None,
     faults: Optional[FaultPlan] = None,
     reuse: bool = True,
+    journal: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+    store: Optional[Union[str, Path, ScheduleCache]] = None,
+    retries: int = 2,
+    deadline: Optional[float] = None,
+    isolate: bool = False,
 ) -> List[SweepPointResult]:
     """Simulate every point on ``machine``; results in point order.
 
@@ -380,16 +578,126 @@ def run_sweep(
     sweep is one ``sweep`` span; worker spans and metrics merge back into
     it (see :class:`_ObsEnvelope`), and worker utilization lands in
     ``repro_sweep_worker_busy_seconds_total``.
+
+    Durability (all optional — the defaults behave exactly as before):
+
+    ``journal``
+        Append every completed point to this crash-safe JSONL file as it
+        finishes (completion order; the returned list stays in point
+        order).  A run killed at any instant loses at most its in-flight
+        chunks.
+    ``resume``
+        Replay the journal first and simulate only missing or failed
+        points.  The merged results carry identical ``(point, time,
+        error)`` content to an uninterrupted run — only the
+        ``cache_hit``/``sim_hit`` execution metadata may differ, since
+        the resumed process starts with cold caches.  A journal from a
+        different sweep configuration is refused
+        (:class:`~repro.errors.StoreError`).
+    ``store``
+        Path (or ready :class:`~repro.core.cache.ScheduleCache`) backing
+        schedule builds with a disk tier for the duration of the sweep;
+        forked pool workers inherit the attachment and share the
+        directory through its advisory lock.
+    ``retries`` / ``deadline`` / ``isolate``
+        Passed to the hardened executor (see
+        :func:`repro.parallel.run_chunks`): worker crashes re-dispatch
+        on a fresh pool, repeat offenders are quarantined as structured
+        error records, hung chunks are killed after ``deadline`` seconds
+        of stall, and ``isolate=True`` forces real worker processes even
+        on single-core hosts (crash isolation needs a process boundary).
     """
+    if store is not None and not isinstance(store, ScheduleCache):
+        store = open_schedule_store(store)
+    previous_cache = None
+    if store is not None:
+        previous_cache = set_global_schedule_cache(store)
+    try:
+        fingerprint = None
+        writer: Optional[JournalWriter] = None
+        replayed: Dict[str, Dict] = {}
+        pending: Sequence[SweepPoint] = points
+        if journal is not None:
+            fingerprint = sweep_fingerprint(
+                points, machine, noise=noise, faults=faults, reuse=reuse
+            )
+            writer, replayed = _open_sweep_journal(
+                journal, resume, fingerprint
+            )
+            if replayed:
+                pending = [
+                    pt for pt in points if _point_key(pt) not in replayed
+                ]
+        try:
+            computed = _dispatch_sweep(
+                pending, machine, jobs=jobs, noise=noise, faults=faults,
+                reuse=reuse, writer=writer, retries=retries,
+                deadline=deadline, isolate=isolate,
+            )
+        finally:
+            if writer is not None:
+                writer.close()
+        if not replayed:
+            return computed
+        merged: List[SweepPointResult] = []
+        fresh = iter(computed)
+        for pt in points:
+            rec = replayed.get(_point_key(pt))
+            if rec is not None:
+                merged.append(_result_from_record(rec, pt))
+            else:
+                merged.append(next(fresh))
+        return merged
+    finally:
+        if previous_cache is not None:
+            set_global_schedule_cache(previous_cache)
+
+
+def _dispatch_sweep(
+    points: Sequence[SweepPoint],
+    machine: MachineSpec,
+    *,
+    jobs: int,
+    noise: Optional[NoiseModel],
+    faults: Optional[FaultPlan],
+    reuse: bool,
+    writer: Optional[JournalWriter],
+    retries: int,
+    deadline: Optional[float],
+    isolate: bool,
+) -> List[SweepPointResult]:
+    """Chunk, fan out, journal, and (with obs) merge worker records."""
+
+    def journal_chunk(_index: int, _task, results) -> None:
+        # run_chunks calls this in completion order, in the parent —
+        # exactly when a chunk's results are safe to persist.  Envelopes
+        # are unwrapped here and *also* kept in the returned stream for
+        # the observability merge below.
+        for item in results:
+            if isinstance(item, _ObsEnvelope):
+                for res in item.results:
+                    writer.append(_result_record(res))
+            else:
+                writer.append(_result_record(item))
+
+    on_done = journal_chunk if writer is not None else None
     if not OBS.enabled:
         chunks = _chunk_points(machine, noise, faults, reuse, points)
-        return run_chunks(_run_chunk, chunks, jobs=jobs)
+        return run_chunks(
+            _run_chunk, chunks, jobs=jobs, retries=retries,
+            deadline=deadline, on_chunk_error=_chunk_error_records,
+            split=_split_chunk, on_chunk_done=on_done, isolate=isolate,
+        )
     with OBS.span("sweep", points=len(points), jobs=jobs):
         effective = resolve_jobs(jobs)
-        ctx = OBS.tracer.context() if effective >= 2 else None
+        ctx = OBS.tracer.context() if effective >= 2 or isolate else None
         chunks = _chunk_points(machine, noise, faults, reuse, points, ctx)
         t0 = time.perf_counter()
-        raw = run_chunks(_run_chunk, chunks, jobs=jobs)
+        raw = run_chunks(
+            _run_chunk, chunks, jobs=jobs, retries=retries,
+            deadline=deadline, on_chunk_error=_chunk_error_records,
+            split=_split_chunk, on_chunk_done=on_done, isolate=isolate,
+        )
         wall = time.perf_counter() - t0
         out: List[SweepPointResult] = []
         busy = 0.0

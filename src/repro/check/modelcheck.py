@@ -72,9 +72,16 @@ _KRING = (
     "(EXPERIMENTS.md: 1.2-1.9x)"
 )
 
-#: Calibrated per-pair ratio bands (measured over p ∈ {2..17, 32, 64},
-#: k ∈ {min_k..8} at 64 KiB and 1 MiB, widened ~15 %), with the reason
-#: the pair diverges from an exact model.
+#: Calibrated per-pair ratio bands, with the reason the pair diverges
+#: from an exact model. Calibration domain: the CI grid
+#: (p ∈ {2..17, 32, 64}, k ∈ {min_k..8}) *and*, for the generalized
+#: pairs, the full domain the hypothesis property sweeps
+#: (p ∈ {2..24}, every effective radix, every root) — the degenerate
+#: corners near k ≈ p−1 sit well outside the small-k grid's ratios
+#: (e.g. bcast/kring per-rank volume spans [0.83, 2.63] over the full
+#: domain vs [1.19, 2.36] on the k ≤ 8 grid). Bands are measured
+#: min/max widened ~15 %; the quantities are deterministic, so the
+#: margin only absorbs domain growth, not noise.
 KNOWN_DIVERGENCES: Dict[Tuple[str, str], _Bounds] = {
     ("allgather", "binomial"): _Bounds(
         (1.27, 2.36), (0.56, 1.02), _TREE_ALLREDUCE),
@@ -85,7 +92,7 @@ KNOWN_DIVERGENCES: Dict[Tuple[str, str], _Bounds] = {
         (0.85, 1.77), (0.85, 2.76),
         "non-power-of-two fold/unfold the doubling model omits"),
     ("allgather", "recursive_multiplying"): _Bounds(
-        (0.85, 2.36), (0.85, 3.15), _RECMUL),
+        (0.85, 2.88), (0.85, 3.15), _RECMUL),
     ("allreduce", "binomial"): _Bounds(
         (1.27, 2.36), (0.56, 1.02), _TREE_ALLREDUCE),
     ("allreduce", "knomial"): _Bounds(
@@ -95,7 +102,7 @@ KNOWN_DIVERGENCES: Dict[Tuple[str, str], _Bounds] = {
         (0.85, 1.77), (0.85, 1.18),
         "non-power-of-two fold/unfold rounds the doubling model omits"),
     ("allreduce", "recursive_multiplying"): _Bounds(
-        (0.85, 2.36), (0.24, 1.18), _RECMUL),
+        (0.85, 2.88), (0.18, 1.18), _RECMUL),
     ("allreduce", "ring"): _Bounds(
         (1.70, 2.36), (1.70, 2.36),
         "EXPERIMENTS.md: eq. (8) counts p-1 rounds; the schedule runs "
@@ -112,7 +119,7 @@ KNOWN_DIVERGENCES: Dict[Tuple[str, str], _Bounds] = {
     ("bcast", "knomial"): _Bounds(
         (0.42, 1.18), (0.48, 1.18),
         "same log-rounding as bcast/binomial, plus lighter last digits"),
-    ("bcast", "kring"): _Bounds((0.91, 2.36), (1.19, 2.36), _KRING),
+    ("bcast", "kring"): _Bounds((0.91, 2.36), (0.72, 3.02), _KRING),
     ("bcast", "pipelined_chain"): _Bounds(
         (0.85, 1.18), (0.012, 1.18),
         "the chain model prices the critical path ((p+k-2) segments); "

@@ -1,6 +1,6 @@
 """Command-line entry points.
 
-Eight console scripts are installed with the package:
+Nine console scripts are installed with the package:
 
 ``repro-bench``
     Run one (or all) of the paper's experiments and print the figure data
@@ -47,6 +47,15 @@ Eight console scripts are installed with the package:
     Prometheus text): ``repro-trace allreduce recursive_multiplying
     --p 64 --k 4 --nbytes 65536 -o trace.json``.
 
+``repro-sweep``
+    The crash-safe radix sweep: simulate a (algorithm × k × size) grid
+    and write deterministic results JSON, journaling every completed
+    point so an interrupted run resumes where it died:
+    ``repro-sweep --collective allreduce --journal sweep.jsonl
+    -o results.json``, then after a crash the same command with
+    ``--resume``.  ``--store DIR`` persists built schedules across runs;
+    the resumed results are bit-identical to an uninterrupted sweep.
+
 ``repro-check``
     Static schedule analysis — deadlock (eager + rendezvous send
     semantics), intra-step buffer hazards, dataflow lint, and
@@ -81,6 +90,7 @@ __all__ = [
     "main_bench_perf",
     "main_trace",
     "main_check",
+    "main_sweep",
 ]
 
 
@@ -184,6 +194,12 @@ def main_tune(argv: Optional[List[str]] = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        # No partial table is written (a truncated selection config
+        # would silently mis-tune) — but the metrics snapshot below
+        # still flushes, so the interrupted sweep stays inspectable.
+        print("\ninterrupted: no configuration written", file=sys.stderr)
+        return 130
     finally:
         if args.metrics_out:
             OBS.write_metrics(args.metrics_out)
@@ -350,6 +366,10 @@ def main_chaos(argv: Optional[List[str]] = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        print("\ninterrupted mid-sweep: no cases summarized",
+              file=sys.stderr)
+        return 130
     if args.verbose:
         for r in results:
             print(r.describe())
@@ -560,6 +580,17 @@ def main_bench_perf(argv: Optional[List[str]] = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        # A partial report would gate CI on numbers from an incomplete
+        # grid — refuse to write one, but leave whatever the obs
+        # section accumulated for --metrics-out.
+        print("\ninterrupted: no report written", file=sys.stderr)
+        if args.metrics_out:
+            from .obs import OBS
+
+            OBS.write_metrics(args.metrics_out)
+            print(f"wrote {args.metrics_out} (+ .prom)", file=sys.stderr)
+        return 130
     print(format_report(report))
     if args.metrics_out:
         # run_perf leaves the metrics of its obs-overhead section in the
@@ -837,6 +868,157 @@ def main_check(argv: Optional[List[str]] = None) -> int:
         )
         print(f"wrote {args.output}")
     return 0 if (report.strict_ok if args.strict else report.ok) else 1
+
+
+def main_sweep(argv: Optional[List[str]] = None) -> int:
+    """``repro-sweep``: crash-safe, resumable radix sweep."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sweep",
+        description="Simulate an (algorithm x k x size) grid on a "
+        "simulated machine and write deterministic results JSON, "
+        "journaling every completed point so an interrupted run can "
+        "resume where it died (--resume) with bit-identical results.",
+    )
+    parser.add_argument("--machine", default="frontier",
+                        choices=["frontier", "polaris", "reference"])
+    parser.add_argument("--nodes", type=int, default=16)
+    parser.add_argument("--ppn", type=int, default=1)
+    parser.add_argument("--collective", default="allreduce",
+                        choices=COLLECTIVES)
+    parser.add_argument("--algorithm", default=None,
+                        help="restrict to one algorithm (default: every "
+                        "algorithm registered for the collective)")
+    parser.add_argument("--min-bytes", type=int, default=8)
+    parser.add_argument("--max-bytes", type=int, default=1 << 20)
+    parser.add_argument("-j", "--jobs", type=int, default=0,
+                        help="worker processes (0/1 serial, -1 all "
+                        "cores); results are identical at any job count")
+    parser.add_argument("--journal", default=None, metavar="PATH",
+                        help="append every completed point to this "
+                        "crash-safe JSONL journal as it finishes")
+    parser.add_argument("--resume", action="store_true",
+                        help="replay the journal and simulate only "
+                        "missing or failed points (requires --journal; "
+                        "refuses a journal from a different sweep "
+                        "configuration)")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="disk-backed schedule store shared across "
+                        "runs and workers (created if missing)")
+    parser.add_argument("--retries", type=int, default=2,
+                        help="re-dispatch attempts for chunks whose "
+                        "worker process dies (default 2)")
+    parser.add_argument("--deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-chunk stall deadline; a hung chunk is "
+                        "killed and retried, then quarantined")
+    parser.add_argument("--isolate", action="store_true",
+                        help="force real worker processes even on a "
+                        "single-core host (crash isolation needs a "
+                        "process boundary)")
+    parser.add_argument("-o", "--output", default=None, metavar="PATH",
+                        help="write the results JSON here (default: "
+                        "stdout summary only)")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="enable observability for the sweep and "
+                        "write a metrics snapshot here (JSON; Prometheus "
+                        "text beside it as .prom)")
+    args = parser.parse_args(argv)
+
+    import json as _json
+    from pathlib import Path
+
+    from .bench.sweep import (
+        SweepPoint,
+        run_sweep,
+        sweep_fingerprint,
+        sweep_stats,
+    )
+    from .obs import OBS
+    from .selection.tuner import radix_grid
+
+    if args.resume and not args.journal:
+        print("error: --resume requires --journal", file=sys.stderr)
+        return 2
+    try:
+        machine = by_name(args.machine, args.nodes, args.ppn)
+        algorithms = (
+            [args.algorithm] if args.algorithm
+            else algorithms_for(args.collective)
+        )
+        points: List[SweepPoint] = []
+        for alg in algorithms:
+            entry = info(args.collective, alg)
+            ks = radix_grid(machine.nranks) if entry.takes_k else [None]
+            for k in ks:
+                for nbytes in default_sizes(args.min_bytes, args.max_bytes):
+                    points.append(
+                        SweepPoint(args.collective, alg, nbytes, k=k)
+                    )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.metrics_out:
+        OBS.reset()
+        OBS.enable()
+    try:
+        results = run_sweep(
+            points,
+            machine,
+            jobs=args.jobs,
+            journal=args.journal,
+            resume=args.resume,
+            store=args.store,
+            retries=args.retries,
+            deadline=args.deadline,
+            isolate=args.isolate,
+        )
+    except KeyboardInterrupt:
+        # The journal already holds every completed point (each record
+        # is flushed before the next chunk lands), so the run resumes
+        # exactly where it died: same command + --resume.
+        print("\ninterrupted", file=sys.stderr)
+        if args.journal:
+            print(f"journal {args.journal} holds the completed points; "
+                  "re-run with --resume to continue", file=sys.stderr)
+        return 130
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if args.metrics_out:
+            OBS.write_metrics(args.metrics_out)
+            OBS.disable()
+            print(f"wrote {args.metrics_out} (+ .prom)", file=sys.stderr)
+
+    stats = sweep_stats(results)
+    print(f"{args.collective} on {machine.name}: {stats.points} points, "
+          f"{stats.errors} error(s), "
+          f"build hit rate {stats.build_hit_rate:.0%}")
+    if args.output:
+        # Deterministic artifact: (point, time, error) only — execution
+        # metadata like cache hits varies across runs by design.
+        doc = {
+            "sweep": sweep_fingerprint(points, machine),
+            "machine": machine.name,
+            "collective": args.collective,
+            "points": [
+                {
+                    "algorithm": r.point.algorithm,
+                    "k": r.point.k,
+                    "root": r.point.root,
+                    "nbytes": r.point.nbytes,
+                    "time": r.time,
+                    "error": r.error,
+                }
+                for r in results
+            ],
+        }
+        Path(args.output).write_text(
+            _json.dumps(doc, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.output}")
+    return 1 if stats.errors else 0
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation helper

@@ -49,6 +49,7 @@ __all__ = [
     "CacheStats",
     "ScheduleCache",
     "global_schedule_cache",
+    "set_global_schedule_cache",
     "cached_build_schedule",
 ]
 
@@ -236,6 +237,29 @@ def global_schedule_cache() -> ScheduleCache:
     (see :mod:`repro.bench.sweep`), not through this object.
     """
     return _GLOBAL
+
+
+def set_global_schedule_cache(cache: ScheduleCache) -> ScheduleCache:
+    """Swap the process-global cache; returns the previous instance.
+
+    The sanctioned hook for :mod:`repro.store` to back the global cache
+    with a disk store (a
+    :class:`~repro.store.schedules.PersistentScheduleCache` *is a*
+    :class:`ScheduleCache`).  Every existing call site keeps working
+    because both :func:`global_schedule_cache` and
+    :func:`cached_build_schedule` read the module global at call time.
+    Callers should restore the previous instance when done (sweeps do
+    this in a ``finally``), so attachment never leaks across runs.
+    """
+    global _GLOBAL
+    if not isinstance(cache, ScheduleCache):
+        raise ScheduleError(
+            f"global schedule cache must be a ScheduleCache, "
+            f"got {type(cache).__name__}"
+        )
+    previous = _GLOBAL
+    _GLOBAL = cache
+    return previous
 
 
 def cached_build_schedule(

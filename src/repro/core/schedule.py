@@ -229,28 +229,30 @@ class Schedule:
         schedule cache's key→content contract and the golden cost tests
         are checked against this.
         """
-        h = hashlib.sha256()
-        h.update(
+        # Accumulate-then-hash-once feeds sha256 the exact byte stream
+        # the incremental form did (hash of a concatenation is chunking-
+        # independent), at roughly half the wall clock — this runs on
+        # every disk-store load, where it is the dominant cost.
+        parts = [
             f"{self.collective}|{self.algorithm}|{self.nranks}|"
-            f"{self.nblocks}|{self.root}|{self.k}".encode()
-        )
+            f"{self.nblocks}|{self.root}|{self.k}"
+        ]
+        add = parts.append
         for prog in self.programs:
-            h.update(b"|P")
+            add("|P")
             for step in prog.steps:
-                h.update(b"|S")
+                add("|S")
                 for op in step.ops:
                     if isinstance(op, SendOp):
-                        h.update(
-                            f"|s{op.peer}:{','.join(map(str, op.blocks))}".encode()
-                        )
+                        add(f"|s{op.peer}:{','.join(map(str, op.blocks))}")
                     elif isinstance(op, RecvOp):
-                        h.update(
+                        add(
                             f"|r{op.peer}:{','.join(map(str, op.blocks))}"
-                            f":{int(op.reduce)}".encode()
+                            f":{int(op.reduce)}"
                         )
                     else:
-                        h.update(f"|c{op.src}:{op.dst}".encode())
-        return h.hexdigest()
+                        add(f"|c{op.src}:{op.dst}")
+        return hashlib.sha256("".join(parts).encode()).hexdigest()
 
     def stats(self) -> "ScheduleStats":
         """Aggregate message/step statistics (topology-agnostic)."""

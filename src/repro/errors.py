@@ -20,6 +20,7 @@ __all__ = [
     "ModelError",
     "TraceError",
     "ObsError",
+    "StoreError",
     "FaultError",
     "PartialFailure",
     "RecoveryError",
@@ -85,6 +86,18 @@ class ObsError(ReproError):
     """Raised for observability misuse: mismatched metric kinds on one
     name, malformed histogram buckets, or attaching a simnet timeline
     outside any span."""
+
+
+class StoreError(ReproError):
+    """Raised for durability-layer misuse: an unwritable store root, a
+    journal resumed against a different sweep configuration, or a store
+    opened with an incompatible on-disk format version.
+
+    Note the deliberate asymmetry with *damage*: corruption found inside
+    the store (bad checksum, truncated entry, stray temp file) is never
+    raised — damaged entries are quarantined and rebuilt, and a torn
+    journal tail is skipped.  Only caller errors surface as exceptions.
+    """
 
 
 class FaultError(ExecutionError):

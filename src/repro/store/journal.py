@@ -1,0 +1,148 @@
+"""Crash-safe append-only JSONL journal.
+
+The sweep pipeline's durability primitive: each completed record is one
+line of JSON, appended and flushed before the next point starts, so a
+process killed at *any* instant loses at most the record being written —
+and that torn tail is recognized and skipped on replay (a valid JSON
+line is either fully present or not parseable, there is no middle).
+
+Records are caller-defined dicts; the journal adds only a line-format
+version (``"v"``) so future shape changes replay cleanly.  A header
+record (conventionally the first line, written via :meth:`append`)
+carries the sweep's configuration so ``--resume`` can refuse to splice
+results from a different machine or grid — see
+:mod:`repro.bench.sweep`.
+
+Durability level matches :class:`~repro.store.disk.DiskStore`: flushed
+writes survive process death (SIGKILL included) by default; pass
+``fsync=True`` to also survive machine crashes, at per-record cost.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..errors import StoreError
+from ..obs import OBS
+
+__all__ = ["LINE_VERSION", "JournalWriter", "read_journal", "journal_header"]
+
+#: Journal line format version (bump protocol: CONTRIBUTING.md).
+LINE_VERSION = 1
+
+
+class JournalWriter:
+    """Append-only writer; one flushed JSON line per record.
+
+    Usable as a context manager.  Opening an existing journal appends by
+    default — that is what makes ``--resume`` write its newly computed
+    points into the same file the crashed run left behind; pass
+    ``truncate=True`` to start a fresh run over a stale journal.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        *,
+        fsync: bool = False,
+        truncate: bool = False,
+    ) -> None:
+        self.path = Path(path)
+        self.fsync = fsync
+        self._records = 0
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(
+                self.path, "w" if truncate else "a", encoding="utf-8"
+            )
+            if not truncate and self._fh.tell() > 0:
+                # A crash can leave a torn, unterminated final line.
+                # Without this, the first appended record would be glued
+                # onto that garbage and lost on the next replay.
+                with open(self.path, "rb") as probe:
+                    probe.seek(-1, os.SEEK_END)
+                    torn_tail = probe.read(1) != b"\n"
+                if torn_tail:
+                    self._fh.write("\n")
+                    self._fh.flush()
+        except OSError as exc:
+            raise StoreError(f"cannot open journal {self.path}: {exc}")
+
+    def append(self, record: Dict) -> None:
+        """Write one record and flush it past the process boundary."""
+        line = json.dumps(
+            {"v": LINE_VERSION, **record},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        self._fh.write(line + "\n")
+        self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
+        self._records += 1
+        if OBS.enabled:
+            OBS.metrics.counter("repro_journal_records_total").inc()
+
+    @property
+    def records_written(self) -> int:
+        """Records appended through this writer (not the file total)."""
+        return self._records
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        if not self._fh.closed:
+            self._fh.flush()
+            self._fh.close()
+
+    def __enter__(self) -> "JournalWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_journal(
+    path: Union[str, Path]
+) -> Tuple[List[Dict], int]:
+    """Replay a journal: ``(records, skipped_line_count)``.
+
+    Tolerant by design: a torn final line (the crash signature), blank
+    lines, undecodable lines, and lines of a different format version
+    are *skipped and counted*, never raised — the caller simply re-runs
+    whatever work the skipped lines would have covered.  A missing file
+    reads as an empty journal.
+    """
+    records: List[Dict] = []
+    skipped = 0
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except FileNotFoundError:
+        return records, skipped
+    except OSError as exc:
+        raise StoreError(f"cannot read journal {path}: {exc}")
+    for line in text.split("\n"):
+        if not line.strip():
+            continue
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError:
+            skipped += 1
+            continue
+        if not isinstance(doc, dict) or doc.get("v") != LINE_VERSION:
+            skipped += 1
+            continue
+        records.append(doc)
+    if OBS.enabled and records:
+        OBS.metrics.counter("repro_journal_replayed_total").inc(len(records))
+    return records, skipped
+
+
+def journal_header(records: List[Dict]) -> Optional[Dict]:
+    """The first ``kind="header"`` record, or ``None``."""
+    for record in records:
+        if record.get("kind") == "header":
+            return record
+    return None

@@ -1,0 +1,98 @@
+"""Advisory file locking for the durable store.
+
+Multiple processes share one store directory: the parent sweep process,
+its ``--jobs`` pool workers, and (eventually) the tuning-service daemon
+all read and write the same entries.  Writes are already atomic
+(temp-file + ``os.replace``), so readers can never observe a torn entry
+— the lock exists for the *compound* operations: rebuilding a
+quarantined entry, pruning orphaned temp files, and replaying a journal
+while another process appends to it.
+
+``FileLock`` wraps POSIX ``fcntl.flock`` on a dedicated lock file.  It
+is **advisory** (cooperating processes only, like every flock user) and
+**reentrant within a process** via a depth counter, because the store's
+public methods compose (``get_or_rebuild`` inside a locked scan).  On
+platforms without ``fcntl`` (Windows CI of a downstream fork) it
+degrades to a process-local :class:`threading.Lock` — single-process
+safety is preserved, cross-process exclusion is not, and the store
+documents that degradation rather than failing to import.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from pathlib import Path
+from typing import Optional, Union
+
+try:  # pragma: no cover - import guard exercised only off-POSIX
+    import fcntl
+
+    _HAVE_FCNTL = True
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+    _HAVE_FCNTL = False
+
+__all__ = ["FileLock", "have_flock"]
+
+
+def have_flock() -> bool:
+    """Whether cross-process ``flock`` locking is available on this host."""
+    return _HAVE_FCNTL
+
+
+class FileLock:
+    """Reentrant advisory lock on a file, used as a context manager.
+
+    >>> import tempfile, os
+    >>> path = os.path.join(tempfile.mkdtemp(), "demo.lock")
+    >>> lock = FileLock(path)
+    >>> with lock:
+    ...     with lock:  # reentrant: compound store ops may nest
+    ...         os.path.exists(path)
+    True
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._fd: Optional[int] = None
+        self._depth = 0
+        # Serializes threads within this process; flock alone would let
+        # two threads of one process both "hold" the same lock.
+        self._thread_lock = threading.RLock()
+
+    def acquire(self) -> None:
+        """Block until this process holds the lock (reentrant)."""
+        self._thread_lock.acquire()
+        self._depth += 1
+        if self._depth > 1:
+            return
+        if _HAVE_FCNTL:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+            fcntl.flock(self._fd, fcntl.LOCK_EX)
+
+    def release(self) -> None:
+        """Release one level; the file lock drops at depth zero."""
+        if self._depth <= 0:
+            raise RuntimeError(f"release() of unheld lock {self.path}")
+        self._depth -= 1
+        if self._depth == 0 and self._fd is not None:
+            try:
+                fcntl.flock(self._fd, fcntl.LOCK_UN)
+            finally:
+                os.close(self._fd)
+                self._fd = None
+        self._thread_lock.release()
+
+    def __enter__(self) -> "FileLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    @property
+    def held(self) -> bool:
+        """Whether the current process holds the lock (any depth)."""
+        return self._depth > 0

@@ -21,7 +21,14 @@ import pytest
 
 #: The public surfaces the gate covers. ``repro`` re-exports the facade
 #: (``repro.api``), so both spellings are checked.
-MODULES = ["repro", "repro.api", "repro.check", "repro.obs", "repro.recovery"]
+MODULES = [
+    "repro",
+    "repro.api",
+    "repro.check",
+    "repro.obs",
+    "repro.recovery",
+    "repro.store",
+]
 
 
 def _member_needs_doc(cls, name):

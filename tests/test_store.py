@@ -1,0 +1,229 @@
+"""The durable store's never-crash contract, damage mode by damage mode.
+
+Every way an entry can be wrong — truncated, bit-flipped (including
+flips that break UTF-8 decoding, not just the checksum), wrong format
+version, mis-filed key, crash-orphaned temp file, pickle that decodes
+to the wrong schedule — must read as a *miss with evidence*: the lookup
+returns ``None``, the damaged file moves to ``quarantine/``, and the
+next ``get_or_build`` heals the store by write-through.  The hypothesis
+property at the bottom drives the same contract with arbitrary byte
+damage at arbitrary offsets.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cache import schedule_key
+from repro.core.registry import build_schedule
+from repro.errors import StoreError
+from repro.store import (
+    FORMAT_VERSION,
+    DiskStore,
+    PersistentScheduleCache,
+    open_schedule_store,
+    schedule_store_key,
+)
+
+PAYLOAD = {"alpha": 1, "blob": "x" * 64, "nested": {"k": [1, 2, 3]}}
+
+
+@pytest.fixture
+def store(tmp_path):
+    return DiskStore(tmp_path / "store")
+
+
+def test_roundtrip_and_miss(store):
+    assert store.get("absent") is None
+    path = store.put("key-1", PAYLOAD)
+    assert path.exists()
+    assert store.get("key-1") == PAYLOAD
+    assert "key-1" in store
+    assert len(store) == 1
+    stats = store.stats()
+    assert (stats.hits, stats.misses, stats.writes) == (1, 1, 1)
+
+
+def test_keys_may_contain_anything(store):
+    key = "schedule/allreduce/knomial/p=8/k=2/root=0 \n\t🚀"
+    store.put(key, PAYLOAD)
+    assert store.get(key) == PAYLOAD
+
+
+def _assert_quarantined_miss(store, key, reason_fragment):
+    """The damaged entry reads as a miss and lands in quarantine."""
+    assert store.get(key) is None
+    quarantined = store.quarantined()
+    assert quarantined, "damage must leave evidence in quarantine/"
+    assert any(reason_fragment in p.name for p in quarantined), (
+        f"expected a {reason_fragment!r} quarantine, got "
+        f"{[p.name for p in quarantined]}"
+    )
+    # The store healed: the bad entry is gone, a rebuild re-publishes.
+    assert store.get(key) is None  # still a miss, not an error
+    store.put(key, PAYLOAD)
+    assert store.get(key) == PAYLOAD
+
+
+def test_truncated_entry_quarantines(store):
+    path = store.put("key-t", PAYLOAD)
+    blob = path.read_bytes()
+    path.write_bytes(blob[: len(blob) // 2])
+    _assert_quarantined_miss(store, "key-t", "malformed")
+
+
+def test_bitflip_in_payload_quarantines(store):
+    path = store.put("key-b", PAYLOAD)
+    blob = bytearray(path.read_bytes())
+    pos = blob.index(b"x" * 8) + 3  # inside the payload, keeps JSON valid
+    blob[pos] ^= 0x01
+    path.write_bytes(bytes(blob))
+    _assert_quarantined_miss(store, "key-b", "checksum")
+
+
+def test_bitflip_breaking_utf8_quarantines(store):
+    # A high-bit flip mid-document makes read_text() raise
+    # UnicodeDecodeError — found by the crash-storm soak; it must be
+    # damage like any other, not an exception escaping get().
+    path = store.put("key-u", PAYLOAD)
+    blob = bytearray(path.read_bytes())
+    blob[len(blob) // 2] = 0xA8
+    path.write_bytes(bytes(blob))
+    _assert_quarantined_miss(store, "key-u", "unreadable")
+
+
+def test_wrong_format_version_quarantines(store):
+    path = store.put("key-v", PAYLOAD)
+    doc = json.loads(path.read_text())
+    doc["format"] = FORMAT_VERSION + 1
+    path.write_text(json.dumps(doc))
+    _assert_quarantined_miss(store, "key-v", "format")
+
+
+def test_misfiled_key_quarantines(store):
+    # An entry document claiming a different key than the one it is
+    # filed under (e.g. a botched manual copy between stores).
+    src = store.put("key-src", PAYLOAD)
+    store.path_for("key-dst").write_bytes(src.read_bytes())
+    _assert_quarantined_miss(store, "key-dst", "key-mismatch")
+
+
+def test_orphan_tmp_swept_on_open(tmp_path):
+    store = DiskStore(tmp_path / "store")
+    store.put("key-o", PAYLOAD)
+    orphan = store.entries_dir / "dead-writer.json.1234.tmp"
+    orphan.write_text('{"torn": ')
+    # A fresh open (the next process) sweeps the crash leftover.
+    reopened = DiskStore(tmp_path / "store")
+    assert not orphan.exists()
+    assert any("orphan-tmp" in p.name for p in reopened.quarantined())
+    # The published entry it shadowed is untouched.
+    assert reopened.get("key-o") == PAYLOAD
+
+
+def test_unwritable_root_raises_store_error(tmp_path):
+    target = tmp_path / "blocked"
+    target.write_text("a file where the store dir should go")
+    with pytest.raises(StoreError):
+        DiskStore(target)
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_random_damage_is_a_miss_not_an_error(tmp_path_factory, data):
+    """Arbitrary byte damage anywhere in an entry never escapes get().
+
+    The store may serve the payload only if the bytes verify exactly;
+    otherwise the result is None plus a quarantined file.  No damage
+    pattern may raise.
+    """
+    root = tmp_path_factory.mktemp("fuzz")
+    store = DiskStore(root / "store")
+    path = store.put("fuzz-key", PAYLOAD)
+    blob = bytearray(path.read_bytes())
+
+    mode = data.draw(st.sampled_from(["flip", "truncate", "insert"]))
+    if mode == "flip":
+        pos = data.draw(st.integers(0, len(blob) - 1))
+        val = data.draw(st.integers(1, 255))
+        blob[pos] ^= val
+    elif mode == "truncate":
+        blob = blob[: data.draw(st.integers(0, len(blob) - 1))]
+    else:
+        pos = data.draw(st.integers(0, len(blob)))
+        blob[pos:pos] = bytes([data.draw(st.integers(0, 255))])
+    path.write_bytes(bytes(blob))
+
+    got = store.get("fuzz-key")
+    if got is None:
+        assert store.quarantined()
+        assert not path.exists()
+    else:
+        # The damage happened to cancel out (e.g. XOR inside a value
+        # that round-trips): serving it is only legal if it verifies
+        # to the exact original payload.
+        assert got == PAYLOAD
+
+
+# ----------------------------------------------------------------------
+# The schedule layer on top: semantic verification + heal-by-rebuild
+# ----------------------------------------------------------------------
+
+
+def test_persistent_cache_serves_and_heals(tmp_path):
+    cache = open_schedule_store(tmp_path / "store")
+    sched, hit = cache.get_or_build("allreduce", "knomial", 8, k=3)
+    assert not hit  # cold everywhere: built and written through
+    key = schedule_key("allreduce", "knomial", 8, k=3, root=0)
+    path = cache.store.path_for(schedule_store_key(key))
+    assert path.exists()
+
+    # A fresh cache over the same directory serves from disk.
+    warm = open_schedule_store(tmp_path / "store")
+    served, hit = warm.get_or_build("allreduce", "knomial", 8, k=3)
+    assert hit
+    assert served.fingerprint() == sched.fingerprint()
+
+    # Damage the entry: the next fresh cache quarantines and rebuilds.
+    blob = bytearray(path.read_bytes())
+    blob[len(blob) // 3] ^= 0xFF
+    path.write_bytes(bytes(blob))
+    healed_cache = open_schedule_store(tmp_path / "store")
+    rebuilt, hit = healed_cache.get_or_build("allreduce", "knomial", 8, k=3)
+    assert not hit
+    assert rebuilt.fingerprint() == sched.fingerprint()
+    assert healed_cache.store.quarantined()
+    # ... and the write-through healed the entry for the next reader.
+    again = open_schedule_store(tmp_path / "store")
+    _, hit = again.get_or_build("allreduce", "knomial", 8, k=3)
+    assert hit
+
+
+def test_semantic_mismatch_quarantines(tmp_path):
+    """A byte-perfect entry whose pickle is the wrong schedule is damage.
+
+    The checksum passes (the bytes are exactly what was written) but the
+    content does not decode to the schedule the key promises — the
+    integrity ladder's last rung.
+    """
+    cache = open_schedule_store(tmp_path / "store")
+    cache.get_or_build("allreduce", "ring", 8)
+    key8 = schedule_store_key(schedule_key("allreduce", "ring", 8))
+    key4 = schedule_store_key(schedule_key("allreduce", "ring", 4))
+    # File the p=8 entry under the p=4 key, re-checksummed so the byte
+    # ladder passes and only the semantic check can catch it.
+    payload = cache.store.get(key8)
+    cache.store.put(key4, payload)
+
+    fresh = open_schedule_store(tmp_path / "store")
+    sched, hit = fresh.get_or_build("allreduce", "ring", 4)
+    assert not hit  # rebuilt, not served the wrong schedule
+    assert sched.nranks == 4
+    assert sched.fingerprint() == build_schedule(
+        "allreduce", "ring", 4
+    ).fingerprint()
+    assert any("semantic" in p.name for p in fresh.store.quarantined())

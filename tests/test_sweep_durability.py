@@ -1,0 +1,234 @@
+"""Journaled, resumable sweeps: crash at any line, resume to the same bits.
+
+The contract under test: a sweep with a ``journal`` can be killed at any
+instant, damaged in the ways crashes actually damage files (torn tails),
+resumed with ``--resume``, and the merged results carry identical
+``(point, time, error)`` content to an uninterrupted run — re-running
+only what the journal does not already prove complete.  Failed points
+are deliberately re-run (transient crashes heal); journals from a
+different sweep configuration are refused outright.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.sweep import (
+    POISON_ENV,
+    SweepPoint,
+    clear_sim_memo,
+    run_sweep,
+    sweep_fingerprint,
+)
+from repro.core.cache import global_schedule_cache
+from repro.errors import StoreError
+from repro.simnet.machines import by_name
+from repro.store.journal import JournalWriter, read_journal
+
+MACHINE = by_name("frontier", 4, 2)
+
+POINTS = [
+    SweepPoint("allreduce", alg, nbytes, k=k)
+    for alg, k in (("knomial", 2), ("knomial", 4), ("ring", None))
+    for nbytes in (64, 4096)
+]
+
+
+def _content(results):
+    """The deterministic part of sweep results (metadata excluded)."""
+    return [(r.point, r.time, r.error) for r in results]
+
+
+# ----------------------------------------------------------------------
+# Journal primitive
+# ----------------------------------------------------------------------
+
+
+def test_journal_roundtrip_skips_and_repairs_torn_tail(tmp_path):
+    path = tmp_path / "j.jsonl"
+    with JournalWriter(path) as writer:
+        writer.append({"kind": "point", "key": "a", "time": 1.0})
+        writer.append({"kind": "point", "key": "b", "time": 2.0})
+    # SIGKILL mid-write leaves a torn, unterminated final line.
+    blob = path.read_bytes()
+    path.write_bytes(blob + b'{"kind": "point", "key": "c", "ti')
+
+    records, skipped = read_journal(path)
+    assert [r["key"] for r in records] == ["a", "b"]
+    assert skipped == 1
+
+    # Appending after the crash must not glue onto the torn garbage.
+    with JournalWriter(path) as writer:
+        writer.append({"kind": "point", "key": "d", "time": 4.0})
+    records, skipped = read_journal(path)
+    assert [r["key"] for r in records] == ["a", "b", "d"]
+    assert skipped == 1
+
+
+def test_journal_tolerates_junk_lines(tmp_path):
+    path = tmp_path / "j.jsonl"
+    path.write_text(
+        '{"v": 1, "kind": "point", "key": "good"}\n'
+        "not json at all\n"
+        "\n"
+        '{"v": 999, "kind": "point", "key": "wrong-version"}\n'
+        '["not", "a", "dict"]\n'
+    )
+    records, skipped = read_journal(path)
+    assert [r["key"] for r in records] == ["good"]
+    assert skipped == 3  # junk, wrong version, non-dict (blank is free)
+
+
+# ----------------------------------------------------------------------
+# run_sweep: journal, crash, resume
+# ----------------------------------------------------------------------
+
+
+def test_journaled_sweep_matches_plain_sweep(tmp_path):
+    plain = run_sweep(POINTS, MACHINE)
+    journaled = run_sweep(POINTS, MACHINE, journal=tmp_path / "j.jsonl")
+    assert _content(journaled) == _content(plain)
+    records, _ = read_journal(tmp_path / "j.jsonl")
+    assert records[0]["kind"] == "header"
+    assert len([r for r in records if r["kind"] == "point"]) == len(POINTS)
+
+
+def test_resume_after_partial_journal_is_bit_identical(tmp_path):
+    reference = run_sweep(POINTS, MACHINE)
+    journal = tmp_path / "j.jsonl"
+    run_sweep(POINTS, MACHINE, journal=journal)
+
+    # Simulate a crash: keep the header and the first two point records,
+    # tearing the third mid-line (what SIGKILL actually leaves behind).
+    lines = journal.read_text().splitlines()
+    journal.write_text("\n".join(lines[:3]) + "\n" + lines[3][:17])
+
+    resumed = run_sweep(POINTS, MACHINE, journal=journal, resume=True)
+    assert _content(resumed) == _content(reference)
+    # The journal healed too: resume appended the re-run points.
+    records, skipped = read_journal(journal)
+    assert len([r for r in records if r["kind"] == "point"]) == len(POINTS)
+    assert skipped == 1
+
+
+def test_resume_with_complete_journal_recomputes_nothing(
+    tmp_path, monkeypatch
+):
+    reference = run_sweep(POINTS, MACHINE)
+    journal = tmp_path / "j.jsonl"
+    run_sweep(POINTS, MACHINE, journal=journal)
+
+    import repro.bench.sweep as sweep_mod
+
+    def _explode(chunk):
+        raise AssertionError("complete journal must not recompute")
+
+    monkeypatch.setattr(sweep_mod, "_run_chunk", _explode)
+    resumed = run_sweep(POINTS, MACHINE, journal=journal, resume=True)
+    assert _content(resumed) == _content(reference)
+
+
+def test_resume_reruns_failed_points(tmp_path):
+    reference = run_sweep(POINTS, MACHINE)
+    journal = tmp_path / "j.jsonl"
+    run_sweep(POINTS, MACHINE, journal=journal)
+
+    # Rewrite one success record as a failure (a transient crash the
+    # journal remembered).  Resume must re-run exactly that point and
+    # converge to the reference anyway.
+    lines = journal.read_text().splitlines()
+    victim = json.loads(lines[2])
+    victim.update(time=None, error="ChunkFailure: injected for test")
+    lines[2] = json.dumps(victim)
+    journal.write_text("\n".join(lines) + "\n")
+
+    resumed = run_sweep(POINTS, MACHINE, journal=journal, resume=True)
+    assert _content(resumed) == _content(reference)
+    assert all(r.error is None for r in resumed)
+
+
+def test_resume_refuses_foreign_journal(tmp_path):
+    journal = tmp_path / "j.jsonl"
+    run_sweep(POINTS, MACHINE, journal=journal)
+    other_machine = by_name("frontier", 8, 2)
+    with pytest.raises(StoreError, match="different sweep configuration"):
+        run_sweep(POINTS, other_machine, journal=journal, resume=True)
+
+
+def test_fresh_run_truncates_stale_journal(tmp_path):
+    journal = tmp_path / "j.jsonl"
+    run_sweep(POINTS, MACHINE, journal=journal)
+    # Without --resume the journal belongs to *this* run: a stale one
+    # (even from a different configuration) is truncated, not spliced.
+    run_sweep(POINTS[:2], MACHINE, journal=journal)
+    records, _ = read_journal(journal)
+    assert len([r for r in records if r["kind"] == "point"]) == 2
+
+
+# ----------------------------------------------------------------------
+# Error records and the store attachment
+# ----------------------------------------------------------------------
+
+
+def test_worker_error_records_carry_tracebacks():
+    bad = [SweepPoint("allreduce", "no-such-algorithm", 64)]
+    results = run_sweep(bad, MACHINE)
+    assert len(results) == 1
+    assert results[0].time is None
+    assert "no algorithm" in results[0].error
+    assert "Traceback" in (results[0].traceback or "")
+
+
+def test_store_attachment_restores_global_cache(tmp_path):
+    # The cross-point sim memo would otherwise satisfy every point
+    # without touching the schedule cache at all (nothing would be
+    # built, so nothing would be written through to disk).
+    clear_sim_memo()
+    before = global_schedule_cache()
+    run_sweep(POINTS, MACHINE, store=tmp_path / "store")
+    assert global_schedule_cache() is before
+    assert (tmp_path / "store" / "entries").is_dir()
+    assert any((tmp_path / "store" / "entries").glob("*.json"))
+
+
+def test_poisoned_point_is_quarantined_then_healed_by_resume(
+    tmp_path, monkeypatch
+):
+    reference = run_sweep(POINTS, MACHINE)
+    journal = tmp_path / "j.jsonl"
+    victim = POINTS[1]
+    monkeypatch.setenv(
+        POISON_ENV,
+        f"{victim.collective}/{victim.algorithm}/{victim.k}/{victim.nbytes}",
+    )
+    poisoned = run_sweep(
+        POINTS, MACHINE, jobs=2, isolate=True, retries=1, deadline=30.0,
+        journal=journal,
+    )
+    by_point = {r.point: r for r in poisoned}
+    assert by_point[victim].error is not None
+    assert "worker process lost" in (by_point[victim].traceback or "")
+    # Every sibling of the poison point still completed, correctly.
+    for ref in reference:
+        if ref.point != victim:
+            assert by_point[ref.point].time == ref.time
+
+    monkeypatch.delenv(POISON_ENV)
+    healed = run_sweep(POINTS, MACHINE, journal=journal, resume=True)
+    assert _content(healed) == _content(reference)
+
+
+# ----------------------------------------------------------------------
+# The fingerprint that guards resume
+# ----------------------------------------------------------------------
+
+
+def test_sweep_fingerprint_pins_every_input():
+    base = sweep_fingerprint(POINTS, MACHINE)
+    assert base == sweep_fingerprint(POINTS, MACHINE)
+    assert base != sweep_fingerprint(POINTS[:-1], MACHINE)
+    assert base != sweep_fingerprint(list(reversed(POINTS)), MACHINE)
+    assert base != sweep_fingerprint(POINTS, by_name("frontier", 8, 2))
+    assert base != sweep_fingerprint(POINTS, MACHINE, reuse=False)
