@@ -92,6 +92,7 @@ def simulate(
     faults=None,
     timeline: bool = False,
     block_map=None,
+    compiled: bool = True,
     obs: Optional[Obs] = None,
 ) -> SimResult:
     """Time ``schedule`` moving ``nbytes`` total on a simulated ``machine``.
@@ -100,7 +101,8 @@ def simulate(
     requests per-message event collection (the old ``collect_timeline``),
     ``noise`` perturbs link costs, ``faults`` injects drops/crashes, and
     ``obs`` selects an observability scope (default: the process-global
-    one — see :mod:`repro.obs`).
+    one — see :mod:`repro.obs`).  ``compiled=False`` disables the
+    cost-identical compiled program feed (see :mod:`repro.compile`).
     """
     return _simulate(
         schedule,
@@ -110,6 +112,7 @@ def simulate(
         faults=faults,
         collect_timeline=timeline,
         block_map=block_map,
+        compiled=compiled,
         obs=obs,
     )
 
@@ -132,6 +135,7 @@ def execute(
     timeout: float = 30.0,
     faults=None,
     recovery=None,
+    compiled: bool = True,
     obs: Optional[Obs] = None,
 ):
     """Build, run, and check a collective end to end on real data.
@@ -153,6 +157,11 @@ def execute(
     the return value is a :class:`~repro.recovery.RecoveryRun` (same
     schedule/buffers/expected fields, plus the survivor mapping and the
     :class:`~repro.recovery.RecoveryReport`).
+
+    ``compiled=True`` (the default) executes the schedule's compiled
+    program tables (:mod:`repro.compile`) — bit-identical results, just
+    faster; ``compiled=False`` forces op-by-op IR interpretation (the
+    ``--no-compile`` escape hatch on the CLI).
 
     >>> import numpy as np, repro
     >>> run = repro.execute("allreduce", "recursive_multiplying",
@@ -184,6 +193,7 @@ def execute(
             atol=atol,
             timeout=timeout,
             faults=faults,
+            compiled=compiled,
         )
     if backend == "lockstep":
         if faults is not None:
@@ -200,10 +210,12 @@ def execute(
     inputs = make_inputs(collective, p, count, dtype=dtype, root=root, rng=rng)
     buffers = initial_buffers(schedule, inputs, count, dtype=dtype)
     if backend == "lockstep":
-        _execute_lockstep(schedule, buffers, op=op, obs=obs)
+        _execute_lockstep(schedule, buffers, op=op, compiled=compiled,
+                          obs=obs)
     else:
         _execute_threaded(
-            schedule, buffers, op=op, timeout=timeout, faults=faults
+            schedule, buffers, op=op, timeout=timeout, faults=faults,
+            compiled=compiled,
         )
     expected = reference_result(collective, inputs, count, op=op, root=root)
     if check:

@@ -1,0 +1,107 @@
+"""Standalone interpreter-vs-compiled benchmark artifact.
+
+``python -m repro.bench.compilebench`` (or ``make compile-bench``) runs
+only the compiled-execution tier of the perf benchmark — the threaded
+backend moving real data through op-by-op IR interpretation vs. the
+flat program tables of :mod:`repro.compile` — and writes the result as
+a small JSON artifact CI uploads next to the full perf report.
+
+It exists because the full ``repro-bench-perf`` run times the entire
+sweep workload (minutes); iterating on the compiler wants a seconds-long
+loop that answers exactly one question: *is compiled execution still
+>=2x the interpreter with bit-identical buffers?*  The exit status is
+the answer (0 yes, 1 no), so the Makefile target doubles as a local
+gate.
+
+The artifact shape is the ``interpreter_vs_compiled`` section of the
+perf report (schema 4) plus a tiny meta header::
+
+    {"schema": 4, "meta": {...}, "interpreter_vs_compiled": {...}}
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from ..errors import ReproError
+from ..parallel import _available_cpus
+from ..simnet.machines import by_name
+from .perf import SCHEMA_VERSION, _bench_interpreter_vs_compiled
+
+__all__ = ["run_compile_bench", "main"]
+
+
+def run_compile_bench(*, repeats: int = 30) -> dict:
+    """Run the compiled-execution tier and return the artifact dict.
+
+    ``repeats`` is the best-of count per (config, mode) timing; 30
+    matches the full perf run.  Raises
+    :class:`~repro.errors.ReproError` if compiled and interpreted
+    buffers ever differ — that is a correctness bug, not a perf number.
+    """
+    machine = by_name("reference", 8, 1)
+    return {
+        "schema": SCHEMA_VERSION,
+        "meta": {
+            "python": platform.python_version(),
+            "cpus_available": _available_cpus(),
+            "repeats": repeats,
+        },
+        "interpreter_vs_compiled": _bench_interpreter_vs_compiled(
+            machine, repeats
+        ),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry: write the artifact, print the summary, gate on 2x."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.compilebench",
+        description="Benchmark compiled program tables against op-by-op "
+        "interpretation on the threaded backend and write the "
+        "interpreter-vs-compiled artifact.",
+    )
+    parser.add_argument("-o", "--output", default="compile_bench.json",
+                        metavar="PATH",
+                        help="write the JSON artifact here "
+                        "(default: compile_bench.json)")
+    parser.add_argument("--repeats", type=int, default=30,
+                        help="best-of repeat count per timing "
+                        "(default 30)")
+    args = parser.parse_args(argv)
+
+    try:
+        doc = run_compile_bench(repeats=args.repeats)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    Path(args.output).write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n"
+    )
+    tier = doc["interpreter_vs_compiled"]
+    for case in tier["cases"]:
+        name = f"{case['collective']}/{case['algorithm']}"
+        print(
+            f"{name:<22} "
+            f"interp {case['interpreted_us']:9.1f} us | "
+            f"compiled {case['compiled_us']:9.1f} us | "
+            f"{case['speedup']:5.2f}x"
+        )
+    print(
+        f"min speedup {tier['min_speedup']:.2f}x, results identical: "
+        f"{tier['results_identical']} -> wrote {args.output}"
+    )
+    if tier["min_speedup"] < 2.0 or not tier["results_identical"]:
+        print("error: compiled execution failed the 2x/bit-identical "
+              "gate", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -213,6 +213,7 @@ def simulate_point(
     noise: Optional[NoiseModel] = None,
     faults: Optional[FaultPlan] = None,
     reuse: bool = True,
+    compiled: bool = True,
 ) -> SweepPointResult:
     """Simulate one point, reusing cached schedules and memoized results.
 
@@ -222,17 +223,23 @@ def simulate_point(
     prove reuse never changes a result.  Raises nothing: errors come back
     in the result record.
 
+    ``compiled`` selects the compiled simulator feed (the default) or
+    op-by-op IR interpretation; the simulated time is bit-identical
+    either way, which is why the memo key deliberately ignores it.
+
     With observability enabled the point's wall time lands in the
     ``repro_sweep_point_seconds`` histogram and a per-outcome counter —
     never changing the simulated result itself.
     """
     if not OBS.enabled:
         return _simulate_point_impl(
-            machine, point, noise=noise, faults=faults, reuse=reuse
+            machine, point, noise=noise, faults=faults, reuse=reuse,
+            compiled=compiled,
         )
     t0 = time.perf_counter()
     res = _simulate_point_impl(
-        machine, point, noise=noise, faults=faults, reuse=reuse
+        machine, point, noise=noise, faults=faults, reuse=reuse,
+        compiled=compiled,
     )
     dt = time.perf_counter() - t0
     outcome = (
@@ -252,6 +259,7 @@ def _simulate_point_impl(
     noise: Optional[NoiseModel],
     faults: Optional[FaultPlan],
     reuse: bool,
+    compiled: bool = True,
 ) -> SweepPointResult:
     try:
         entry = info(point.collective, point.algorithm)
@@ -259,7 +267,8 @@ def _simulate_point_impl(
         if not reuse:
             schedule = entry.build(machine.nranks, k=point.k, root=root)
             sim = simulate(
-                schedule, machine, point.nbytes, noise=noise, faults=faults
+                schedule, machine, point.nbytes, noise=noise, faults=faults,
+                compiled=compiled,
             )
             return SweepPointResult(point, sim.time, False)
         key = (
@@ -286,7 +295,8 @@ def _simulate_point_impl(
             root=root,
         )
         sim = simulate(
-            schedule, machine, point.nbytes, noise=noise, faults=faults
+            schedule, machine, point.nbytes, noise=noise, faults=faults,
+            compiled=compiled,
         )
         if len(_SIM_MEMO) >= _SIM_MEMO_MAX:
             _SIM_MEMO.clear()
@@ -325,7 +335,8 @@ def _maybe_injected_crash(point: SweepPoint) -> None:
 # The trailing TraceContext is None unless the parent sweep is being
 # observed — workers join its trace and ship their records back.
 _ChunkTask = Tuple[MachineSpec, Optional[NoiseModel], Optional[FaultPlan],
-                   bool, Tuple[SweepPoint, ...], Optional[TraceContext]]
+                   bool, bool, Tuple[SweepPoint, ...],
+                   Optional[TraceContext]]
 
 
 @dataclass(frozen=True)
@@ -351,7 +362,7 @@ def _run_chunk(task: _ChunkTask):
     Never raises: per-point errors are folded into the results so one
     bad configuration cannot poison the pool or its sibling points.
     """
-    machine, noise, faults, reuse, points, ctx = task
+    machine, noise, faults, reuse, compiled, points, ctx = task
     if ctx is None or ctx.origin_pid == os.getpid():
         # Plain path — or the parent process itself (serial/degenerate
         # pool), where records land directly in the live registry.  The
@@ -362,7 +373,8 @@ def _run_chunk(task: _ChunkTask):
             _maybe_injected_crash(pt)
             out.append(
                 simulate_point(
-                    machine, pt, noise=noise, faults=faults, reuse=reuse
+                    machine, pt, noise=noise, faults=faults, reuse=reuse,
+                    compiled=compiled,
                 )
             )
         return out
@@ -378,7 +390,8 @@ def _run_chunk(task: _ChunkTask):
                 _maybe_injected_crash(pt)
                 results.append(
                     simulate_point(
-                        machine, pt, noise=noise, faults=faults, reuse=reuse
+                        machine, pt, noise=noise, faults=faults,
+                        reuse=reuse, compiled=compiled,
                     )
                 )
     finally:
@@ -404,6 +417,7 @@ def _chunk_points(
     noise: Optional[NoiseModel],
     faults: Optional[FaultPlan],
     reuse: bool,
+    compiled: bool,
     points: Sequence[SweepPoint],
     ctx: Optional[TraceContext] = None,
 ) -> List[_ChunkTask]:
@@ -418,19 +432,24 @@ def _chunk_points(
     group: List[SweepPoint] = []
     for pt in points:
         if group and pt.schedule_params() != group[-1].schedule_params():
-            chunks.append((machine, noise, faults, reuse, tuple(group), ctx))
+            chunks.append(
+                (machine, noise, faults, reuse, compiled, tuple(group), ctx)
+            )
             group = []
         group.append(pt)
     if group:
-        chunks.append((machine, noise, faults, reuse, tuple(group), ctx))
+        chunks.append(
+            (machine, noise, faults, reuse, compiled, tuple(group), ctx)
+        )
     return chunks
 
 
 def _split_chunk(task: _ChunkTask) -> List[_ChunkTask]:
     """Split a failing chunk into single-point tasks (poison cornering)."""
-    machine, noise, faults, reuse, points, ctx = task
+    machine, noise, faults, reuse, compiled, points, ctx = task
     return [
-        (machine, noise, faults, reuse, (pt,), ctx) for pt in points
+        (machine, noise, faults, reuse, compiled, (pt,), ctx)
+        for pt in points
     ]
 
 
@@ -443,7 +462,7 @@ def _chunk_error_records(
     there is no worker traceback to preserve — the process is gone — so
     the record carries the executor's mechanical story instead.
     """
-    points = task[4]
+    points = task[5]
     error = f"ChunkFailure: {failure}"
     note = (
         "worker process lost before a traceback could be captured "
@@ -568,13 +587,17 @@ def run_sweep(
     retries: int = 2,
     deadline: Optional[float] = None,
     isolate: bool = False,
+    compiled: bool = True,
 ) -> List[SweepPointResult]:
     """Simulate every point on ``machine``; results in point order.
 
     ``jobs=0``/``1`` runs serially in-process; ``jobs>=2`` fans chunks
     out to a process pool; ``jobs<0`` uses every core.  Output is
     bit-identical across all of them, and — because simulation is pure —
-    across ``reuse`` settings too.  With observability enabled the whole
+    across ``reuse`` and ``compiled`` settings too (the compiled
+    simulator feed is cost-transparent by construction, which is why the
+    sweep fingerprint ignores it: a journal written under either mode
+    resumes cleanly under the other).  With observability enabled the whole
     sweep is one ``sweep`` span; worker spans and metrics merge back into
     it (see :class:`_ObsEnvelope`), and worker utilization lands in
     ``repro_sweep_worker_busy_seconds_total``.
@@ -631,8 +654,8 @@ def run_sweep(
         try:
             computed = _dispatch_sweep(
                 pending, machine, jobs=jobs, noise=noise, faults=faults,
-                reuse=reuse, writer=writer, retries=retries,
-                deadline=deadline, isolate=isolate,
+                reuse=reuse, compiled=compiled, writer=writer,
+                retries=retries, deadline=deadline, isolate=isolate,
             )
         finally:
             if writer is not None:
@@ -661,6 +684,7 @@ def _dispatch_sweep(
     noise: Optional[NoiseModel],
     faults: Optional[FaultPlan],
     reuse: bool,
+    compiled: bool,
     writer: Optional[JournalWriter],
     retries: int,
     deadline: Optional[float],
@@ -682,7 +706,8 @@ def _dispatch_sweep(
 
     on_done = journal_chunk if writer is not None else None
     if not OBS.enabled:
-        chunks = _chunk_points(machine, noise, faults, reuse, points)
+        chunks = _chunk_points(machine, noise, faults, reuse, compiled,
+                               points)
         return run_chunks(
             _run_chunk, chunks, jobs=jobs, retries=retries,
             deadline=deadline, on_chunk_error=_chunk_error_records,
@@ -691,7 +716,8 @@ def _dispatch_sweep(
     with OBS.span("sweep", points=len(points), jobs=jobs):
         effective = resolve_jobs(jobs)
         ctx = OBS.tracer.context() if effective >= 2 or isolate else None
-        chunks = _chunk_points(machine, noise, faults, reuse, points, ctx)
+        chunks = _chunk_points(machine, noise, faults, reuse, compiled,
+                               points, ctx)
         t0 = time.perf_counter()
         raw = run_chunks(
             _run_chunk, chunks, jobs=jobs, retries=retries,

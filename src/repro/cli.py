@@ -177,6 +177,10 @@ def main_tune(argv: Optional[List[str]] = None) -> int:
                         help="statically analyze every candidate schedule "
                         "(repro.check) before sweeping; refuse to tune "
                         "over one with error findings")
+    parser.add_argument("--no-compile", action="store_true",
+                        help="interpret schedules op by op instead of "
+                        "using compiled program tables (repro.compile); "
+                        "winners are identical either way")
     args = parser.parse_args(argv)
 
     from .obs import OBS
@@ -190,7 +194,7 @@ def main_tune(argv: Optional[List[str]] = None) -> int:
         # Tuning every power of two is slow in simulation; every other
         # power of two bounds the sweep while keeping cutoffs tight.
         table = tune(machine, sizes[::2] + [sizes[-1]], jobs=args.jobs,
-                     check=args.check)
+                     check=args.check, compiled=not args.no_compile)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -922,6 +926,10 @@ def main_sweep(argv: Optional[List[str]] = None) -> int:
                         help="enable observability for the sweep and "
                         "write a metrics snapshot here (JSON; Prometheus "
                         "text beside it as .prom)")
+    parser.add_argument("--no-compile", action="store_true",
+                        help="interpret schedules op by op instead of "
+                        "using compiled program tables (repro.compile); "
+                        "results are identical either way")
     args = parser.parse_args(argv)
 
     import json as _json
@@ -972,6 +980,7 @@ def main_sweep(argv: Optional[List[str]] = None) -> int:
             retries=args.retries,
             deadline=args.deadline,
             isolate=args.isolate,
+            compiled=not args.no_compile,
         )
     except KeyboardInterrupt:
         # The journal already holds every completed point (each record

@@ -1,0 +1,100 @@
+"""Compile the hot path: flat per-rank programs for every backend.
+
+Interpreting the schedule IR per executed op (``isinstance`` dispatch,
+per-block offset arithmetic, per-payload allocation) is the dominant cost
+of small-message execution.  This package lowers a built
+:class:`~repro.core.schedule.Schedule` once into flat, preresolved
+per-rank tables — contiguous peer/offset/size/op/tag arrays plus a
+pooled staging-buffer plan — executed by tight loops in both backends:
+the threaded transport and lockstep runner walk bound action tuples, and
+the simulator's cost accounting consumes a preflattened
+``(is_send, peer)`` feed.
+
+Pipeline::
+
+    Schedule ──compile_schedule──▶ CompiledSchedule     (tables, cached)
+                                      │ .bind(block_map)
+                                      ▼
+                                  BoundSchedule          (action tuples)
+                                      │
+                    executors' tight loops / simulator feed
+
+Guarantees, in order of importance:
+
+* **Transparency.**  Compiled execution is bit-identical to interpreted
+  execution — result buffers, simulated costs, tuner winners, failure
+  surfaces — pinned by the differential suite
+  (``tests/properties/test_compile_transparency.py``) across the full
+  registry grid, under fault injection and recovery, serial and
+  parallel.
+* **Self-verification.**  Every lowering is checked against its source
+  IR by a recompute-everything ladder (:mod:`repro.compile.verify`);
+  corrupt tables raise :class:`~repro.errors.CompileError` with
+  rank/step-naming diagnostics instead of executing wrong (held to by
+  the mutation corpus in ``tests/test_compile_mutations.py``).
+* **Fusion is conservative.**  Build-time fusion only merges copy-only
+  steps into successors with provably disjoint block sets
+  (:mod:`repro.compile.fuse`), which cannot change data, progress, or
+  :func:`repro.check.run_checks` findings.
+* **Content-addressed caching.**  Artifacts are cached in process and
+  (optionally) on disk next to their schedules (:mod:`repro.compile.cache`),
+  keyed by the source schedule's fingerprint; disk loads re-run the full
+  verification ladder and quarantine on failure.
+
+``repro.api.execute(..., compiled=True)`` is the default path; pass
+``compiled=False`` (or ``--no-compile`` on the CLI) to fall back to the
+interpreter.
+"""
+
+from ..errors import CompileError
+from .cache import (
+    CompiledCache,
+    PersistentCompiledCache,
+    compiled_store_key,
+    get_or_compile,
+    global_compiled_cache,
+    open_compiled_store,
+    set_global_compiled_cache,
+)
+from .fuse import fuse_schedule, fused_groups
+from .lower import compile_schedule
+from .program import (
+    OP_COPY,
+    OP_NAMES,
+    OP_RECV,
+    OP_REDUCE_RECV,
+    OP_SEND,
+    BoundSchedule,
+    CompiledProgram,
+    CompiledSchedule,
+    StagingPlan,
+    StagingPool,
+)
+from .runner import run_compiled_lockstep
+from .verify import verify_compiled
+
+__all__ = [
+    "OP_SEND",
+    "OP_RECV",
+    "OP_REDUCE_RECV",
+    "OP_COPY",
+    "OP_NAMES",
+    "CompiledProgram",
+    "CompiledSchedule",
+    "BoundSchedule",
+    "StagingPlan",
+    "StagingPool",
+    "compile_schedule",
+    "fuse_schedule",
+    "fused_groups",
+    "verify_compiled",
+    "run_compiled_lockstep",
+    "CompileError",
+    "CompiledCache",
+    "global_compiled_cache",
+    "set_global_compiled_cache",
+    "get_or_compile",
+    "compiled_store_key",
+    "PersistentCompiledCache",
+    "open_compiled_store",
+]

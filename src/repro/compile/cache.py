@@ -1,0 +1,285 @@
+"""Content-addressed caching of compiled programs.
+
+Compiled artifacts are cached alongside schedules, at both tiers:
+
+* :class:`CompiledCache` — in-process LRU keyed by the **source
+  schedule's fingerprint** (content address: two IR-identical schedules
+  share one compiled artifact, whatever parameters built them), with the
+  same hit/miss/eviction accounting and ``repro_cache_lookups_total``
+  counters (``cache="compiled"``) as the schedule cache;
+* :class:`PersistentCompiledCache` — a disk tier underneath, mirroring
+  :class:`~repro.store.schedules.PersistentScheduleCache`: write-through
+  pickled artifacts under ``compiled/…`` keys, byte integrity handled by
+  :class:`~repro.store.disk.DiskStore`'s checksum ladder, and a semantic
+  rung on top — every loaded artifact re-runs the full self-verification
+  ladder against the schedule it is being fetched for, and anything that
+  fails is quarantined and recompiled, never executed.
+
+The process-global instance (swap it with
+:func:`set_global_compiled_cache`) backs the executors' and simulator's
+``compiled=True`` default, so the lowering cost is paid once per
+distinct schedule per process.
+"""
+
+from __future__ import annotations
+
+import base64
+import pickle
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+from ..core.cache import CacheStats
+from ..core.schedule import Schedule
+from ..errors import ReproError, ScheduleError
+from ..obs import OBS
+from .lower import compile_schedule
+from .program import CompiledSchedule
+
+__all__ = [
+    "CompiledCache",
+    "global_compiled_cache",
+    "set_global_compiled_cache",
+    "get_or_compile",
+    "compiled_store_key",
+    "PersistentCompiledCache",
+    "open_compiled_store",
+]
+
+
+class CompiledCache:
+    """Bounded, thread-safe LRU of compiled programs.
+
+    Keys are source-schedule fingerprints, so the cache is content
+    addressed end to end: equal IR → one artifact, and a drifted builder
+    can never serve a stale lowering.  Stats share the
+    :class:`~repro.core.cache.CacheStats` protocol.
+    """
+
+    def __init__(self, maxsize: int = 256, name: str = "compiled") -> None:
+        if maxsize < 1:
+            raise ScheduleError(f"cache maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self.name = name
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._entries: "OrderedDict[str, CompiledSchedule]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> CacheStats:
+        """Frozen snapshot of the hit/miss/eviction counters."""
+        return CacheStats(
+            hits=self._hits, misses=self._misses, evictions=self._evictions
+        )
+
+    def get_or_compile(
+        self, schedule: Schedule
+    ) -> Tuple[CompiledSchedule, bool]:
+        """Return ``(compiled, hit)`` — lowering and inserting on a miss."""
+        key = schedule.fingerprint()
+        with self._lock:
+            compiled = self._entries.get(key)
+            if compiled is not None:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                if OBS.enabled:
+                    OBS.metrics.counter(
+                        "repro_cache_lookups_total",
+                        cache=self.name,
+                        outcome="hit",
+                    ).inc()
+                return compiled, True
+            self._misses += 1
+        if OBS.enabled:
+            OBS.metrics.counter(
+                "repro_cache_lookups_total", cache=self.name, outcome="miss"
+            ).inc()
+        # Compile outside the lock: lowering is pure, so a racing
+        # duplicate compile wastes a little work but stays correct.
+        compiled = self._build(schedule, key)
+        self._insert(key, compiled)
+        return compiled, False
+
+    def _build(self, schedule: Schedule, key: str) -> CompiledSchedule:
+        return compile_schedule(schedule)
+
+    def _insert(self, key: str, compiled: CompiledSchedule) -> None:
+        evicted = 0
+        with self._lock:
+            self._entries[key] = compiled
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+                evicted += 1
+        if evicted and OBS.enabled:
+            OBS.metrics.counter(
+                "repro_cache_evictions_total", cache=self.name
+            ).inc(evicted)
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        with self._lock:
+            self._entries.clear()
+            self._hits = self._misses = self._evictions = 0
+
+
+_GLOBAL = CompiledCache()
+
+
+def global_compiled_cache() -> CompiledCache:
+    """The process-global compiled-program cache.
+
+    Backs every ``compiled=True`` execution and simulation; sweep worker
+    processes each grow their own, exactly like the schedule cache.
+    """
+    return _GLOBAL
+
+
+def set_global_compiled_cache(cache: CompiledCache) -> CompiledCache:
+    """Swap the process-global compiled cache; returns the previous one.
+
+    The hook for backing compiled execution with a disk store (a
+    :class:`PersistentCompiledCache` *is a* :class:`CompiledCache`).
+    Callers should restore the previous instance when done so
+    attachment never leaks across runs.
+    """
+    global _GLOBAL
+    if not isinstance(cache, CompiledCache):
+        raise ScheduleError(
+            f"global compiled cache must be a CompiledCache, "
+            f"got {type(cache).__name__}"
+        )
+    previous = _GLOBAL
+    _GLOBAL = cache
+    return previous
+
+
+def get_or_compile(schedule: Schedule) -> CompiledSchedule:
+    """The compiled artifact for ``schedule``, via the global cache."""
+    return _GLOBAL.get_or_compile(schedule)[0]
+
+
+def compiled_store_key(schedule: Schedule) -> str:
+    """The disk-store key for one schedule's compiled artifact.
+
+    Parameter segments keep the store browsable next to its
+    ``schedule/…`` siblings; the trailing fingerprint prefix makes the
+    key content-addressed (an edited builder files its new lowering
+    under a new key instead of colliding with the stale one).
+    """
+    fp = schedule.fingerprint()
+    return (
+        f"compiled/{schedule.collective}/{schedule.algorithm}/"
+        f"p={schedule.nranks}/k={schedule.k}/root={schedule.root}/"
+        f"{fp[:16]}"
+    )
+
+
+class PersistentCompiledCache(CompiledCache):
+    """A :class:`CompiledCache` with a disk tier under the memory LRU.
+
+    ``get_or_compile`` keeps the exact ``(compiled, hit)`` contract,
+    with ``hit`` true whenever the lowering was avoided — from memory
+    *or* disk.  Disk entries that fail byte checksums are already
+    quarantined misses inside :class:`~repro.store.disk.DiskStore`;
+    entries that decode but fail the self-verification ladder against
+    the requested schedule are quarantined here (``semantic`` rung) and
+    recompiled — damage is never an error and never executes.
+    """
+
+    def __init__(self, store, *, maxsize: int = 256,
+                 name: str = "compiled") -> None:
+        super().__init__(maxsize=maxsize, name=name)
+        self.store = store
+
+    def get_or_compile(
+        self, schedule: Schedule
+    ) -> Tuple[CompiledSchedule, bool]:
+        """``(compiled, hit)`` — memory, then disk, then compile+persist."""
+        key = schedule.fingerprint()
+        with self._lock:
+            compiled = self._entries.get(key)
+            if compiled is not None:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return compiled, True
+        compiled = self._load(schedule)
+        if compiled is not None:
+            with self._lock:
+                self._hits += 1
+            self._insert(key, compiled)
+            return compiled, True
+        with self._lock:
+            self._misses += 1
+        compiled = compile_schedule(schedule)
+        blob = pickle.dumps(compiled, protocol=pickle.HIGHEST_PROTOCOL)
+        self.store.put(
+            compiled_store_key(schedule),
+            {
+                "source_fingerprint": key,
+                "compiled_fingerprint": compiled.fingerprint(),
+                "compiled_pickle": base64.b64encode(blob).decode("ascii"),
+            },
+        )
+        self._insert(key, compiled)
+        return compiled, False
+
+    def _load(self, schedule: Schedule) -> Optional[CompiledSchedule]:
+        """Decode + re-verify one disk entry, or ``None``.
+
+        The full self-verification ladder runs against the schedule the
+        artifact is being fetched for — pickle drift, a stale lowering,
+        or any table corruption that survived the byte checksum reads as
+        a quarantined miss, never an error.
+        """
+        store_key = compiled_store_key(schedule)
+        payload = self.store.get(store_key)
+        if payload is None:
+            return None
+        try:
+            compiled = pickle.loads(
+                base64.b64decode(payload["compiled_pickle"])
+            )
+            if not isinstance(compiled, CompiledSchedule):
+                raise ReproError("entry did not decode to a CompiledSchedule")
+            compiled.verify(schedule)
+        except Exception as exc:  # noqa: BLE001 — quarantine, never crash
+            self.store._quarantine(
+                self.store.path_for(store_key), "semantic"
+            )
+            if OBS.enabled:
+                OBS.metrics.counter(
+                    "repro_store_semantic_rejects_total",
+                    store=self.store.name,
+                    error=type(exc).__name__,
+                ).inc()
+            return None
+        return compiled
+
+    def disk_stats(self):
+        """The disk tier's :class:`~repro.store.disk.StoreStats`."""
+        return self.store.stats()
+
+
+def open_compiled_store(
+    root: Union[str, Path],
+    *,
+    maxsize: int = 256,
+    fsync: bool = False,
+) -> PersistentCompiledCache:
+    """Open (creating if needed) a disk-backed compiled cache at ``root``.
+
+    The same store root can hold schedule and compiled entries side by
+    side (distinct ``schedule/…`` vs ``compiled/…`` key prefixes).
+    """
+    from ..store.disk import DiskStore
+
+    return PersistentCompiledCache(
+        DiskStore(root, fsync=fsync, name="compiled"), maxsize=maxsize
+    )

@@ -1,0 +1,131 @@
+"""Build-time step fusion: merge copy-only steps into their successors.
+
+Ring/Bruck-family schedules interleave local rotation steps (pure
+:class:`~repro.core.schedule.CopyOp` steps) with communication steps.
+Each step costs the executors one waitall round trip, so a copy-only step
+that cannot conflict with its successor is pure overhead — the compiled
+form drops the barrier between them.
+
+Fusion rule (conservative, provably transparent):
+
+    A step may be absorbed into the group started by its predecessor iff
+    every step already in the group is copy-only **and** the group's
+    accumulated block set is disjoint from the candidate step's block set
+    (every block named by any send/recv/copy on either side).
+
+Why this is sufficient:
+
+* *Data semantics.*  Fused execution posts the merged step's sends first
+  (snapshot), then applies all copies in original order, then drains
+  receives.  The only reordering versus raw execution is that the later
+  step's sends/recvs now happen around the earlier copies — disjointness
+  makes every such exchange a no-op on values, and copy-vs-copy order
+  within the group is preserved exactly.
+* *Progress.*  Copy-only steps post no messages and wait on nothing, so
+  merging them never changes which messages a rank waits for before
+  sending — deadlock behavior is untouched.
+* *Static findings.*  :func:`repro.check.run_checks`'s intra-step hazard
+  lint flags block collisions inside one step; disjointness guarantees
+  fusion can never manufacture a collision.  The transparency property
+  suite pins ``run_checks`` findings as fusion-invariant.
+
+:func:`fused_groups` computes the decision per rank (consumed by the
+lowerer for the ``steps_fused`` table and re-derived independently by the
+self-verification pass), and :func:`fuse_schedule` materializes a fused
+:class:`~repro.core.schedule.Schedule` for IR-level consumers like the
+static checker.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from ..core.schedule import (
+    CopyOp,
+    RankProgram,
+    RecvOp,
+    Schedule,
+    SendOp,
+    Step,
+)
+
+__all__ = ["fused_groups", "fuse_schedule"]
+
+
+def _step_blocks(step: Step) -> Set[int]:
+    """Every block id any op in ``step`` reads or writes."""
+    blocks: Set[int] = set()
+    for op in step.ops:
+        if isinstance(op, (SendOp, RecvOp)):
+            blocks.update(op.blocks)
+        else:
+            blocks.add(op.src)
+            blocks.add(op.dst)
+    return blocks
+
+
+def _copy_only(step: Step) -> bool:
+    return all(isinstance(op, CopyOp) for op in step.ops)
+
+
+def fused_groups(program: RankProgram) -> List[List[int]]:
+    """Partition a rank's step indices into fusable groups.
+
+    Each group is a maximal run ``[s, s+1, ..., s+m]`` where every step
+    but possibly the last is copy-only and all member block sets are
+    pairwise disjoint (checked cumulatively — see the module docstring).
+    Groups of length 1 mean "no fusion here".  Concatenating the groups
+    always reproduces ``range(len(program.steps))``.
+    """
+    steps = program.steps
+    if not steps:
+        return []
+    groups: List[List[int]] = []
+    cur = [0]
+    cur_blocks = _step_blocks(steps[0])
+    cur_fusable = _copy_only(steps[0])
+    for s in range(1, len(steps)):
+        blocks = _step_blocks(steps[s])
+        if cur_fusable and cur_blocks.isdisjoint(blocks):
+            cur.append(s)
+            cur_blocks |= blocks
+            cur_fusable = _copy_only(steps[s])
+        else:
+            groups.append(cur)
+            cur = [s]
+            cur_blocks = blocks
+            cur_fusable = _copy_only(steps[s])
+    groups.append(cur)
+    return groups
+
+
+def fuse_schedule(schedule: Schedule) -> Schedule:
+    """A step-fused copy of ``schedule`` (same ops, fewer barriers).
+
+    Merged steps concatenate their ops in original order, so the flat op
+    sequence — and therefore message matching, dataflow, and volumes —
+    is unchanged; only the step grouping tightens.  The result is a
+    full-fledged :class:`~repro.core.schedule.Schedule` accepted by every
+    executor and by :func:`repro.check.run_checks` (whose findings are
+    fusion-invariant by construction; pinned by the transparency suite).
+    Schedules with nothing to fuse come back step-identical.
+    """
+    programs = []
+    for prog in schedule.programs:
+        fused = RankProgram(rank=prog.rank)
+        for group in fused_groups(prog):
+            ops = []
+            for s in group:
+                ops.extend(prog.steps[s].ops)
+            fused.steps.append(Step(tuple(ops)))
+        programs.append(fused)
+    return Schedule(
+        collective=schedule.collective,
+        algorithm=schedule.algorithm,
+        nranks=schedule.nranks,
+        nblocks=schedule.nblocks,
+        programs=programs,
+        root=schedule.root,
+        k=schedule.k,
+        meta={**schedule.meta, "fused": True},
+    )

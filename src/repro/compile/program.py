@@ -1,0 +1,452 @@
+"""Flat per-rank program tables: the compiled form of a schedule.
+
+A :class:`~repro.core.schedule.Schedule` is a tree of frozen dataclasses
+that every executor pass re-interprets op by op (``isinstance`` dispatch,
+per-block ``range_of`` arithmetic, per-payload allocation).  Lowering
+(:mod:`repro.compile.lower`) flattens each rank's program into contiguous
+NumPy tables — one row per op, in program order — so the hot loops walk
+preresolved integers instead of the IR:
+
+==============  =====  =====================================================
+table           dtype  contents (one entry per op, flat program order)
+==============  =====  =====================================================
+``kinds``       int8   op code: 0 send · 1 recv · 2 reduce-recv · 3 copy
+``peers``       int32  peer rank (−1 for copies)
+``tags``        int32  per-(src, dst) FIFO sequence number (−1 for copies)
+``seg_bounds``  int32  ``[nops+1]`` — op *i* owns segment span
+                       ``seg_blocks[seg_bounds[i]:seg_bounds[i+1]]``
+``seg_blocks``  int32  block ids; a copy stores exactly ``[src, dst]``
+``steps_raw``   int32  ``[nsteps+1]`` — the schedule's step boundaries
+``steps_fused`` int32  boundaries after legal copy-step fusion
+                       (:mod:`repro.compile.fuse`); a subsequence of
+                       ``steps_raw``
+==============  =====  =====================================================
+
+The tables are the cached, fingerprinted, disk-persisted artifact.
+*Binding* resolves them against a concrete
+:class:`~repro.core.blocks.BlockMap` into per-step action tuples of plain
+Python ints (slice starts/stops, payload sizes) — adjacent blocks merge
+into single slices — which is what the executors' tight loops consume.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import queue
+import threading
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ExecutionError
+
+__all__ = [
+    "OP_SEND",
+    "OP_RECV",
+    "OP_REDUCE_RECV",
+    "OP_COPY",
+    "OP_NAMES",
+    "CompiledProgram",
+    "CompiledSchedule",
+    "BoundSchedule",
+    "StagingPlan",
+    "StagingPool",
+]
+
+#: Op codes used in :attr:`CompiledProgram.kinds`.
+OP_SEND = 0
+OP_RECV = 1
+OP_REDUCE_RECV = 2
+OP_COPY = 3
+
+#: Human names for op codes, used in self-verification diagnostics.
+OP_NAMES = {OP_SEND: "send", OP_RECV: "recv",
+            OP_REDUCE_RECV: "reduce-recv", OP_COPY: "copy"}
+
+#: Cap on per-schedule bind-cache entries (distinct block geometries).
+_BIND_CACHE_MAX = 8
+
+
+@dataclass
+class CompiledProgram:
+    """One rank's flat op tables (see the module docstring for layout)."""
+
+    rank: int
+    kinds: np.ndarray
+    peers: np.ndarray
+    tags: np.ndarray
+    seg_bounds: np.ndarray
+    seg_blocks: np.ndarray
+    steps_raw: np.ndarray
+    steps_fused: np.ndarray
+
+    @property
+    def nops(self) -> int:
+        """Number of ops in this rank's program."""
+        return len(self.kinds)
+
+    @property
+    def nsteps(self) -> int:
+        """Number of (raw, pre-fusion) steps in this rank's program."""
+        return len(self.steps_raw) - 1
+
+    def table_bytes(self) -> bytes:
+        """Canonical little-endian byte serialization of every table.
+
+        The content the schedule-level fingerprint hashes; platform
+        independent so golden fingerprints are portable.
+        """
+        parts = [np.ascontiguousarray(self.kinds, dtype="<i1").tobytes()]
+        for arr in (self.peers, self.tags, self.seg_bounds,
+                    self.seg_blocks, self.steps_raw, self.steps_fused):
+            parts.append(np.ascontiguousarray(arr, dtype="<i4").tobytes())
+        return b"|".join(parts)
+
+
+@dataclass(frozen=True)
+class StagingPlan:
+    """The pooled, reusable staging-buffer plan for one compiled schedule.
+
+    ``signatures`` is the sorted set of distinct send-payload block
+    tuples across every rank.  Under any block map, two sends with the
+    same signature need byte-identical staging buffers, so the runtime
+    :class:`StagingPool` pre-registers exactly one free-list per distinct
+    bound payload size and recycles buffers across sends instead of
+    allocating per message.
+    """
+
+    signatures: Tuple[Tuple[int, ...], ...]
+
+    def describe(self) -> str:
+        """One-line summary used in reports."""
+        return f"{len(self.signatures)} distinct payload signature(s)"
+
+
+class StagingPool:
+    """Free-lists of reusable NumPy staging buffers, keyed by size.
+
+    Thread-safe (each free-list is a :class:`queue.SimpleQueue`; the
+    size→queue dict is frozen at construction so worker threads only
+    read it).  Recycling is only legal on the fault-free path: a
+    :class:`~repro.faults.channel.LossyChannel` duplicate enqueues the
+    *same* payload object twice, so under a fault plan payloads must
+    stay immortal and the executors bypass the pool.
+    """
+
+    def __init__(self, sizes: Sequence[int], dtype: np.dtype) -> None:
+        self._pools: Dict[int, "queue.SimpleQueue"] = {
+            int(s): queue.SimpleQueue() for s in set(sizes)
+        }
+        self.dtype = dtype
+        self.allocations = 0
+
+    def acquire(self, size: int) -> np.ndarray:
+        """A buffer of exactly ``size`` elements (recycled when possible)."""
+        q = self._pools.get(size)
+        if q is not None:
+            try:
+                return q.get_nowait()
+            except queue.Empty:
+                pass
+        self.allocations += 1
+        return np.empty(size, dtype=self.dtype)
+
+    def release(self, buf: np.ndarray) -> None:
+        """Return a fully-consumed buffer to its free-list."""
+        q = self._pools.get(buf.size)
+        if q is not None:
+            q.put(buf)
+
+
+@dataclass
+class BoundSchedule:
+    """Tables resolved against one block geometry: executable step tuples.
+
+    Per rank and per step the executors consume three flat tuples of
+    plain-Python ints (no NumPy scalars, no IR objects):
+
+    * sends — ``(peer, ranges, total)``
+    * copies — ``(src_start, src_stop, dst_start, dst_stop)``
+    * recvs — ``(peer, reduce, ranges, total, blocks, mismatch)``
+
+    where ``ranges`` is a tuple of ``(start, stop)`` buffer slices with
+    adjacent blocks merged, ``blocks`` keeps the original block ids for
+    diagnostics, and ``mismatch`` is the statically-precomputed FIFO
+    blocks disagreement the lockstep runner reports exactly like the
+    interpreter would (or ``None``).  ``steps`` uses the fused
+    boundaries, ``raw_steps`` the schedule's original ones (the fault
+    path needs original step indexing for crash/heartbeat semantics).
+    """
+
+    describe_str: str
+    nranks: int
+    steps: List[List[Tuple[tuple, tuple, tuple]]]
+    raw_steps: List[List[Tuple[tuple, tuple, tuple]]]
+    needs: List[List[Tuple[Tuple[int, int], ...]]]
+    sizes: Tuple[int, ...]
+    #: Per rank, per fused step: the count of *raw* steps completed once
+    #: that fused step finishes — so executors on the fused path can
+    #: report progress in the schedule's own step numbering.
+    fused_raw: List[Tuple[int, ...]]
+
+    def staging_pool(self, dtype: np.dtype) -> StagingPool:
+        """A fresh :class:`StagingPool` covering every send size."""
+        return StagingPool(self.sizes, dtype)
+
+
+def _merge_ranges(
+    block_ids: Sequence[int],
+    starts: Sequence[int],
+    stops: Sequence[int],
+) -> Tuple[Tuple[Tuple[int, int], ...], int]:
+    """Collapse a block-id sequence into merged (start, stop) slices.
+
+    Blocks are gathered in tuple order; adjacent buffer ranges merge into
+    one slice (pure concatenation — bit-identical to per-block copies).
+    Returns ``(ranges, total_elements)``.
+    """
+    ranges: List[Tuple[int, int]] = []
+    total = 0
+    for b in block_ids:
+        a, z = starts[b], stops[b]
+        total += z - a
+        if ranges and ranges[-1][1] == a:
+            ranges[-1] = (ranges[-1][0], z)
+        else:
+            ranges.append((a, z))
+    return tuple(ranges), total
+
+
+@dataclass
+class CompiledSchedule:
+    """A schedule lowered to flat per-rank tables plus a staging plan.
+
+    Produced by :func:`repro.compile.compile_schedule`; content-addressed
+    by the source schedule's
+    :meth:`~repro.core.schedule.Schedule.fingerprint` in the compiled
+    cache, and carrying its own :meth:`fingerprint` over the lowered
+    tables (pinned by the golden compiled-program test).
+    """
+
+    collective: str
+    algorithm: str
+    nranks: int
+    nblocks: int
+    root: Optional[int]
+    k: Optional[int]
+    source_fingerprint: str
+    programs: Tuple[CompiledProgram, ...]
+    staging_plan: StagingPlan
+    #: (rank, flat op index) → (in-flight message blocks, recv op blocks)
+    #: for receives whose FIFO-matched message carries different blocks —
+    #: precomputed so the compiled lockstep runner raises exactly where
+    #: the interpreter would.
+    fifo_mismatches: Dict[Tuple[int, int], Tuple[Tuple[int, ...], Tuple[int, ...]]] = field(
+        default_factory=dict
+    )
+    _bind_cache: Dict[tuple, BoundSchedule] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    _sim_feed: Optional[list] = field(default=None, repr=False, compare=False)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def __getstate__(self):
+        """Pickle only the content (drop runtime caches and the lock)."""
+        state = self.__dict__.copy()
+        state["_bind_cache"] = {}
+        state["_sim_feed"] = None
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state):
+        """Restore content and recreate the runtime-only fields."""
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    def describe(self) -> str:
+        """One-line human description (matches the source schedule's)."""
+        bits = [self.collective, self.algorithm, f"p={self.nranks}"]
+        if self.k is not None:
+            bits.append(f"k={self.k}")
+        if self.root is not None:
+            bits.append(f"root={self.root}")
+        return " ".join(bits)
+
+    def total_ops(self) -> int:
+        """Total op count across every rank's tables."""
+        return sum(prog.nops for prog in self.programs)
+
+    def fingerprint(self) -> str:
+        """Stable content hash over the lowered tables and staging plan.
+
+        Distinct from :attr:`source_fingerprint` (the IR hash): this pins
+        the *lowering* — a change to table layout, fusion decisions, or
+        the staging plan moves it even when the source IR is unchanged.
+        The 8-rank k-nomial golden in ``tests/golden`` watches it.
+        """
+        h = hashlib.sha256()
+        h.update(
+            f"{self.collective}|{self.algorithm}|{self.nranks}|"
+            f"{self.nblocks}|{self.root}|{self.k}|"
+            f"{self.source_fingerprint}".encode()
+        )
+        for prog in self.programs:
+            h.update(b"|P")
+            h.update(prog.table_bytes())
+        for sig in self.staging_plan.signatures:
+            h.update(("|G" + ",".join(map(str, sig))).encode())
+        return h.hexdigest()
+
+    def verify(self, schedule) -> None:
+        """Run the self-verification pass against the source schedule.
+
+        Delegates to :func:`repro.compile.verify.verify_compiled`; raises
+        :class:`~repro.errors.CompileError` with rank/step-naming
+        diagnostics on any table corruption.
+        """
+        from .verify import verify_compiled
+
+        verify_compiled(self, schedule)
+
+    # ------------------------------------------------------------------
+    # Binding: tables × block geometry → executable action tuples
+    # ------------------------------------------------------------------
+
+    def bind(self, block_map) -> BoundSchedule:
+        """Resolve the tables against ``block_map`` (cached per geometry)."""
+        nb = self.nblocks
+        if block_map.nblocks != nb:
+            raise ExecutionError(
+                f"block map has {block_map.nblocks} blocks but the "
+                f"compiled schedule uses {nb}"
+            )
+        stops = tuple(block_map.range_of(b)[1] for b in range(nb))
+        key = (block_map.total, stops)
+        with self._lock:
+            bound = self._bind_cache.get(key)
+        if bound is not None:
+            return bound
+        bound = self._bind(block_map, stops)
+        with self._lock:
+            if len(self._bind_cache) >= _BIND_CACHE_MAX:
+                self._bind_cache.pop(next(iter(self._bind_cache)))
+            self._bind_cache[key] = bound
+        return bound
+
+    def _bind(self, block_map, stops: Tuple[int, ...]) -> BoundSchedule:
+        starts = tuple(block_map.range_of(b)[0] for b in range(self.nblocks))
+        fused_steps: List[List[Tuple[tuple, tuple, tuple]]] = []
+        raw_steps: List[List[Tuple[tuple, tuple, tuple]]] = []
+        needs: List[List[Tuple[Tuple[int, int], ...]]] = []
+        fused_raw: List[Tuple[int, ...]] = []
+        sizes = set()
+        for prog in self.programs:
+            kinds = prog.kinds.tolist()
+            peers = prog.peers.tolist()
+            seg_bounds = prog.seg_bounds.tolist()
+            seg_blocks = prog.seg_blocks.tolist()
+            mismatches = self.fifo_mismatches
+
+            def bind_span(lo: int, hi: int, rank: int):
+                sends: List[tuple] = []
+                copies: List[tuple] = []
+                recvs: List[tuple] = []
+                for i in range(lo, hi):
+                    kind = kinds[i]
+                    blocks = seg_blocks[seg_bounds[i]:seg_bounds[i + 1]]
+                    if kind == OP_COPY:
+                        src, dst = blocks
+                        s0, s1 = starts[src], stops[src]
+                        d0, d1 = starts[dst], stops[dst]
+                        if s1 - s0 != d1 - d0:
+                            raise ExecutionError(
+                                f"rank {rank}: copy between blocks of "
+                                f"different sizes ({src}→{dst})"
+                            )
+                        copies.append((s0, s1, d0, d1))
+                        continue
+                    ranges, total = _merge_ranges(blocks, starts, stops)
+                    if kind == OP_SEND:
+                        sends.append((peers[i], ranges, total))
+                        sizes.add(total)
+                    else:
+                        recvs.append((
+                            peers[i],
+                            kind == OP_REDUCE_RECV,
+                            ranges,
+                            total,
+                            tuple(blocks),
+                            mismatches.get((rank, i)),
+                        ))
+                return tuple(sends), tuple(copies), tuple(recvs)
+
+            rank = prog.rank
+            raw_bounds = prog.steps_raw.tolist()
+            raw = [
+                bind_span(raw_bounds[s], raw_bounds[s + 1], rank)
+                for s in range(len(raw_bounds) - 1)
+            ]
+            fused_bounds = prog.steps_fused.tolist()
+            fused = [
+                bind_span(fused_bounds[s], fused_bounds[s + 1], rank)
+                for s in range(len(fused_bounds) - 1)
+            ]
+            step_needs = []
+            for _, _, recvs in fused:
+                per_peer: Dict[int, int] = {}
+                for entry in recvs:
+                    per_peer[entry[0]] = per_peer.get(entry[0], 0) + 1
+                step_needs.append(tuple(per_peer.items()))
+            raw_steps.append(raw)
+            fused_steps.append(fused)
+            needs.append(step_needs)
+            fused_raw.append(tuple(
+                bisect_right(raw_bounds, fused_bounds[j + 1]) - 1
+                for j in range(len(fused_bounds) - 1)
+            ))
+        return BoundSchedule(
+            describe_str=self.describe(),
+            nranks=self.nranks,
+            steps=fused_steps,
+            raw_steps=raw_steps,
+            needs=needs,
+            sizes=tuple(sorted(sizes)),
+            fused_raw=fused_raw,
+        )
+
+    # ------------------------------------------------------------------
+    # Simulator feed
+    # ------------------------------------------------------------------
+
+    def sim_feed(self) -> list:
+        """Per-rank, per-raw-step ``(is_send, peer)`` tuples for the DES.
+
+        Copies are omitted — the simulator models them as free, so the
+        cost walk is identical to interpreting the IR.  Cached; plain
+        Python ints so the simulator's generator loop stays allocation-
+        free.
+        """
+        feed = self._sim_feed
+        if feed is None:
+            feed = []
+            for prog in self.programs:
+                kinds = prog.kinds.tolist()
+                peers = prog.peers.tolist()
+                bounds = prog.steps_raw.tolist()
+                rank_feed = []
+                for s in range(len(bounds) - 1):
+                    ops = []
+                    for i in range(bounds[s], bounds[s + 1]):
+                        kind = kinds[i]
+                        if kind == OP_SEND:
+                            ops.append((True, peers[i]))
+                        elif kind != OP_COPY:
+                            ops.append((False, peers[i]))
+                    rank_feed.append(tuple(ops))
+                feed.append(rank_feed)
+            self._sim_feed = feed
+        return feed

@@ -1,0 +1,163 @@
+"""Tight-loop lockstep execution of bound compiled programs.
+
+The compiled counterpart of :func:`repro.core.runner.run_schedule`: the
+same cooperative progress loop and FIFO channel matching, but walking
+:class:`~repro.compile.program.BoundSchedule` action tuples (preresolved
+slices, merged ranges, precomputed per-step receive needs) instead of
+interpreting the IR per pass.  Fused step boundaries are used — legal
+fusion is execution-transparent (see :mod:`repro.compile.fuse`), and the
+differential suite pins the final buffers bit-identical to the
+interpreter's.
+
+Error behavior matches the interpreter's contract: deadlock raises
+:class:`~repro.errors.ExecutionError` naming the blocked ranks, leftover
+messages raise, and a FIFO-matched message whose blocks disagree with
+the receive op raises the interpreter's diagnosis (precomputed at
+lowering time, reported when the message would be consumed).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Tuple
+
+import numpy as np
+
+from ..errors import ExecutionError
+from .program import BoundSchedule
+
+__all__ = ["run_compiled_lockstep"]
+
+
+def _gather(buf: np.ndarray, ranges: tuple, total: int) -> np.ndarray:
+    """Snapshot the named ranges into a fresh payload array."""
+    if len(ranges) == 1:
+        a, b = ranges[0]
+        return buf[a:b].copy()
+    out = np.empty(total, dtype=buf.dtype)
+    pos = 0
+    for a, b in ranges:
+        n = b - a
+        out[pos:pos + n] = buf[a:b]
+        pos += n
+    return out
+
+
+def _apply_recv(
+    buf: np.ndarray,
+    payload: np.ndarray,
+    ranges: tuple,
+    total: int,
+    reduce: bool,
+    op,
+    rank: int,
+    blocks: tuple,
+) -> None:
+    """Scatter (or reduce) a payload into the named ranges."""
+    if payload.size != total:
+        raise ExecutionError(
+            f"rank {rank}: payload of {payload.size} elements does not "
+            f"match blocks {blocks} totalling {total}"
+        )
+    pos = 0
+    for a, b in ranges:
+        n = b - a
+        chunk = payload[pos:pos + n]
+        if reduce:
+            op.apply(buf[a:b], chunk)
+        else:
+            buf[a:b] = chunk
+        pos += n
+
+
+def run_compiled_lockstep(
+    bound: BoundSchedule,
+    buffers: List[np.ndarray],
+    op,
+) -> int:
+    """Run a bound schedule over ``buffers`` in place (lockstep).
+
+    Returns the number of elements moved through messages (the
+    interpreter's ``bytes_moved`` accounting), for the executor's
+    observability counters.  Raises :class:`~repro.errors.ExecutionError`
+    on deadlock, FIFO block mismatch, payload size mismatch, or leftover
+    messages — the same failure surface as the interpreted runner.
+    """
+    p = bound.nranks
+    steps = bound.steps
+    needs = bound.needs
+    desc = bound.describe_str
+    channels: Dict[Tuple[int, int], Deque[np.ndarray]] = {}
+    pc = [0] * p
+    posted = [False] * p
+    moved = 0
+    unfinished = sum(1 for r in range(p) if steps[r])
+    while unfinished:
+        changed = False
+        for rank in range(p):
+            rank_steps = steps[rank]
+            i = pc[rank]
+            if i >= len(rank_steps):
+                continue
+            sends, copies, recvs = rank_steps[i]
+            buf = buffers[rank]
+            if not posted[rank]:
+                for peer, ranges, total in sends:
+                    ch = channels.get((rank, peer))
+                    if ch is None:
+                        ch = channels[(rank, peer)] = deque()
+                    ch.append(_gather(buf, ranges, total))
+                    moved += total
+                for s0, s1, d0, d1 in copies:
+                    buf[d0:d1] = buf[s0:s1]
+                posted[rank] = True
+                changed = True
+            ready = all(
+                len(channels.get((peer, rank), ())) >= cnt
+                for peer, cnt in needs[rank][i]
+            )
+            if not ready:
+                continue
+            for peer, reduce, ranges, total, blocks, mismatch in recvs:
+                payload = channels[(peer, rank)].popleft()
+                if mismatch is not None:
+                    raise ExecutionError(
+                        f"{desc}: rank {rank} step {i} expected blocks "
+                        f"{mismatch[1]} from rank {peer} but the "
+                        f"in-flight message carries {mismatch[0]}"
+                    )
+                _apply_recv(
+                    buf, payload, ranges, total, reduce, op, rank, blocks
+                )
+            pc[rank] += 1
+            posted[rank] = False
+            changed = True
+            if pc[rank] >= len(rank_steps):
+                unfinished -= 1
+        if not changed and unfinished:
+            lines = []
+            for rank in range(p):
+                if pc[rank] >= len(steps[rank]):
+                    continue
+                waits = [
+                    f"recv{list(blocks)}<-{peer}"
+                    f"(have {len(channels.get((peer, rank), ()))})"
+                    for peer, _, _, _, blocks, _ in steps[rank][pc[rank]][2]
+                ]
+                lines.append(
+                    f"  rank {rank} at step {pc[rank]}: waiting on {waits}"
+                )
+                if len(lines) >= 16:
+                    lines.append("  ... (truncated)")
+                    break
+            raise ExecutionError(
+                f"{desc}: deadlock — no rank can make progress (compiled)."
+                + "\n" + "\n".join(lines)
+            )
+    leftovers = {k: len(v) for k, v in channels.items() if v}
+    if leftovers:
+        raise ExecutionError(
+            f"{desc}: {sum(leftovers.values())} message(s) were sent but "
+            f"never received: {leftovers}"
+        )
+    return moved

@@ -24,6 +24,7 @@ __all__ = [
     "FaultError",
     "PartialFailure",
     "RecoveryError",
+    "CompileError",
 ]
 
 
@@ -205,3 +206,16 @@ class RecoveryError(ExecutionError):
     def __init__(self, message: str, *, report=None) -> None:
         super().__init__(message)
         self.report = report
+
+
+class CompileError(ReproError):
+    """A compiled program failed self-verification against its source IR.
+
+    Raised by :mod:`repro.compile` when lowering produces tables that
+    disagree with the schedule (a compiler bug) or when a cached/disk
+    artifact is corrupt — stale peer tables, off-by-one block offsets,
+    dropped fusion barriers, wrong op codes.  The message always names
+    the offending rank and step so the mutation corpus (and a human
+    reading CI) can see *where* the tables went wrong.  A corrupt
+    artifact must be caught here; it never executes.
+    """

@@ -112,6 +112,7 @@ def execute(
     *,
     op: ReduceOp = SUM,
     block_map=None,
+    compiled: bool = True,
     obs: Optional[Obs] = None,
 ) -> List[np.ndarray]:
     """Execute ``schedule`` in place over per-rank ``buffers``.
@@ -123,6 +124,13 @@ def execute(
     over caller-chosen block sizes — the v-variant collectives
     (gatherv/scatterv) are exactly tree schedules under an uneven map.
     Returns the (mutated) buffer list.
+
+    With ``compiled=True`` (the default) the schedule is lowered to flat
+    per-rank tables (:mod:`repro.compile`, cached by fingerprint) and run
+    by the tight compiled loop; results are bit-identical to the
+    interpreter (pinned by the differential suite).  Pass
+    ``compiled=False`` to force the op-by-op interpreter — the escape
+    hatch when you suspect the compiler.
     """
     if len(buffers) != schedule.nranks:
         raise ExecutionError(
@@ -146,8 +154,26 @@ def execute(
             f"block map covers {block_map.total} elements but buffers "
             f"hold {count}"
         )
-    model = NumpyModel(block_map, buffers, op)
     o = get_obs(obs)
+    if compiled:
+        from ..compile import get_or_compile, run_compiled_lockstep
+
+        bound = get_or_compile(schedule).bind(block_map)
+        if o.enabled:
+            with o.span(
+                "execute", schedule=schedule.describe(), backend="lockstep",
+                compiled=True,
+            ):
+                moved = run_compiled_lockstep(bound, buffers, op)
+            m = o.metrics
+            m.counter("repro_executor_runs_total", backend="lockstep").inc()
+            m.counter(
+                "repro_executor_elements_moved_total", backend="lockstep"
+            ).inc(moved)
+        else:
+            run_compiled_lockstep(bound, buffers, op)
+        return buffers
+    model = NumpyModel(block_map, buffers, op)
     if o.enabled:
         with o.span(
             "execute", schedule=schedule.describe(), backend="lockstep"

@@ -25,10 +25,24 @@ an abort anywhere in the job unblocks every rank within ~100 ms.
 Python's GIL serializes the NumPy work, but that is irrelevant for what
 this transport is for: exercising the *ordering* semantics of schedules
 under real asynchrony.  (Timing fidelity is the simulator's job.)
+
+Compiled execution (``compiled=True``, the default) runs the same rank
+workers over preresolved :class:`~repro.compile.program.BoundSchedule`
+action tuples instead of interpreting the IR per op.  On the fault-free,
+detector-free path the transport additionally uses fused step boundaries,
+lean counter-only channels, a persistent worker-thread pool (thread spawn
+costs ~20× a pool dispatch here), and recycled staging buffers — the
+levers behind the interpreter-vs-compiled perf gate.  Under a fault plan
+or a detector it keeps the *raw* step boundaries and the full lossy
+channel machinery, so crash step indexing, heartbeats, retry budgets, and
+abort semantics are untouched; results are bit-identical either way
+(pinned by the differential suite).
 """
 
 from __future__ import annotations
 
+import os
+import queue
 import threading
 import time
 from dataclasses import dataclass
@@ -36,9 +50,12 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..compile.runner import _apply_recv as _fast_apply
+from ..compile.runner import _gather
 from ..core.schedule import CopyOp, RecvOp, Schedule, SendOp
 from ..errors import ExecutionError, FaultError, PartialFailure
 from ..faults.channel import (
+    POLL_SLICE,
     ChannelAborted,
     ChannelBroken,
     ChannelMonitor,
@@ -61,6 +78,138 @@ __all__ = [
 class _RankFailure:
     rank: int
     error: BaseException
+
+
+class _FastChannel:
+    """Minimal FIFO channel for the fault-free compiled path.
+
+    A :class:`queue.SimpleQueue` plus sent/received counters (each has a
+    single writer: the one producer rank, the one consumer rank).  The
+    blocking receive wakes the instant a payload arrives; the poll slices
+    only bound how fast an abort elsewhere in the job unblocks this rank
+    — the same responsiveness contract as the lossy channel.
+    """
+
+    __slots__ = ("_q", "sent", "received")
+
+    def __init__(self) -> None:
+        self._q: "queue.SimpleQueue" = queue.SimpleQueue()
+        self.sent = 0
+        self.received = 0
+
+    def send(self, payload: np.ndarray) -> None:
+        """Enqueue one payload (counted)."""
+        self.sent += 1
+        self._q.put(payload)
+
+    def recv(self, timeout: float, abort: threading.Event):
+        """Next payload in FIFO order.
+
+        Returns ``None`` when the run aborted while waiting; raises
+        :class:`~repro.faults.channel.ChannelTimeout` after ``timeout``
+        seconds with no message (a deadlocked schedule).
+        """
+        try:
+            payload = self._q.get_nowait()
+        except queue.Empty:
+            deadline = time.monotonic() + timeout
+            while True:
+                try:
+                    payload = self._q.get(timeout=POLL_SLICE)
+                    break
+                except queue.Empty:
+                    if abort.is_set():
+                        return None
+                    if time.monotonic() >= deadline:
+                        raise ChannelTimeout() from None
+        self.received += 1
+        return payload
+
+    def undelivered(self) -> int:
+        """Messages sent but not (yet) received."""
+        return self.sent - self.received
+
+
+class _WorkerPool:
+    """Persistent daemon rank-workers, reused across compiled runs.
+
+    Spawning a thread costs ~0.4–0.7 ms on this interpreter; dispatching
+    to a parked pool worker ~0.03 ms.  Small-message collectives finish
+    in well under a millisecond of actual work, so the pool is the single
+    biggest lever behind the compiled threaded speedup.  Tasks are
+    self-catching closures (the transport records failures itself); the
+    pool only signals completion.  A pool that misses its deadline is
+    marked dead and abandoned — its parked threads are daemons — and the
+    next run builds a fresh one, so a wedged task can never poison later
+    runs.  Fork safety: the singleton is keyed by pid.
+    """
+
+    def __init__(self) -> None:
+        self.pid = os.getpid()
+        self.dead = False
+        self.lock = threading.Lock()
+        self._inboxes: List["queue.SimpleQueue"] = []
+        self._threads: List[threading.Thread] = []
+        self._done: "queue.SimpleQueue" = queue.SimpleQueue()
+
+    def ensure(self, n: int) -> None:
+        """Grow the pool to at least ``n`` parked workers."""
+        while len(self._threads) < n:
+            inbox: "queue.SimpleQueue" = queue.SimpleQueue()
+            t = threading.Thread(
+                target=self._loop,
+                args=(inbox,),
+                name=f"repro-pool-{len(self._threads)}",
+                daemon=True,
+            )
+            self._inboxes.append(inbox)
+            self._threads.append(t)
+            t.start()
+
+    def _loop(self, inbox: "queue.SimpleQueue") -> None:
+        while True:
+            fn = inbox.get()
+            try:
+                fn()
+            finally:
+                self._done.put(None)
+
+    def run(self, fns, timeout: float) -> bool:
+        """Run ``fns`` (one per worker) to completion; ``False`` on stall.
+
+        Caller must hold :attr:`lock` (taken by the transport so nested
+        or concurrent dispatches are impossible by construction).
+        """
+        for i, fn in enumerate(fns):
+            self._inboxes[i].put(fn)
+        deadline = time.monotonic() + timeout
+        done = 0
+        while done < len(fns):
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                self.dead = True
+                return False
+            try:
+                self._done.get(timeout=remaining)
+            except queue.Empty:
+                self.dead = True
+                return False
+            done += 1
+        return True
+
+
+_POOL: Optional[_WorkerPool] = None
+_POOL_GUARD = threading.Lock()
+
+
+def _worker_pool(n: int) -> _WorkerPool:
+    """The process-global pool, grown to ``n`` workers (pid-checked)."""
+    global _POOL
+    with _POOL_GUARD:
+        if _POOL is None or _POOL.dead or _POOL.pid != os.getpid():
+            _POOL = _WorkerPool()
+        _POOL.ensure(n)
+        return _POOL
 
 
 class ThreadedTransport:
@@ -89,9 +238,14 @@ class ThreadedTransport:
         it as it completes a step, and structured faults are confirmed on
         it before the transport raises — so a recovery loop wrapping this
         transport sees suspicion state, not just the final exception.
+    compiled:
+        Run the compiled program tables (:mod:`repro.compile`) instead of
+        interpreting the IR per op (default ``True``; bit-identical, see
+        the module docstring).  ``False`` is the escape hatch.
 
     The transport also tracks ``progress`` — per-rank completed-step
-    counts — which is the completion state recovery resumes from.
+    counts in the *schedule's* (raw) step numbering, whichever execution
+    mode ran — which is the completion state recovery resumes from.
     """
 
     def __init__(
@@ -101,17 +255,21 @@ class ThreadedTransport:
         timeout: float = 30.0,
         faults: Optional[FaultPlan] = None,
         detector=None,
+        compiled: bool = True,
     ) -> None:
         self.schedule = schedule
         self.timeout = timeout
         self.faults = faults if faults is not None and faults.is_active else None
         self.detector = detector
+        self.compiled = compiled
         self.progress: List[int] = [0] * schedule.nranks
         self._channels: Dict[Tuple[int, int], LossyChannel] = {}
+        self._fast_channels: Dict[Tuple[int, int], _FastChannel] = {}
         self._failures: List[_RankFailure] = []
         self._aborted_ranks: List[int] = []
         self._failure_lock = threading.Lock()
         self._abort = threading.Event()
+        self._moved: List[int] = [0] * schedule.nranks
 
     def _channel(self, src: int, dst: int) -> LossyChannel:
         # Channels are created up front in run(), so worker threads only
@@ -129,6 +287,32 @@ class ThreadedTransport:
             )
         count = len(buffers[0])
         blocks = sched.block_map(count)
+        if self.compiled:
+            from ..compile import get_or_compile
+
+            bound = get_or_compile(sched).bind(blocks)
+            if self.faults is None and self.detector is None:
+                return self._run_fast(bound, buffers, op)
+            return self._run_channels(buffers, op, blocks, bound=bound)
+        return self._run_channels(buffers, op, blocks, bound=None)
+
+    def _run_channels(
+        self,
+        buffers: List[np.ndarray],
+        op: ReduceOp,
+        blocks,
+        *,
+        bound,
+    ) -> List[np.ndarray]:
+        """Full lossy-channel execution (interpreted or compiled tables).
+
+        With ``bound`` the workers walk the compiled raw-step action
+        tuples; without it they interpret the IR.  Everything else —
+        channel creation, fault monitor, failure collection, detector
+        integration — is shared, so the fault surface cannot drift
+        between the two modes.
+        """
+        sched = self.schedule
         model = NumpyModel(blocks, buffers, op)
 
         # Pre-create every channel the schedule uses.
@@ -148,10 +332,21 @@ class ThreadedTransport:
             )
             monitor.start()
 
+        if bound is not None:
+            workers = [
+                (lambda rank=rank: self._compiled_worker(
+                    rank, bound, buffers, op, model
+                ))
+                for rank in range(sched.nranks)
+            ]
+        else:
+            workers = [
+                (lambda rank=rank: self._worker(rank, model))
+                for rank in range(sched.nranks)
+            ]
         threads = [
             threading.Thread(
-                target=self._worker,
-                args=(rank, model),
+                target=workers[rank],
                 name=f"repro-rank-{rank}",
                 daemon=True,
             )
@@ -159,7 +354,8 @@ class ThreadedTransport:
         ]
         span = (
             OBS.span(
-                "execute", schedule=sched.describe(), backend="threaded"
+                "execute", schedule=sched.describe(), backend="threaded",
+                compiled=bound is not None,
             )
             if OBS.enabled
             else None
@@ -181,14 +377,99 @@ class ThreadedTransport:
                 monitor.stop()
             if span is not None:
                 span.__exit__(None, None, None)
+        moved = model.bytes_moved if bound is None else sum(self._moved)
         if OBS.enabled:
             m = OBS.metrics
             m.counter("repro_executor_runs_total", backend="threaded").inc()
             m.counter(
                 "repro_executor_elements_moved_total", backend="threaded"
-            ).inc(model.bytes_moved)
+            ).inc(moved)
         self._raise_failures()
         return buffers
+
+    def _run_fast(
+        self, bound, buffers: List[np.ndarray], op: ReduceOp
+    ) -> List[np.ndarray]:
+        """Fault-free compiled execution: fused steps, pool, staging.
+
+        Only reachable with no fault plan and no detector, so channels
+        need no loss/ack/retry machinery and staging buffers can be
+        recycled (a lossy channel's duplicate would alias a recycled
+        payload; here every payload has exactly one consumer).
+        """
+        sched = self.schedule
+        for rank, rank_steps in enumerate(bound.steps):
+            for sends, _, _ in rank_steps:
+                for peer, _, _ in sends:
+                    self._fast_channels.setdefault(
+                        (rank, peer), _FastChannel()
+                    )
+        pool_bufs = bound.staging_pool(buffers[0].dtype)
+        workers = [
+            (lambda rank=rank: self._fast_worker(
+                rank, bound, buffers, op, pool_bufs
+            ))
+            for rank in range(sched.nranks)
+        ]
+        span = (
+            OBS.span(
+                "execute", schedule=sched.describe(), backend="threaded",
+                compiled=True,
+            )
+            if OBS.enabled
+            else None
+        )
+        if span is not None:
+            span.__enter__()
+        try:
+            finished = self._dispatch_fast(workers)
+            if not finished:
+                self._abort.set()
+                raise ExecutionError(
+                    f"{sched.describe()}: compiled worker(s) failed to "
+                    f"finish"
+                )
+        finally:
+            if span is not None:
+                span.__exit__(None, None, None)
+        if OBS.enabled:
+            m = OBS.metrics
+            m.counter("repro_executor_runs_total", backend="threaded").inc()
+            m.counter(
+                "repro_executor_elements_moved_total", backend="threaded"
+            ).inc(sum(self._moved))
+        self._raise_failures()
+        return buffers
+
+    def _dispatch_fast(self, workers) -> bool:
+        """Run rank workers via the persistent pool (or fresh threads).
+
+        The pool is only used from the main thread with the pool lock
+        free — a transport running *inside* a pool worker (or two
+        transports racing) falls back to spawning threads, so pool
+        dispatch can never deadlock on itself.
+        """
+        budget = self.timeout + 5.0
+        if threading.current_thread() is threading.main_thread():
+            pool = _worker_pool(len(workers))
+            if pool.lock.acquire(blocking=False):
+                try:
+                    return pool.run(workers, budget)
+                finally:
+                    pool.lock.release()
+        threads = [
+            threading.Thread(target=fn, name=f"repro-rank-{rank}",
+                             daemon=True)
+            for rank, fn in enumerate(workers)
+        ]
+        for t in threads:
+            t.start()
+        deadline = time.monotonic() + budget
+        for t in threads:
+            t.join(timeout=max(0.0, deadline - time.monotonic()))
+            if t.is_alive():
+                return False
+        return True
 
     def _raise_failures(self) -> None:
         """Convert collected per-rank failures into one structured error."""
@@ -297,7 +578,9 @@ class ThreadedTransport:
                 # Wait phase: drain receives in op order (FIFO per channel).
                 for sop in step.ops:
                     if isinstance(sop, RecvOp):
-                        payload = self._recv(rank, step_idx, sop)
+                        payload = self._recv(
+                            rank, step_idx, sop.peer, sop.blocks
+                        )
                         if payload is None:
                             return  # aborted: primary failure is elsewhere
                         model.apply_recv(rank, sop, payload)
@@ -311,19 +594,154 @@ class ThreadedTransport:
                 self._failures.append(_RankFailure(rank=rank, error=exc))
             self._abort.set()
 
-    def _recv(self, rank: int, step_idx: int, sop: RecvOp):
+    def _compiled_worker(
+        self, rank: int, bound, buffers: List[np.ndarray], op: ReduceOp,
+        model: NumpyModel,
+    ) -> None:
+        """One rank over compiled *raw*-step tuples with lossy channels.
+
+        The compiled twin of :meth:`_worker`: identical step indexing
+        (crash injection, progress, heartbeats), identical channel and
+        failure machinery, but the per-op work walks preresolved action
+        tuples.  Payloads are always fresh arrays here — a lossy
+        channel's duplicate delivery aliases the payload object, so
+        staging recycling is illegal under faults.
+        """
+        faults = self.faults
+        crash_at = faults.crash_step(rank) if faults is not None else None
+        straggle = 0.0
+        if faults is not None:
+            straggle = faults.straggler_step_delay * (
+                faults.straggler_factor(rank) - 1.0
+            )
+        buf = buffers[rank]
+        try:
+            for step_idx, (sends, copies, recvs) in enumerate(
+                bound.raw_steps[rank]
+            ):
+                if self._abort.is_set():
+                    with self._failure_lock:
+                        self._aborted_ranks.append(rank)
+                    return
+                if crash_at is not None and step_idx == crash_at:
+                    raise FaultError(
+                        f"rank {rank} crashed before step {step_idx} "
+                        f"(injected)",
+                        kind="crash",
+                        rank=rank,
+                        step=step_idx,
+                    )
+                if straggle > 0.0:
+                    time.sleep(straggle)
+                for peer, ranges, total in sends:
+                    self._channel(rank, peer).send(
+                        _gather(buf, ranges, total)
+                    )
+                    self._moved[rank] += total
+                for s0, s1, d0, d1 in copies:
+                    buf[d0:d1] = buf[s0:s1]
+                for peer, reduce, ranges, total, blocks, mismatch in recvs:
+                    payload = self._recv(rank, step_idx, peer, blocks)
+                    if payload is None:
+                        return  # aborted: primary failure is elsewhere
+                    _fast_apply(
+                        buf, payload, ranges, total, reduce, op, rank, blocks
+                    )
+                self.progress[rank] = step_idx + 1
+                if self.detector is not None:
+                    self.detector.heartbeat(
+                        rank, time.monotonic(), step=step_idx
+                    )
+        except BaseException as exc:  # propagate to run()
+            with self._failure_lock:
+                self._failures.append(_RankFailure(rank=rank, error=exc))
+            self._abort.set()
+
+    def _fast_worker(
+        self, rank: int, bound, buffers: List[np.ndarray], op: ReduceOp,
+        pool_bufs,
+    ) -> None:
+        """One rank over compiled *fused*-step tuples, recycling staging.
+
+        The hot loop: counter-only channels, payload buffers acquired
+        from (and, once fully consumed, released back to) the shared
+        :class:`~repro.compile.program.StagingPool`.  Progress is
+        reported in raw-step numbering via the bound fused→raw map.
+        """
+        steps = bound.steps[rank]
+        fused_raw = bound.fused_raw[rank]
+        buf = buffers[rank]
+        channels = self._fast_channels
+        timeout = self.timeout
+        abort = self._abort
+        try:
+            for step_idx, (sends, copies, recvs) in enumerate(steps):
+                if abort.is_set():
+                    with self._failure_lock:
+                        self._aborted_ranks.append(rank)
+                    return
+                for peer, ranges, total in sends:
+                    payload = pool_bufs.acquire(total)
+                    pos = 0
+                    for a, b in ranges:
+                        n = b - a
+                        payload[pos:pos + n] = buf[a:b]
+                        pos += n
+                    channels[(rank, peer)].send(payload)
+                    self._moved[rank] += total
+                for s0, s1, d0, d1 in copies:
+                    buf[d0:d1] = buf[s0:s1]
+                for peer, reduce, ranges, total, blocks, mismatch in recvs:
+                    ch = channels.get((peer, rank))
+                    if ch is None:
+                        raise ExecutionError(
+                            f"rank {rank} step {step_idx}: no channel "
+                            f"{peer}->{rank} exists (receive with "
+                            f"no matching send)"
+                        )
+                    try:
+                        payload = ch.recv(timeout, abort)
+                    except ChannelTimeout:
+                        raise ExecutionError(
+                            f"rank {rank} step {step_idx}: timed out "
+                            f"waiting for blocks {list(blocks)} "
+                            f"from rank {peer}"
+                        ) from None
+                    if payload is None:
+                        with self._failure_lock:
+                            self._aborted_ranks.append(rank)
+                        return
+                    if mismatch is not None:
+                        raise ExecutionError(
+                            f"{bound.describe_str}: rank {rank} step "
+                            f"{step_idx} expected blocks {mismatch[1]} "
+                            f"from rank {peer} but the in-flight message "
+                            f"carries {mismatch[0]}"
+                        )
+                    _fast_apply(buf, payload, ranges, total, reduce, op,
+                                rank, blocks)
+                    pool_bufs.release(payload)
+                self.progress[rank] = fused_raw[step_idx]
+        except BaseException as exc:  # propagate to run()
+            with self._failure_lock:
+                self._failures.append(_RankFailure(rank=rank, error=exc))
+            self._abort.set()
+
+    def _recv(self, rank: int, step_idx: int, peer: int, blocks):
         """One receive with sliced polling and structured failure modes.
 
         Returns the payload, or ``None`` when the run was aborted by a
         failure on another rank (the worker then exits quietly — the
-        primary diagnosis is already recorded).
+        primary diagnosis is already recorded).  ``blocks`` is only for
+        diagnostics, so the interpreted and compiled workers share this
+        path verbatim.
         """
         try:
-            channel = self._channel(sop.peer, rank)
+            channel = self._channel(peer, rank)
         except KeyError:
             raise ExecutionError(
                 f"rank {rank} step {step_idx}: no channel "
-                f"{sop.peer}->{rank} exists (receive with "
+                f"{peer}->{rank} exists (receive with "
                 f"no matching send)"
             ) from None
         try:
@@ -331,8 +749,8 @@ class ThreadedTransport:
         except ChannelTimeout:
             raise ExecutionError(
                 f"rank {rank} step {step_idx}: timed out "
-                f"waiting for blocks {list(sop.blocks)} "
-                f"from rank {sop.peer}"
+                f"waiting for blocks {list(blocks)} "
+                f"from rank {peer}"
             ) from None
         except ChannelBroken as broken:
             raise FaultError(
@@ -340,7 +758,7 @@ class ThreadedTransport:
                 kind="retries_exhausted",
                 rank=rank,
                 step=step_idx,
-                peer=sop.peer,
+                peer=peer,
                 seq=broken.failure.seq,
                 retries=broken.failure.attempts,
             ) from None
@@ -351,7 +769,9 @@ class ThreadedTransport:
 
     def leftover_messages(self) -> int:
         """Messages sent but never received (0 for a matched schedule)."""
-        return sum(ch.undelivered() for ch in self._channels.values())
+        return sum(ch.undelivered() for ch in self._channels.values()) + sum(
+            ch.undelivered() for ch in self._fast_channels.values()
+        )
 
 
 def execute_threaded(
@@ -362,11 +782,15 @@ def execute_threaded(
     timeout: float = 30.0,
     faults: Optional[FaultPlan] = None,
     detector=None,
+    compiled: bool = True,
 ) -> List[np.ndarray]:
     """Convenience wrapper: run ``schedule`` on a fresh threaded transport
-    and verify no messages were left unconsumed."""
+    and verify no messages were left unconsumed.  ``compiled=False``
+    forces op-by-op IR interpretation (see
+    :class:`ThreadedTransport`)."""
     transport = ThreadedTransport(
-        schedule, timeout=timeout, faults=faults, detector=detector
+        schedule, timeout=timeout, faults=faults, detector=detector,
+        compiled=compiled,
     )
     transport.run(buffers, op=op)
     leftovers = transport.leftover_messages()
@@ -391,6 +815,7 @@ def run_collective_threaded(
     timeout: float = 30.0,
     faults: Optional[FaultPlan] = None,
     check: bool = True,
+    compiled: bool = True,
 ) -> List[np.ndarray]:
     """End-to-end: build a schedule, run it over real threads on random
     data, and check the result against the NumPy reference.
@@ -414,7 +839,8 @@ def run_collective_threaded(
     inputs = make_inputs(collective, p, count, root=root, rng=rng)
     buffers = initial_buffers(schedule, inputs, count)
     execute_threaded(
-        schedule, buffers, op=op, timeout=timeout, faults=faults
+        schedule, buffers, op=op, timeout=timeout, faults=faults,
+        compiled=compiled,
     )
     if check:
         expected = reference_result(collective, inputs, count, op=op,

@@ -91,6 +91,7 @@ def sweep_collective(
     skip: Sequence[str] = ("linear",),
     jobs: int = 0,
     check: bool = False,
+    compiled: bool = True,
 ) -> SweepResult:
     """Simulate every (algorithm, radix, size) combination.
 
@@ -108,6 +109,9 @@ def sweep_collective(
     refuses to tune over one with error findings — a table must never
     recommend a schedule that deadlocks or corrupts data.  Reports
     memoize by fingerprint, so the pre-pass costs each schedule once.
+    ``compiled=False`` forces op-by-op IR interpretation in the
+    simulator; the times — and therefore the winners — are bit-identical
+    either way (see :mod:`repro.compile`).
     """
     # Imported lazily: repro.bench.sweep imports radix_grid from this
     # module at import time, so the reverse dependency must resolve at
@@ -156,7 +160,8 @@ def sweep_collective(
                     f"refusing to tune over a broken schedule: "
                     f"{report.describe(max_findings=3)}"
                 )
-    results = run_sweep(points, machine, jobs=jobs, noise=noise, faults=faults)
+    results = run_sweep(points, machine, jobs=jobs, noise=noise,
+                        faults=faults, compiled=compiled)
     errors = sweep_errors(results)
     if errors:
         raise SelectionError(
@@ -184,6 +189,7 @@ def tune(
     name: Optional[str] = None,
     jobs: int = 0,
     check: bool = False,
+    compiled: bool = True,
 ) -> SelectionTable:
     """Produce a selection table tuned for ``machine``.
 
@@ -198,6 +204,8 @@ def tune(
     argmin per size — and therefore the emitted table — cannot change.
     ``check=True`` gates every candidate schedule through the static
     analysis suite first (see :func:`sweep_collective`).
+    ``compiled=False`` (the CLI's ``--no-compile``) disables the
+    compiled simulator feed; emitted tables are identical regardless.
     """
     sorted_sizes = sorted(set(int(s) for s in sizes))
     if not sorted_sizes:
@@ -206,7 +214,7 @@ def tune(
     for collective in collectives:
         sweep = sweep_collective(
             collective, machine, sorted_sizes, noise=noise, faults=faults,
-            jobs=jobs, check=check,
+            jobs=jobs, check=check, compiled=compiled,
         )
         winners: List[Tuple[int, Choice]] = [
             (n, sweep.best(n).choice) for n in sorted_sizes

@@ -110,6 +110,7 @@ def simulate(
     faults: Optional[FaultPlan] = None,
     collect_timeline: bool = False,
     block_map=None,
+    compiled: bool = True,
     obs: Optional[Obs] = None,
 ) -> SimResult:
     """Simulate ``schedule`` moving ``nbytes`` (total buffer size) on
@@ -136,6 +137,14 @@ def simulate(
     span so :mod:`repro.obs.export` can merge simulated traffic into the
     host-side Perfetto trace.  Instrumentation never changes a simulated
     cost (pinned by ``tests/properties/test_obs_transparency.py``).
+
+    ``compiled=True`` (the default) feeds the rank processes from the
+    cached compiled program's preflattened ``(is_send, peer)`` step feed
+    (:meth:`repro.compile.program.CompiledSchedule.sim_feed`) instead of
+    re-interpreting the IR per simulated op.  The walk is identical by
+    construction — raw step boundaries, same op order, copies free either
+    way — so every cost, timeline entry, and fault fate is bit-identical
+    (pinned by the differential suite and the golden-cost corpus).
     """
     p = schedule.nranks
     if machine.nranks != p:
@@ -236,36 +245,69 @@ def simulate(
 
     o = machine.injection_overhead
 
+    # Compiled feed: per rank, per raw step, (is_send, peer) tuples with
+    # copies already stripped — the same walk rank_proc does over the IR,
+    # minus the isinstance dispatch.  Cost-transparent by construction.
+    feed = None
+    if compiled:
+        from ..compile import get_or_compile
+
+        feed = get_or_compile(schedule).sim_feed()
+
     def rank_proc(rank: int):
         prog = schedule.programs[rank]
         straggle = faults.straggler_factor(rank) if faults_active else 1.0
         o_r = o * straggle
         limit = statics.post_limit[rank] if statics else len(prog.steps)
-        for step_idx in range(limit):
-            step = prog.steps[step_idx]
-            waits: List[Event] = []
-            for op in step.ops:
-                if isinstance(op, SendOp):
+        if feed is not None:
+            rank_feed = feed[rank]
+            for step_idx in range(limit):
+                waits: List[Event] = []
+                for is_send, peer in rank_feed[step_idx]:
                     if o_r:
                         yield Timeout(o_r)
-                    msg = send_q[(rank, op.peer)].popleft()
-                    msg.send_posted.trigger()
+                    if is_send:
+                        msg = send_q[(rank, peer)].popleft()
+                        msg.send_posted.trigger()
+                        done = msg.send_done
+                    else:
+                        msg = recv_q[(peer, rank)].popleft()
+                        msg.recv_posted.trigger()
+                        done = msg.recv_done
                     # Doomed messages never complete; a stalled rank posts
                     # its final step's ops but waits only on the live ones
                     # (its blocked-forever state is recorded statically).
                     if statics is None or msg.index not in statics.doomed:
-                        waits.append(msg.send_done)
-                elif isinstance(op, RecvOp):
-                    if o_r:
-                        yield Timeout(o_r)
-                    msg = recv_q[(op.peer, rank)].popleft()
-                    msg.recv_posted.trigger()
-                    if statics is None or msg.index not in statics.doomed:
-                        waits.append(msg.recv_done)
-                # CopyOp: modeled as free (intra-GPU memcpy is off the
-                # critical path at collective granularity).
-            if waits:
-                yield AllOf(waits)
+                        waits.append(done)
+                if waits:
+                    yield AllOf(waits)
+        else:
+            for step_idx in range(limit):
+                step = prog.steps[step_idx]
+                waits = []
+                for op in step.ops:
+                    if isinstance(op, SendOp):
+                        if o_r:
+                            yield Timeout(o_r)
+                        msg = send_q[(rank, op.peer)].popleft()
+                        msg.send_posted.trigger()
+                        # Doomed messages never complete; a stalled rank
+                        # posts its final step's ops but waits only on the
+                        # live ones (its blocked-forever state is recorded
+                        # statically).
+                        if statics is None or msg.index not in statics.doomed:
+                            waits.append(msg.send_done)
+                    elif isinstance(op, RecvOp):
+                        if o_r:
+                            yield Timeout(o_r)
+                        msg = recv_q[(op.peer, rank)].popleft()
+                        msg.recv_posted.trigger()
+                        if statics is None or msg.index not in statics.doomed:
+                            waits.append(msg.recv_done)
+                    # CopyOp: modeled as free (intra-GPU memcpy is off the
+                    # critical path at collective granularity).
+                if waits:
+                    yield AllOf(waits)
         if statics is not None and not statics.completes(
             rank, len(prog.steps)
         ):

@@ -47,7 +47,11 @@ __all__ = ["FORMAT_VERSION", "StoreStats", "DiskStore"]
 #: On-disk entry format version.  Bump on any incompatible change to the
 #: entry document shape (see CONTRIBUTING.md — old entries then read as
 #: quarantined misses, i.e. the store degrades to cold, never crashes).
-FORMAT_VERSION = 1
+#: v2: stores may hold ``compiled/…`` entries (pickled
+#: :class:`repro.compile.CompiledSchedule` artifacts) alongside
+#: ``schedule/…`` entries; v1 stores predate compiled execution, so
+#: their schedules must be re-persisted to sit next to fresh artifacts.
+FORMAT_VERSION = 2
 
 _ENTRY_SUFFIX = ".json"
 _TMP_MARKER = ".tmp"

@@ -25,6 +25,7 @@ MODULES = [
     "repro",
     "repro.api",
     "repro.check",
+    "repro.compile",
     "repro.obs",
     "repro.recovery",
     "repro.store",

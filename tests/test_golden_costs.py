@@ -19,11 +19,21 @@ regenerates them with::
     pytest tests/test_golden_costs.py --update-golden
 
 and justifies the diff in the commit message.
+
+The compiled execution path (:mod:`repro.compile`) is pinned twice
+over: the compiled simulator feed must reproduce the *same* golden
+times as the interpreted feed (one golden file serves both, which is
+the transparency contract made regression-proof), and the compiled
+program artifact itself — fingerprint and table shape for the 8-rank
+k-nomial — is frozen in ``tests/golden/compiled_programs.json`` so a
+lowering change that reorders or re-encodes tables is loud even when
+execution results happen to survive it.
 """
 
 from __future__ import annotations
 
 from repro.bench.sweep import SweepPoint, clear_sim_memo, simulate_point
+from repro.compile import compile_schedule
 from repro.core.registry import build_schedule
 from repro.models import ModelParams, model_time
 from repro.simnet.machines import reference
@@ -83,3 +93,55 @@ def test_simulated_costs_pinned(golden):
                     )
                     actual[_key(coll, alg, p, k, n)] = fresh
     golden("simulated_costs").check(actual)
+
+
+def test_simulated_costs_pinned_compiled(golden):
+    """The compiled simulator feed reproduces the same golden times.
+
+    Checked against the *same* golden file as the interpreted path —
+    compiled execution is transparent by contract, so it has no numbers
+    of its own to pin.  A divergence here is a compiler bug, not a cost
+    change to regenerate over.
+    """
+    actual = {}
+    for coll, alg in CASES:
+        for p in PS:
+            machine = reference(p)
+            for k in KS:
+                schedule = build_schedule(coll, alg, p, k=k)
+                for n in SIZES:
+                    compiled = simulate(
+                        schedule, machine, n, compiled=True
+                    ).time_us
+                    interpreted = simulate(
+                        schedule, machine, n, compiled=False
+                    ).time_us
+                    assert compiled == interpreted, (
+                        f"compiled feed diverged from the interpreter at "
+                        f"{_key(coll, alg, p, k, n)}"
+                    )
+                    actual[_key(coll, alg, p, k, n)] = compiled
+    golden("simulated_costs").check(actual)
+
+
+def test_compiled_program_fingerprint_pinned(golden):
+    """The 8-rank k-nomial's compiled artifact, frozen shape and all.
+
+    The fingerprint hashes every program table (peers, offsets, sizes,
+    op codes, tags, step boundaries), so any lowering change — a
+    reordered op, a re-encoded offset, a dropped fusion boundary —
+    changes it even when execution results survive.  Table counts are
+    pinned alongside as the human-readable part of the diff.
+    """
+    actual = {}
+    for coll in ("bcast", "reduce"):
+        for k in KS:
+            schedule = build_schedule(coll, "knomial", 8, k=k)
+            compiled = compile_schedule(schedule)
+            key = f"{coll}/knomial/p8/k{k}"
+            actual[f"{key}/fingerprint"] = compiled.fingerprint()
+            actual[f"{key}/total_ops"] = compiled.total_ops()
+            actual[f"{key}/nsteps"] = max(
+                prog.nsteps for prog in compiled.programs
+            )
+    golden("compiled_programs").check(actual)
