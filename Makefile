@@ -25,8 +25,9 @@ bench:
 	pytest benchmarks/ --benchmark-only
 
 # Perf-regression smoke gate against the committed BENCH_perf.json
-# (schedule-build factor, cache integrity, and the observability
-# overhead gate: instrumentation must stay near-free when disabled);
+# (schedule-build factor, cache integrity, the observability overhead
+# gate, and the scale tier: p=4096 sweep under budget, collapsed ==
+# materialized on the p=16 grid, sublinear lazy probe up to p=2^20);
 # regenerate the baseline with `repro-bench-perf -o BENCH_perf.json`.
 perf:
 	repro-bench-perf --smoke --baseline BENCH_perf.json

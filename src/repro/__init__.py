@@ -38,21 +38,25 @@ Quickstart::
                         p=machine.nranks, k=4)
     print(repro.simulate(sched, machine, nbytes=65536).time_us, "us")
 
+Machines are addressable by registry name (``repro.simnet.machines.get``
+— e.g. ``repro.simulate(sched, "dragonfly-1024", nbytes=65536)``), and
+``simulate`` takes ``engine="auto"|"materialized"|"collapsed"`` to select
+the class-collapsed large-p simulation core (see
+:mod:`repro.simnet.collapsed`).
+
 The pre-facade spellings (``repro.run_collective``,
 ``repro.build_schedule``, ``repro.execute_threaded``, schedule-first
-``repro.execute``) still work but emit one :class:`DeprecationWarning`
-each; the implementation modules they delegate to are unchanged.
+``repro.execute``, positional-``nbytes`` ``repro.simulate``) have been
+removed after their five-release deprecation window; the implementation
+modules they delegated to are unchanged.
 """
 
 from .api import (
     BACKENDS,
+    ENGINES,
     build,
-    dispatching_execute as execute,
-    dispatching_simulate as simulate,
-    legacy_build_schedule as build_schedule,
-    legacy_execute_threaded as execute_threaded,
-    legacy_run_collective as run_collective,
-    legacy_run_collective_threaded as run_collective_threaded,
+    execute,
+    simulate,
 )
 from .bench import (
     ALL_EXPERIMENTS,
@@ -107,8 +111,9 @@ from .simnet import (
     reference,
     traffic_summary,
 )
+from .simnet.machines import get as machine, resolve as resolve_machine
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -117,6 +122,7 @@ __all__ = [
     "simulate",
     "execute",
     "BACKENDS",
+    "ENGINES",
     # core
     "Schedule",
     "verify",
@@ -133,6 +139,8 @@ __all__ = [
     "frontier",
     "polaris",
     "reference",
+    "machine",
+    "resolve_machine",
     "traffic_summary",
     "NoiseModel",
     # observability
@@ -173,9 +181,4 @@ __all__ = [
     "TraceError",
     "ObsError",
     "RecoveryError",
-    # deprecated (warn once, then delegate)
-    "run_collective",
-    "run_collective_threaded",
-    "build_schedule",
-    "execute_threaded",
 ]

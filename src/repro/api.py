@@ -25,17 +25,19 @@ makes every count/radix/root explicit at the call site::
                         p=16, count=1024, k=4)
 
 The pre-facade spellings (``run_collective``, ``build_schedule``,
-``execute_threaded``, schedule-first ``execute``) keep working as thin
-wrappers that emit one :class:`DeprecationWarning` each per process and
-then delegate; the underlying modules (:mod:`repro.runtime`,
-:mod:`repro.simnet`, :mod:`repro.core`) are unchanged and warning-free
-for code that imports them directly.
+``execute_threaded``, positional-``nbytes`` ``simulate``, schedule-first
+``execute``) warned for five releases and are now **removed** — the
+implementation modules (:mod:`repro.runtime`, :mod:`repro.simnet`,
+:mod:`repro.core`) they delegated to are unchanged for code that imports
+them directly.  The one remaining shim is the old ``collect_timeline=``
+keyword on :func:`simulate`, which maps onto ``timeline=`` with a single
+:class:`DeprecationWarning` per process.
 """
 
 from __future__ import annotations
 
 import warnings
-from typing import Dict, List, Optional
+from typing import Optional
 
 import numpy as np
 
@@ -52,10 +54,10 @@ from .runtime.buffers import (
 from .runtime.executor import CollectiveRun, execute as _execute_lockstep
 from .runtime.ops import SUM, ReduceOp
 from .runtime.threaded import execute_threaded as _execute_threaded
-from .simnet.simulate import SimResult, simulate as _simulate
-from .simnet.machines import MachineSpec
+from .simnet.simulate import ENGINES, SimResult, simulate as _simulate
+from .simnet.machines import resolve as _resolve_machine
 
-__all__ = ["build", "simulate", "execute", "BACKENDS"]
+__all__ = ["build", "simulate", "execute", "BACKENDS", "ENGINES"]
 
 #: Execution backends accepted by :func:`execute`.
 BACKENDS = ("lockstep", "threaded")
@@ -85,7 +87,7 @@ def build(
 
 def simulate(
     schedule: Schedule,
-    machine: MachineSpec,
+    machine,
     *,
     nbytes: int,
     noise=None,
@@ -93,26 +95,51 @@ def simulate(
     timeline: bool = False,
     block_map=None,
     compiled: bool = True,
+    engine: str = "auto",
     obs: Optional[Obs] = None,
+    **legacy,
 ) -> SimResult:
     """Time ``schedule`` moving ``nbytes`` total on a simulated ``machine``.
 
     Keyword-only wrapper over :func:`repro.simnet.simulate`; ``timeline``
-    requests per-message event collection (the old ``collect_timeline``),
-    ``noise`` perturbs link costs, ``faults`` injects drops/crashes, and
-    ``obs`` selects an observability scope (default: the process-global
-    one — see :mod:`repro.obs`).  ``compiled=False`` disables the
-    cost-identical compiled program feed (see :mod:`repro.compile`).
+    requests per-message event collection, ``noise`` perturbs link costs,
+    ``faults`` injects drops/crashes, and ``obs`` selects an
+    observability scope (default: the process-global one — see
+    :mod:`repro.obs`).  ``compiled=False`` disables the cost-identical
+    compiled program feed (see :mod:`repro.compile`).
+
+    ``machine`` is a :class:`~repro.simnet.machine.MachineSpec` or a
+    registry name such as ``"dragonfly-1024"`` (see
+    :func:`repro.simnet.machines.get`).  ``engine`` selects the
+    simulation core — ``"auto"`` (default), ``"materialized"``, or
+    ``"collapsed"`` (one representative per rank-equivalence class,
+    sublinear in p; bit-identical, with recorded fallback on asymmetric
+    runs — see :func:`repro.simnet.simulate.simulate`).
+
+    The pre-facade ``collect_timeline=`` keyword still maps onto
+    ``timeline=`` with one :class:`DeprecationWarning` per process.
     """
+    if "collect_timeline" in legacy:
+        _deprecated(
+            "simulate(..., collect_timeline=...)",
+            "simulate(..., timeline=...)",
+        )
+        timeline = legacy.pop("collect_timeline")
+    if legacy:
+        raise TypeError(
+            f"simulate() got unexpected keyword argument(s) "
+            f"{sorted(legacy)}"
+        )
     return _simulate(
         schedule,
-        machine,
+        _resolve_machine(machine),
         nbytes,
         noise=noise,
         faults=faults,
         collect_timeline=timeline,
         block_map=block_map,
         compiled=compiled,
+        engine=engine,
         obs=obs,
     )
 
@@ -226,12 +253,10 @@ def execute(
 
 
 # ---------------------------------------------------------------------------
-# Deprecated pre-facade spellings.
-#
-# Each warns exactly once per process (per name), then delegates to the
-# unchanged implementation.  Importing the implementation modules
-# directly (repro.runtime.executor.run_collective, repro.simnet.simulate)
-# never warns — only the top-level legacy spellings do.
+# Once-per-process deprecation shims.  The PR 3-era legacy entry points
+# (build_schedule, run_collective, run_collective_threaded, positional
+# simulate, schedule-first execute) are gone; this mechanism remains for
+# the shims still in their warning window (collect_timeline= above).
 # ---------------------------------------------------------------------------
 
 _warned: set = set()
@@ -246,94 +271,3 @@ def _deprecated(old: str, new: str) -> None:
         DeprecationWarning,
         stacklevel=3,
     )
-
-
-def legacy_build_schedule(
-    collective: str,
-    algorithm: str,
-    p: int,
-    *,
-    k: Optional[int] = None,
-    root: int = 0,
-) -> Schedule:
-    """Deprecated spelling of :func:`build` (positional ``p``)."""
-    _deprecated("build_schedule", "build(..., p=...)")
-    return _build_schedule(collective, algorithm, p, k=k, root=root)
-
-
-def legacy_run_collective(
-    collective: str,
-    algorithm: str,
-    p: int,
-    count: int,
-    **kwargs,
-) -> CollectiveRun:
-    """Deprecated spelling of :func:`execute` (lockstep backend)."""
-    _deprecated("run_collective", "execute(..., p=..., count=...)")
-    from .runtime.executor import run_collective as impl
-
-    return impl(collective, algorithm, p, count, **kwargs)
-
-
-def legacy_run_collective_threaded(
-    collective: str,
-    algorithm: str,
-    p: int,
-    count: int,
-    **kwargs,
-) -> List[np.ndarray]:
-    """Deprecated spelling of :func:`execute` with ``backend='threaded'``."""
-    _deprecated(
-        "run_collective_threaded", "execute(..., backend='threaded')"
-    )
-    from .runtime.threaded import run_collective_threaded as impl
-
-    return impl(collective, algorithm, p, count, **kwargs)
-
-
-def legacy_execute_threaded(schedule, buffers, **kwargs):
-    """Deprecated schedule-level threaded entry point."""
-    _deprecated(
-        "execute_threaded",
-        "execute(..., backend='threaded') or repro.runtime.execute_threaded",
-    )
-    return _execute_threaded(schedule, buffers, **kwargs)
-
-
-def dispatching_simulate(schedule, machine, nbytes=None, **kwargs):
-    """Top-level ``repro.simulate``: the facade plus legacy spellings.
-
-    Accepts ``nbytes`` positionally (the pre-facade signature) and maps
-    the old ``collect_timeline=`` keyword onto ``timeline=`` with a
-    one-time :class:`DeprecationWarning`.
-    """
-    if "collect_timeline" in kwargs:
-        _deprecated(
-            "simulate(..., collect_timeline=...)",
-            "simulate(..., timeline=...)",
-        )
-        kwargs.setdefault("timeline", kwargs.pop("collect_timeline"))
-    if nbytes is not None:
-        if "nbytes" in kwargs:
-            raise TypeError("simulate() got multiple values for 'nbytes'")
-        kwargs["nbytes"] = nbytes
-    return simulate(schedule, machine, **kwargs)
-
-
-def dispatching_execute(collective, algorithm=None, **kwargs):
-    """Top-level ``repro.execute``: new facade plus legacy dispatch.
-
-    The pre-facade ``repro.execute(schedule, buffers)`` took a built
-    schedule and per-rank arrays.  When the first argument is a
-    :class:`~repro.core.schedule.Schedule` this wrapper warns once and
-    delegates to :func:`repro.runtime.execute`; otherwise it is the
-    facade's name-based :func:`execute`.
-    """
-    if isinstance(collective, Schedule):
-        _deprecated(
-            "execute(schedule, buffers)",
-            "execute(collective, algorithm, *, p=..., count=...) or "
-            "repro.runtime.execute",
-        )
-        return _execute_lockstep(collective, algorithm, **kwargs)
-    return execute(collective, algorithm, **kwargs)

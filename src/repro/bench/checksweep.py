@@ -45,7 +45,14 @@ DEFAULT_KS: Tuple[int, ...] = tuple(range(2, 9))
 
 @dataclass(frozen=True)
 class CheckPoint:
-    """One sweep configuration to analyze."""
+    """One sweep configuration to analyze.
+
+    ``engine="collapsed"`` additionally runs the rank-equivalence-class
+    analysis (:func:`repro.compile.classify`) on a symmetric reference
+    machine and records the class count — still purely static: the
+    analysis verifies the relabeling-bijection invariants without ever
+    touching the simulator.
+    """
 
     collective: str
     algorithm: str
@@ -53,6 +60,7 @@ class CheckPoint:
     k: Optional[int] = None
     nbytes: int = DEFAULT_NBYTES
     eager_threshold: Optional[int] = None
+    engine: str = "materialized"
 
 
 @dataclass(frozen=True)
@@ -75,6 +83,7 @@ class CheckRecord:
     infos: int = 0
     findings: Tuple[Dict[str, object], ...] = ()
     error: Optional[str] = None
+    nclasses: Optional[int] = None
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-safe rendering (stable keys)."""
@@ -92,6 +101,8 @@ class CheckRecord:
             out["findings"] = [dict(f) for f in self.findings]
         if self.error is not None:
             out["error"] = self.error
+        if self.nclasses is not None:
+            out["nclasses"] = self.nclasses
         return out
 
 
@@ -130,6 +141,7 @@ def grid_points(
     eager_threshold: Optional[int] = None,
     collective: Optional[str] = None,
     algorithm: Optional[str] = None,
+    engine: str = "materialized",
 ) -> List[CheckPoint]:
     """Expand the registry × grid into concrete sweep points."""
     points: List[CheckPoint] = []
@@ -147,6 +159,7 @@ def grid_points(
                     k=k,
                     nbytes=nbytes,
                     eager_threshold=eager_threshold,
+                    engine=engine,
                 )
             )
     return points
@@ -177,6 +190,22 @@ def _check_chunk(points: Sequence[CheckPoint]) -> List[CheckRecord]:
                 )
             )
             continue
+        nclasses = None
+        if pt.engine == "collapsed":
+            try:
+                nclasses = _classify_point(pt)
+            except ReproError as exc:
+                records.append(
+                    CheckRecord(
+                        collective=pt.collective,
+                        algorithm=pt.algorithm,
+                        p=pt.p,
+                        k=pt.k,
+                        ok=False,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                )
+                continue
         records.append(
             CheckRecord(
                 collective=pt.collective,
@@ -194,9 +223,28 @@ def _check_chunk(points: Sequence[CheckPoint]) -> List[CheckRecord]:
                 )
                 if not report.ok
                 else (),
+                nclasses=nclasses,
             )
         )
     return records
+
+
+def _classify_point(pt: CheckPoint) -> int:
+    """Class count for one grid point on a symmetric reference machine.
+
+    Purely static: :func:`repro.compile.get_or_classify` verifies the
+    peer-relabeling bijection invariants while partitioning, so a point
+    that survives this call is proven safe for the collapsed simulation
+    core — without ever running it.
+    """
+    from ..compile import get_or_classify
+    from ..core.cache import global_schedule_cache
+    from ..simnet.machines import reference
+
+    schedule, _ = global_schedule_cache().get_or_build(
+        pt.collective, pt.algorithm, pt.p, k=pt.k, root=0
+    )
+    return get_or_classify(schedule, reference(pt.p), pt.nbytes).nclasses
 
 
 def run_check_sweep(
@@ -226,7 +274,7 @@ def summarize_check_sweep(records: Sequence[CheckRecord]) -> Dict[str, object]:
     for r in failing:
         key = f"{r.collective}/{r.algorithm}"
         by_pair[key] = by_pair.get(key, 0) + 1
-    return {
+    out: Dict[str, object] = {
         "points": len(records),
         "ok": len(records) - len(failing),
         "failing": len(failing),
@@ -234,3 +282,13 @@ def summarize_check_sweep(records: Sequence[CheckRecord]) -> Dict[str, object]:
         "infos": sum(r.infos for r in records),
         "failing_by_pair": dict(sorted(by_pair.items())),
     }
+    classified = [r for r in records if r.nclasses is not None]
+    if classified:
+        # --engine collapsed: how hard the grid collapses — the ratio
+        # is the sublinearity the batched core buys on this grid.
+        out["classes"] = {
+            "points": len(classified),
+            "total_ranks": sum(r.p for r in classified),
+            "total_classes": sum(r.nclasses for r in classified),
+        }
+    return out

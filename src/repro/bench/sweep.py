@@ -59,13 +59,14 @@ from ..core.cache import (
     set_global_schedule_cache,
 )
 from ..core.registry import info
-from ..errors import ReproError, StoreError
+from ..errors import ClassAnalysisError, ReproError, StoreError
 from ..faults.plan import FaultPlan
 from ..obs import OBS, MetricsSnapshot, SimTimeline, SpanRecord, TraceContext
 from ..parallel import ChunkFailure, resolve_jobs, run_chunks
 from ..simnet.machine import MachineSpec
+from ..simnet.machines import resolve as resolve_machine
 from ..simnet.noise import NoiseModel
-from ..simnet.simulate import simulate
+from ..simnet.simulate import ENGINES, simulate
 from ..selection.tuner import radix_grid
 from ..store.journal import JournalWriter, journal_header, read_journal
 from ..store.schedules import open_schedule_store
@@ -200,6 +201,13 @@ _SimKey = Tuple[Tuple[str, str, int, Optional[int], int], MachineSpec,
 _SIM_MEMO: Dict[_SimKey, float] = {}
 _SIM_MEMO_MAX = 1 << 16
 
+#: Rank count from which sweep points route through the lazy generator
+#: schedules (:mod:`repro.core.lazy`) when one covers the point and the
+#: engine allows collapsing — above it, materializing p per-rank op lists
+#: dominates the sweep's wall clock, below it the build cache is cheap
+#: enough that bypassing it buys nothing.
+_LAZY_SWEEP_MIN_RANKS = 2048
+
 
 def clear_sim_memo() -> None:
     """Drop every memoized simulation result (perf-bench cold runs)."""
@@ -214,6 +222,7 @@ def simulate_point(
     faults: Optional[FaultPlan] = None,
     reuse: bool = True,
     compiled: bool = True,
+    engine: str = "auto",
 ) -> SweepPointResult:
     """Simulate one point, reusing cached schedules and memoized results.
 
@@ -224,8 +233,13 @@ def simulate_point(
     in the result record.
 
     ``compiled`` selects the compiled simulator feed (the default) or
-    op-by-op IR interpretation; the simulated time is bit-identical
-    either way, which is why the memo key deliberately ignores it.
+    op-by-op IR interpretation; ``engine`` the simulation core
+    (:data:`~repro.simnet.simulate.ENGINES`).  The simulated time is
+    bit-identical across all of them, which is why the memo key
+    deliberately ignores both.  At large p (≥ ``_LAZY_SWEEP_MIN_RANKS``)
+    a collapsing-capable engine routes eligible points through the lazy
+    generator schedules (:func:`repro.core.lazy.lookup`), skipping the
+    per-rank materialization entirely.
 
     With observability enabled the point's wall time lands in the
     ``repro_sweep_point_seconds`` histogram and a per-outcome counter —
@@ -234,12 +248,12 @@ def simulate_point(
     if not OBS.enabled:
         return _simulate_point_impl(
             machine, point, noise=noise, faults=faults, reuse=reuse,
-            compiled=compiled,
+            compiled=compiled, engine=engine,
         )
     t0 = time.perf_counter()
     res = _simulate_point_impl(
         machine, point, noise=noise, faults=faults, reuse=reuse,
-        compiled=compiled,
+        compiled=compiled, engine=engine,
     )
     dt = time.perf_counter() - t0
     outcome = (
@@ -260,15 +274,24 @@ def _simulate_point_impl(
     faults: Optional[FaultPlan],
     reuse: bool,
     compiled: bool = True,
+    engine: str = "auto",
 ) -> SweepPointResult:
     try:
         entry = info(point.collective, point.algorithm)
         root = point.root if entry.takes_root else 0
+        lazy = _lazy_route(machine, point, root,
+                           noise=noise, faults=faults, engine=engine)
         if not reuse:
+            if lazy is not None:
+                sim = simulate(
+                    lazy, machine, point.nbytes, noise=noise, faults=faults,
+                    compiled=compiled, engine=engine,
+                )
+                return SweepPointResult(point, sim.time, False)
             schedule = entry.build(machine.nranks, k=point.k, root=root)
             sim = simulate(
                 schedule, machine, point.nbytes, noise=noise, faults=faults,
-                compiled=compiled,
+                compiled=compiled, engine=engine,
             )
             return SweepPointResult(point, sim.time, False)
         key = (
@@ -287,17 +310,24 @@ def _simulate_point_impl(
         memo_time = _SIM_MEMO.get(key)
         if memo_time is not None:
             return SweepPointResult(point, memo_time, True, sim_hit=True)
-        schedule, hit = global_schedule_cache().get_or_build(
-            point.collective,
-            point.algorithm,
-            machine.nranks,
-            k=point.k,
-            root=root,
-        )
-        sim = simulate(
-            schedule, machine, point.nbytes, noise=noise, faults=faults,
-            compiled=compiled,
-        )
+        if lazy is not None:
+            sim = simulate(
+                lazy, machine, point.nbytes, noise=noise, faults=faults,
+                compiled=compiled, engine=engine,
+            )
+            hit = False
+        else:
+            schedule, hit = global_schedule_cache().get_or_build(
+                point.collective,
+                point.algorithm,
+                machine.nranks,
+                k=point.k,
+                root=root,
+            )
+            sim = simulate(
+                schedule, machine, point.nbytes, noise=noise, faults=faults,
+                compiled=compiled, engine=engine,
+            )
         if len(_SIM_MEMO) >= _SIM_MEMO_MAX:
             _SIM_MEMO.clear()
         _SIM_MEMO[key] = sim.time
@@ -310,6 +340,42 @@ def _simulate_point_impl(
             f"{type(exc).__name__}: {exc}",
             traceback=traceback.format_exc(),
         )
+
+
+def _lazy_route(
+    machine: MachineSpec,
+    point: SweepPoint,
+    root: int,
+    *,
+    noise: Optional[NoiseModel],
+    faults: Optional[FaultPlan],
+    engine: str,
+):
+    """The lazy generator schedule for ``point``, or None to build normally.
+
+    Routing is opt-in by scale: only collapsing-capable engines at
+    p ≥ ``_LAZY_SWEEP_MIN_RANKS`` on symmetric runs, and only when the
+    class analysis actually succeeds — so a routed point is guaranteed to
+    take the collapsed core rather than falling back to a materialization
+    that might exceed the lazy op-count guard.
+    """
+    if engine not in ("auto", "collapsed"):
+        return None
+    if machine.nranks < _LAZY_SWEEP_MIN_RANKS:
+        return None
+    if noise is not None or faults is not None:
+        return None
+    from ..core.lazy import lookup
+
+    lazy = lookup(point.collective, point.algorithm, machine.nranks,
+                  k=point.k, root=root)
+    if lazy is None:
+        return None
+    try:
+        lazy.classes(machine, point.nbytes)
+    except ClassAnalysisError:
+        return None
+    return lazy
 
 
 def _maybe_injected_crash(point: SweepPoint) -> None:
@@ -335,7 +401,7 @@ def _maybe_injected_crash(point: SweepPoint) -> None:
 # The trailing TraceContext is None unless the parent sweep is being
 # observed — workers join its trace and ship their records back.
 _ChunkTask = Tuple[MachineSpec, Optional[NoiseModel], Optional[FaultPlan],
-                   bool, bool, Tuple[SweepPoint, ...],
+                   bool, bool, str, Tuple[SweepPoint, ...],
                    Optional[TraceContext]]
 
 
@@ -362,7 +428,7 @@ def _run_chunk(task: _ChunkTask):
     Never raises: per-point errors are folded into the results so one
     bad configuration cannot poison the pool or its sibling points.
     """
-    machine, noise, faults, reuse, compiled, points, ctx = task
+    machine, noise, faults, reuse, compiled, engine, points, ctx = task
     if ctx is None or ctx.origin_pid == os.getpid():
         # Plain path — or the parent process itself (serial/degenerate
         # pool), where records land directly in the live registry.  The
@@ -374,7 +440,7 @@ def _run_chunk(task: _ChunkTask):
             out.append(
                 simulate_point(
                     machine, pt, noise=noise, faults=faults, reuse=reuse,
-                    compiled=compiled,
+                    compiled=compiled, engine=engine,
                 )
             )
         return out
@@ -391,7 +457,7 @@ def _run_chunk(task: _ChunkTask):
                 results.append(
                     simulate_point(
                         machine, pt, noise=noise, faults=faults,
-                        reuse=reuse, compiled=compiled,
+                        reuse=reuse, compiled=compiled, engine=engine,
                     )
                 )
     finally:
@@ -418,6 +484,7 @@ def _chunk_points(
     faults: Optional[FaultPlan],
     reuse: bool,
     compiled: bool,
+    engine: str,
     points: Sequence[SweepPoint],
     ctx: Optional[TraceContext] = None,
 ) -> List[_ChunkTask]:
@@ -433,22 +500,24 @@ def _chunk_points(
     for pt in points:
         if group and pt.schedule_params() != group[-1].schedule_params():
             chunks.append(
-                (machine, noise, faults, reuse, compiled, tuple(group), ctx)
+                (machine, noise, faults, reuse, compiled, engine,
+                 tuple(group), ctx)
             )
             group = []
         group.append(pt)
     if group:
         chunks.append(
-            (machine, noise, faults, reuse, compiled, tuple(group), ctx)
+            (machine, noise, faults, reuse, compiled, engine,
+             tuple(group), ctx)
         )
     return chunks
 
 
 def _split_chunk(task: _ChunkTask) -> List[_ChunkTask]:
     """Split a failing chunk into single-point tasks (poison cornering)."""
-    machine, noise, faults, reuse, compiled, points, ctx = task
+    machine, noise, faults, reuse, compiled, engine, points, ctx = task
     return [
-        (machine, noise, faults, reuse, compiled, (pt,), ctx)
+        (machine, noise, faults, reuse, compiled, engine, (pt,), ctx)
         for pt in points
     ]
 
@@ -462,7 +531,7 @@ def _chunk_error_records(
     there is no worker traceback to preserve — the process is gone — so
     the record carries the executor's mechanical story instead.
     """
-    points = task[5]
+    points = task[6]
     error = f"ChunkFailure: {failure}"
     note = (
         "worker process lost before a traceback could be captured "
@@ -489,7 +558,7 @@ def _point_key(point: SweepPoint) -> str:
 
 def sweep_fingerprint(
     points: Sequence[SweepPoint],
-    machine: MachineSpec,
+    machine: Union[str, MachineSpec],
     *,
     noise: Optional[NoiseModel] = None,
     faults: Optional[FaultPlan] = None,
@@ -501,10 +570,14 @@ def sweep_fingerprint(
     a journal can never be spliced into a sweep over a different grid,
     machine, or noise/fault plan — replaying foreign results would
     silently corrupt science.  All components hash by ``repr`` of frozen
-    dataclasses, which pin every parameter that affects a result.
+    dataclasses, which pin every parameter that affects a result.  A
+    machine given by registry name hashes as its resolved spec, so
+    ``"reference-64"`` and ``reference(64)`` share journals; the engine
+    and ``compiled`` are deliberately absent — they never change a
+    result, so a journal written under one resumes under another.
     """
     h = hashlib.sha256()
-    h.update(repr(machine).encode())
+    h.update(repr(resolve_machine(machine)).encode())
     h.update(f"|noise={noise!r}|faults={faults!r}|reuse={reuse}".encode())
     for pt in points:
         h.update(b"|")
@@ -575,7 +648,7 @@ def _open_sweep_journal(
 
 def run_sweep(
     points: Sequence[SweepPoint],
-    machine: MachineSpec,
+    machine: Union[str, MachineSpec],
     *,
     jobs: int = 0,
     noise: Optional[NoiseModel] = None,
@@ -588,8 +661,14 @@ def run_sweep(
     deadline: Optional[float] = None,
     isolate: bool = False,
     compiled: bool = True,
+    engine: str = "auto",
 ) -> List[SweepPointResult]:
     """Simulate every point on ``machine``; results in point order.
+
+    ``machine`` is a spec or a registry name
+    (:func:`repro.simnet.machines.get`); ``engine`` selects the
+    simulation core per point (:data:`~repro.simnet.simulate.ENGINES`)
+    without affecting any result bit.
 
     ``jobs=0``/``1`` runs serially in-process; ``jobs>=2`` fans chunks
     out to a process pool; ``jobs<0`` uses every core.  Output is
@@ -630,6 +709,11 @@ def run_sweep(
         of stall, and ``isolate=True`` forces real worker processes even
         on single-core hosts (crash isolation needs a process boundary).
     """
+    machine = resolve_machine(machine)
+    if engine not in ENGINES:
+        raise ReproError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}"
+        )
     if store is not None and not isinstance(store, ScheduleCache):
         store = open_schedule_store(store)
     previous_cache = None
@@ -654,8 +738,9 @@ def run_sweep(
         try:
             computed = _dispatch_sweep(
                 pending, machine, jobs=jobs, noise=noise, faults=faults,
-                reuse=reuse, compiled=compiled, writer=writer,
-                retries=retries, deadline=deadline, isolate=isolate,
+                reuse=reuse, compiled=compiled, engine=engine,
+                writer=writer, retries=retries, deadline=deadline,
+                isolate=isolate,
             )
         finally:
             if writer is not None:
@@ -685,6 +770,7 @@ def _dispatch_sweep(
     faults: Optional[FaultPlan],
     reuse: bool,
     compiled: bool,
+    engine: str,
     writer: Optional[JournalWriter],
     retries: int,
     deadline: Optional[float],
@@ -707,7 +793,7 @@ def _dispatch_sweep(
     on_done = journal_chunk if writer is not None else None
     if not OBS.enabled:
         chunks = _chunk_points(machine, noise, faults, reuse, compiled,
-                               points)
+                               engine, points)
         return run_chunks(
             _run_chunk, chunks, jobs=jobs, retries=retries,
             deadline=deadline, on_chunk_error=_chunk_error_records,
@@ -717,7 +803,7 @@ def _dispatch_sweep(
         effective = resolve_jobs(jobs)
         ctx = OBS.tracer.context() if effective >= 2 or isolate else None
         chunks = _chunk_points(machine, noise, faults, reuse, compiled,
-                               points, ctx)
+                               engine, points, ctx)
         t0 = time.perf_counter()
         raw = run_chunks(
             _run_chunk, chunks, jobs=jobs, retries=retries,
@@ -814,21 +900,24 @@ class RadixSweep:
 def radix_latency_sweep(
     collective: str,
     algorithm: str,
-    machine: MachineSpec,
+    machine: Union[str, MachineSpec],
     sizes: Sequence[int],
     *,
     ks: Optional[Sequence[int]] = None,
     root: int = 0,
     noise: Optional[NoiseModel] = None,
     jobs: int = 0,
+    engine: str = "auto",
 ) -> RadixSweep:
     """Simulate a generalized algorithm across a (k × size) grid.
 
     With ``ks=None`` the grid is :func:`repro.selection.tuner.radix_grid`
     over the machine's rank count — the same grid the tuner and the
     analytical profiles use.  ``jobs`` fans the grid out over worker
-    processes without changing a single result (see :func:`run_sweep`).
+    processes and ``engine`` selects the simulation core, neither
+    changing a single result (see :func:`run_sweep`).
     """
+    machine = resolve_machine(machine)
     entry = info(collective, algorithm)
     if not entry.takes_k:
         raise ReproError(
@@ -855,7 +944,8 @@ def radix_latency_sweep(
         for k in grid
         for nbytes in sizes
     ]
-    results = run_sweep(points, machine, jobs=jobs, noise=noise)
+    results = run_sweep(points, machine, jobs=jobs, noise=noise,
+                        engine=engine)
     errors = sweep_errors(results)
     if errors:
         raise ReproError(

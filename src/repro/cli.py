@@ -79,7 +79,8 @@ from .core.registry import COLLECTIVES, algorithms_for, build_schedule, info
 from .core.validate import verify
 from .errors import ReproError
 from .selection.tuner import tune
-from .simnet.machines import by_name
+from .simnet.machines import by_name, get as machine_by_name
+from .simnet.simulate import ENGINES
 
 __all__ = [
     "main_bench",
@@ -92,6 +93,20 @@ __all__ = [
     "main_check",
     "main_sweep",
 ]
+
+
+def _machine_arg(name: str, nodes: int, ppn: int):
+    """Resolve a ``--machine`` argument.
+
+    A bare base name (``frontier``/``polaris``/``reference``) combines
+    with ``--nodes``/``--ppn``; a self-contained registry name
+    (``dragonfly-1024``, ``frontier-64x8``, ``reference-4096`` — see
+    :func:`repro.simnet.machines.get`) pins its own geometry, so the
+    large-p specs never need geometry flags.
+    """
+    if "-" in name:
+        return machine_by_name(name)
+    return by_name(name, nodes, ppn)
 
 
 def main_bench(argv: Optional[List[str]] = None) -> int:
@@ -158,11 +173,20 @@ def main_tune(argv: Optional[List[str]] = None) -> int:
         "MPICH-style selection configuration (paper §VI-G).",
     )
     parser.add_argument("--machine", default="frontier",
-                        choices=["frontier", "polaris", "reference"])
+                        help="base machine (frontier/polaris/reference, "
+                        "combined with --nodes/--ppn) or a self-contained "
+                        "registry name like dragonfly-1024 or "
+                        "frontier-64x8 (repro.simnet.machines.get)")
     parser.add_argument("--nodes", type=int, default=32)
     parser.add_argument("--ppn", type=int, default=1)
     parser.add_argument("--min-bytes", type=int, default=8)
     parser.add_argument("--max-bytes", type=int, default=1 << 22)
+    parser.add_argument("--engine", default="auto", choices=ENGINES,
+                        help="simulation core: auto (default) picks the "
+                        "class-collapsed engine where eligible, "
+                        "materialized forces per-rank simulation, "
+                        "collapsed requests collapsing with recorded "
+                        "fallback; winners are identical under all three")
     parser.add_argument("-j", "--jobs", type=int, default=0,
                         help="worker processes for the sweep (0/1 serial, "
                         "-1 all cores); winners are identical at any "
@@ -189,12 +213,13 @@ def main_tune(argv: Optional[List[str]] = None) -> int:
         OBS.reset()
         OBS.enable()
     try:
-        machine = by_name(args.machine, args.nodes, args.ppn)
+        machine = _machine_arg(args.machine, args.nodes, args.ppn)
         sizes = [n for n in default_sizes(args.min_bytes, args.max_bytes)]
         # Tuning every power of two is slow in simulation; every other
         # power of two bounds the sweep while keeping cutoffs tight.
         table = tune(machine, sizes[::2] + [sizes[-1]], jobs=args.jobs,
-                     check=args.check, compiled=not args.no_compile)
+                     check=args.check, compiled=not args.no_compile,
+                     engine=args.engine)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -431,7 +456,9 @@ def main_recover(argv: Optional[List[str]] = None) -> int:
                         choices=["threaded", "sim", "both"],
                         help="demo backend(s) (default both)")
     parser.add_argument("--machine", default="reference",
-                        choices=["frontier", "polaris", "reference"])
+                        help="base machine (frontier/polaris/reference) "
+                        "or a registry name like dragonfly-1024 "
+                        "(repro.simnet.machines.get)")
     parser.add_argument("--ppn", type=int, default=1)
     parser.add_argument("--sweep", action="store_true",
                         help="sweep every generalized algorithm across "
@@ -451,7 +478,7 @@ def main_recover(argv: Optional[List[str]] = None) -> int:
     spares = args.p if args.mode == "spare" else 0
     policy = RecoveryPolicy(mode=args.mode, spares=spares)
     try:
-        machine = by_name(args.machine, args.p // args.ppn, args.ppn)
+        machine = _machine_arg(args.machine, args.p // args.ppn, args.ppn)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -536,7 +563,9 @@ def main_bench_perf(argv: Optional[List[str]] = None) -> int:
         "optionally gate against a committed baseline report.",
     )
     parser.add_argument("--machine", default="frontier",
-                        choices=["frontier", "polaris", "reference"])
+                        help="base machine (frontier/polaris/reference, "
+                        "combined with --nodes/--ppn) or a registry name "
+                        "like dragonfly-1024 (default: frontier)")
     parser.add_argument("--nodes", type=int, default=16)
     parser.add_argument("--ppn", type=int, default=1)
     parser.add_argument("--smoke", action="store_true",
@@ -643,7 +672,9 @@ def main_trace(argv: Optional[List[str]] = None) -> int:
                         help="message size at the traced point "
                         "(default 65536)")
     parser.add_argument("--machine", default="frontier",
-                        choices=["frontier", "polaris", "reference"])
+                        help="base machine (frontier/polaris/reference) "
+                        "or a registry name like dragonfly-1024 "
+                        "(repro.simnet.machines.get)")
     parser.add_argument("--ppn", type=int, default=1,
                         help="processes per node (nodes = p / ppn)")
     parser.add_argument("-j", "--jobs", type=int, default=0,
@@ -672,7 +703,7 @@ def main_trace(argv: Optional[List[str]] = None) -> int:
         Path(args.output).with_name(Path(args.output).stem + "-metrics.json")
     )
     try:
-        machine = by_name(args.machine, args.p // args.ppn, args.ppn)
+        machine = _machine_arg(args.machine, args.p // args.ppn, args.ppn)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -768,6 +799,12 @@ def main_check(argv: Optional[List[str]] = None) -> int:
                         help="sweep every registry (collective, algorithm) "
                         "pair over the acceptance grid "
                         "(p in {2..17, 32, 64}, k in {2..8}) — the CI gate")
+    parser.add_argument("--engine", default="materialized", choices=ENGINES,
+                        help="with --all: 'collapsed' additionally runs "
+                        "the rank-equivalence-class analysis per point "
+                        "(still static — the checker never simulates) and "
+                        "reports class counts; 'materialized'/'auto' "
+                        "analyze schedules only")
     parser.add_argument("--strict", action="store_true",
                         help="exit 1 on warnings, not just errors")
     parser.add_argument("--json", action="store_true",
@@ -795,6 +832,7 @@ def main_check(argv: Optional[List[str]] = None) -> int:
             eager_threshold=args.eager_threshold,
             collective=args.collective,
             algorithm=args.algorithm,
+            engine=args.engine,
         )
         if not points:
             print("error: no registry entries match the filter",
@@ -814,6 +852,13 @@ def main_check(argv: Optional[List[str]] = None) -> int:
                 f"{summary['ok']} ok, {summary['failing']} failing, "
                 f"{summary['warnings']} warning(s)"
             )
+            if "classes" in summary:
+                cls = summary["classes"]
+                print(
+                    f"class analysis: {cls['total_ranks']} ranks collapse "
+                    f"to {cls['total_classes']} classes across "
+                    f"{cls['points']} configurations"
+                )
             for record in records:
                 if record.ok and not (args.strict and record.warnings):
                     continue
@@ -884,9 +929,16 @@ def main_sweep(argv: Optional[List[str]] = None) -> int:
         "resume where it died (--resume) with bit-identical results.",
     )
     parser.add_argument("--machine", default="frontier",
-                        choices=["frontier", "polaris", "reference"])
+                        help="base machine (frontier/polaris/reference, "
+                        "combined with --nodes/--ppn) or a self-contained "
+                        "registry name like dragonfly-1024 "
+                        "(repro.simnet.machines.get)")
     parser.add_argument("--nodes", type=int, default=16)
     parser.add_argument("--ppn", type=int, default=1)
+    parser.add_argument("--engine", default="auto", choices=ENGINES,
+                        help="simulation core: auto (default) picks the "
+                        "class-collapsed engine where eligible; results "
+                        "are identical under all three")
     parser.add_argument("--collective", default="allreduce",
                         choices=COLLECTIVES)
     parser.add_argument("--algorithm", default=None,
@@ -948,7 +1000,7 @@ def main_sweep(argv: Optional[List[str]] = None) -> int:
         print("error: --resume requires --journal", file=sys.stderr)
         return 2
     try:
-        machine = by_name(args.machine, args.nodes, args.ppn)
+        machine = _machine_arg(args.machine, args.nodes, args.ppn)
         algorithms = (
             [args.algorithm] if args.algorithm
             else algorithms_for(args.collective)
@@ -981,6 +1033,7 @@ def main_sweep(argv: Optional[List[str]] = None) -> int:
             deadline=args.deadline,
             isolate=args.isolate,
             compiled=not args.no_compile,
+            engine=args.engine,
         )
     except KeyboardInterrupt:
         # The journal already holds every completed point (each record

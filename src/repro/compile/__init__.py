@@ -46,15 +46,25 @@ Guarantees, in order of importance:
 interpreter.
 """
 
-from ..errors import CompileError
+from ..errors import ClassAnalysisError, CompileError
 from .cache import (
     CompiledCache,
     PersistentCompiledCache,
+    classes_store_key,
     compiled_store_key,
+    get_or_classify,
     get_or_compile,
     global_compiled_cache,
     open_compiled_store,
     set_global_compiled_cache,
+)
+from .classes import (
+    ClassProgram,
+    RankClasses,
+    classify,
+    counterpart_ops,
+    machine_asymmetry,
+    partition_key,
 )
 from .fuse import fuse_schedule, fused_groups
 from .lower import compile_schedule
@@ -97,4 +107,13 @@ __all__ = [
     "compiled_store_key",
     "PersistentCompiledCache",
     "open_compiled_store",
+    "ClassAnalysisError",
+    "ClassProgram",
+    "RankClasses",
+    "classify",
+    "counterpart_ops",
+    "machine_asymmetry",
+    "partition_key",
+    "classes_store_key",
+    "get_or_classify",
 ]

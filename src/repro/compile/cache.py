@@ -45,6 +45,9 @@ __all__ = [
     "compiled_store_key",
     "PersistentCompiledCache",
     "open_compiled_store",
+    "classes_store_key",
+    "get_or_classify",
+    "clear_class_cache",
 ]
 
 
@@ -265,6 +268,130 @@ class PersistentCompiledCache(CompiledCache):
     def disk_stats(self):
         """The disk tier's :class:`~repro.store.disk.StoreStats`."""
         return self.store.stats()
+
+
+# ----------------------------------------------------------------------
+# Class-partition cache: rank-equivalence partitions are derived from a
+# compiled artifact + machine link profile + byte residue, so they ride
+# the same two tiers — an in-process LRU here, and (when the global
+# compiled cache is disk-backed) content-addressed sidecar entries under
+# ``classes/…`` next to their ``compiled/…`` siblings.
+# ----------------------------------------------------------------------
+
+_CLASS_MAXSIZE = 256
+_class_entries: "OrderedDict" = OrderedDict()
+_class_lock = threading.Lock()
+
+
+def classes_store_key(schedule: Schedule, key_tuple) -> str:
+    """Disk-store key for one (schedule, machine, residue) partition.
+
+    ``key_tuple`` is the :func:`repro.compile.classes.partition_key`
+    value — the trailing fingerprint prefix plus the link-profile and
+    residue segments make the key fully content-addressed.
+    """
+    fp, (nodes, npg), residue = key_tuple
+    return (
+        f"classes/{schedule.collective}/{schedule.algorithm}/"
+        f"p={schedule.nranks}/k={schedule.k}/root={schedule.root}/"
+        f"{fp[:16]}/n{nodes}-g{npg}-r{residue}"
+    )
+
+
+def get_or_classify(schedule: Schedule, machine, nbytes: int):
+    """The rank-equivalence partition for one run, via the global caches.
+
+    Compiles (or fetches) the schedule's flat tables, then returns the
+    cached :class:`~repro.compile.classes.RankClasses` for
+    ``(tables, machine link profile, nbytes % nblocks)`` — classifying
+    on a miss.  When the global compiled cache is disk-backed
+    (:class:`PersistentCompiledCache`), partitions are persisted
+    write-through as ``classes/…`` entries; loaded entries are
+    sanity-checked and quarantined on any mismatch, mirroring the
+    compiled tier's semantic rung.
+    """
+    from .classes import RankClasses, classify, partition_key
+
+    compiled = _GLOBAL.get_or_compile(schedule)[0]
+    key = partition_key(compiled, machine, nbytes)
+    with _class_lock:
+        cached = _class_entries.get(key)
+        if cached is not None:
+            _class_entries.move_to_end(key)
+            if OBS.enabled:
+                OBS.metrics.counter(
+                    "repro_cache_lookups_total",
+                    cache="classes",
+                    outcome="hit",
+                ).inc()
+            return cached
+    if OBS.enabled:
+        OBS.metrics.counter(
+            "repro_cache_lookups_total", cache="classes", outcome="miss"
+        ).inc()
+    store = getattr(_GLOBAL, "store", None)
+    store_key = classes_store_key(schedule, key) if store is not None else None
+    if store is not None:
+        payload = store.get(store_key)
+        if payload is not None:
+            try:
+                classes = pickle.loads(
+                    base64.b64decode(payload["classes_pickle"])
+                )
+                if not isinstance(classes, RankClasses):
+                    raise ReproError("entry did not decode to RankClasses")
+                if (
+                    classes.nranks != compiled.nranks
+                    or classes.nblocks != compiled.nblocks
+                    or classes.residue != key[2]
+                    or payload.get("classes_fingerprint")
+                    != classes.fingerprint()
+                ):
+                    raise ReproError("partition does not match its key")
+            except Exception as exc:  # noqa: BLE001 — quarantine, not crash
+                store._quarantine(store.path_for(store_key), "semantic")
+                if OBS.enabled:
+                    OBS.metrics.counter(
+                        "repro_store_semantic_rejects_total",
+                        store=store.name,
+                        error=type(exc).__name__,
+                    ).inc()
+            else:
+                _class_insert(key, classes)
+                return classes
+    classes = classify(compiled, machine, nbytes)
+    if store is not None:
+        blob = pickle.dumps(classes, protocol=pickle.HIGHEST_PROTOCOL)
+        store.put(
+            store_key,
+            {
+                "source_fingerprint": compiled.fingerprint(),
+                "classes_fingerprint": classes.fingerprint(),
+                "classes_pickle": base64.b64encode(blob).decode("ascii"),
+            },
+        )
+    _class_insert(key, classes)
+    return classes
+
+
+def _class_insert(key, classes) -> None:
+    evicted = 0
+    with _class_lock:
+        _class_entries[key] = classes
+        _class_entries.move_to_end(key)
+        while len(_class_entries) > _CLASS_MAXSIZE:
+            _class_entries.popitem(last=False)
+            evicted += 1
+    if evicted and OBS.enabled:
+        OBS.metrics.counter(
+            "repro_cache_evictions_total", cache="classes"
+        ).inc(evicted)
+
+
+def clear_class_cache() -> None:
+    """Drop every in-process class partition (tests, cache swaps)."""
+    with _class_lock:
+        _class_entries.clear()
 
 
 def open_compiled_store(

@@ -1,0 +1,418 @@
+"""Rank-equivalence-class analysis over compiled program tables.
+
+In symmetric topologies most ranks of a collective schedule execute
+*isomorphic* programs: the same op kinds in the same step structure,
+moving payloads of the same sizes over the same link classes, with peers
+that differ only by a relabeling.  The paper's headline experiments run
+at 1024 nodes and beyond, where simulating every rank individually is
+the cost that keeps the acceptance grid small; grouping ranks into
+equivalence classes and simulating one representative per class makes
+the discrete-event cost track the *class count* instead of ``p``.
+
+This module computes that partition from the compiled flat tables
+(:mod:`repro.compile.program`) by classic partition refinement:
+
+1. **Base signature** — everything about a rank's program that is
+   invariant under peer relabeling: op kinds, raw step boundaries, the
+   per-op payload shape ``(block count, large-block count)`` under the
+   MPICH block partition (two ops carry equal byte counts for a given
+   total iff these agree), the per-op link class on the target machine
+   (intra / inter / group-crossing), and the per-op *matched counterpart
+   op index* — the position, in the peer's program, of the send/recv
+   this op pairs with under FIFO matching.
+2. **Refinement** — re-split every class on the class labels of each
+   op's peers, iterated to a fixpoint.  Including the counterpart op
+   index in the base signature makes the fixpoint strong enough that,
+   for every class ``A`` and send op ``j``, the op-``j`` peers of ``A``'s
+   members form exactly one class ``B`` with ``|B| = |A|`` and a 1:1
+   sender→receiver correspondence — the bijection the collapsed engine
+   (:mod:`repro.simnet.collapsed`) needs to redirect one representative
+   transfer per (class, op) pair.  :func:`classify` verifies this
+   invariant explicitly and raises
+   :class:`~repro.errors.ClassAnalysisError` if any schedule violates it.
+
+The partition depends on the total byte count only through
+``nbytes % nblocks`` (which blocks land in the one-byte-larger prefix of
+the MPICH partition), so cached partitions are keyed by that residue,
+the table fingerprint, and the machine's link profile — see
+:func:`partition_key` and the persistent sidecar cache in
+:mod:`repro.compile.cache`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ClassAnalysisError
+from ..simnet.machine import MachineSpec
+from .program import OP_COPY, OP_SEND, CompiledProgram, CompiledSchedule
+
+__all__ = [
+    "LINK_INTRA",
+    "LINK_INTER",
+    "LINK_GLOBAL",
+    "RankClasses",
+    "ClassProgram",
+    "classify",
+    "counterpart_ops",
+    "link_profile",
+    "partition_key",
+    "machine_asymmetry",
+]
+
+#: Per-op link classes (values stored in :attr:`ClassProgram.link`).
+LINK_INTRA = 0
+LINK_INTER = 1
+LINK_GLOBAL = 2
+
+
+def machine_asymmetry(machine: MachineSpec) -> Optional[str]:
+    """Why ``machine`` cannot host a class-collapsed simulation, or None.
+
+    The collapsed engine simulates one representative rank per class with
+    *private* port/compute resources, which is exact only when the real
+    machine shares no resource between ranks: one rank per node (no
+    shared intranode fabric) and no dragonfly global-channel pools
+    (per-group egress/ingress are shared across the whole group).  A
+    dragonfly *latency* layer without channel pools is fine — the
+    ``alpha_global`` adder is per-message and captured by the per-op
+    link class.
+    """
+    if machine.ppn != 1:
+        return f"ppn={machine.ppn} shares intranode resources across ranks"
+    df = machine.dragonfly
+    if df is not None and df.global_channels is not None:
+        return "dragonfly global channels are shared across ranks"
+    return None
+
+
+def link_profile(machine: MachineSpec) -> Tuple[int, int]:
+    """The part of a machine that determines per-op link classes.
+
+    With one rank per node (the only geometry the collapsed engine
+    accepts — see :func:`machine_asymmetry`), a rank's node is the rank
+    itself under either placement, so link classes depend only on the
+    node count and the dragonfly group size (0 when no dragonfly layer).
+    Used as a partition cache-key component.
+    """
+    df = machine.dragonfly
+    return (machine.nodes, df.nodes_per_group if df is not None else 0)
+
+
+def partition_key(
+    compiled: CompiledSchedule, machine: MachineSpec, nbytes: int
+) -> Tuple[str, Tuple[int, int], int]:
+    """Cache key under which a schedule's partition is stable.
+
+    The partition reads the compiled tables, the machine's link profile,
+    and the *shape* of the byte partition — which depends on ``nbytes``
+    only through ``nbytes % nblocks`` (the count of one-byte-larger
+    blocks in the MPICH partition).  Two simulations differing only in
+    total bytes with the same residue share a partition.
+    """
+    return (
+        compiled.fingerprint(),
+        link_profile(machine),
+        nbytes % compiled.nblocks,
+    )
+
+
+@dataclass
+class ClassProgram:
+    """One equivalence class: its representative's op tables plus the
+    per-send redirection targets the collapsed engine consumes.
+
+    ``feed`` mirrors :meth:`~repro.compile.program.CompiledSchedule.sim_feed`
+    for the representative — per raw step, ``(is_send, op_index)`` with
+    copies stripped.  ``send_target[j]`` is ``(class, op_index)`` of the
+    matched receive for send op ``j`` (and ``None`` for non-sends).
+    """
+
+    rep: int
+    size: int
+    kinds: np.ndarray      # int8 per op
+    nblk: np.ndarray       # int32 per op: blocks in the payload
+    nlarge: np.ndarray     # int32 per op: payload blocks in the +1 prefix
+    link: np.ndarray       # int8 per op: LINK_INTRA/INTER/GLOBAL
+    feed: Tuple[Tuple[Tuple[bool, int], ...], ...]
+    send_target: Tuple[Optional[Tuple[int, int]], ...]
+
+    @property
+    def nops(self) -> int:
+        """Op count of the representative's program."""
+        return len(self.kinds)
+
+    def op_bytes(self, total: int, nblocks: int) -> np.ndarray:
+        """Per-op payload bytes under ``BlockMap(total, nblocks)``.
+
+        A payload of ``nblk`` blocks, ``nlarge`` of them in the MPICH
+        partition's one-unit-larger prefix, carries exactly
+        ``nblk·(total // nblocks) + nlarge`` units.
+        """
+        base = total // nblocks
+        return self.nblk.astype(np.int64) * base + self.nlarge
+
+
+@dataclass
+class RankClasses:
+    """The rank partition of one compiled schedule on one machine.
+
+    ``labels[r]`` is the dense class id of rank ``r``; class ids are
+    ordered by representative (lowest member) rank, so ``labels[0] == 0``.
+    """
+
+    nranks: int
+    nblocks: int
+    residue: int           # nbytes % nblocks the partition was built for
+    labels: np.ndarray     # int32 [nranks]
+    classes: Tuple[ClassProgram, ...]
+
+    @property
+    def nclasses(self) -> int:
+        """Number of equivalence classes."""
+        return len(self.classes)
+
+    @property
+    def reps(self) -> Tuple[int, ...]:
+        """Representative (lowest) rank of each class, in class order."""
+        return tuple(c.rep for c in self.classes)
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the partition and redirection tables."""
+        h = hashlib.sha256()
+        h.update(f"{self.nranks}|{self.nblocks}|{self.residue}".encode())
+        h.update(np.ascontiguousarray(self.labels, dtype="<i4").tobytes())
+        for c in self.classes:
+            h.update(f"|C{c.rep},{c.size}".encode())
+            h.update(np.ascontiguousarray(c.kinds, dtype="<i1").tobytes())
+            for arr in (c.nblk, c.nlarge):
+                h.update(np.ascontiguousarray(arr, dtype="<i4").tobytes())
+            h.update(np.ascontiguousarray(c.link, dtype="<i1").tobytes())
+            h.update(
+                ("|T" + ";".join(
+                    "-" if t is None else f"{t[0]},{t[1]}"
+                    for t in c.send_target
+                )).encode()
+            )
+        return h.hexdigest()
+
+    def describe(self) -> str:
+        """One-line summary for reports."""
+        return (
+            f"{self.nclasses} class(es) over {self.nranks} rank(s), "
+            f"largest {int(max(c.size for c in self.classes))}"
+        )
+
+
+def counterpart_ops(programs: Tuple[CompiledProgram, ...]) -> List[np.ndarray]:
+    """Per rank, per op: the matched op's index in the peer's program.
+
+    FIFO matching per (src, dst) channel, mirroring
+    :func:`repro.faults.sim.match_messages`: the i-th send on a channel
+    pairs with the i-th receive on it.  Copies get ``-1``.  Raises
+    :class:`~repro.errors.ClassAnalysisError` on unmatched traffic
+    (impossible for validated schedules; checked defensively because the
+    collapsed engine trusts this map).
+    """
+    sends: Dict[Tuple[int, int], List[int]] = {}
+    recvs: Dict[Tuple[int, int], List[int]] = {}
+    for prog in programs:
+        r = prog.rank
+        kinds = prog.kinds.tolist()
+        peers = prog.peers.tolist()
+        for j, kind in enumerate(kinds):
+            if kind == OP_COPY:
+                continue
+            if kind == OP_SEND:
+                sends.setdefault((r, peers[j]), []).append(j)
+            else:
+                recvs.setdefault((peers[j], r), []).append(j)
+    out = [np.full(prog.nops, -1, dtype=np.int32) for prog in programs]
+    for chan, send_ops in sends.items():
+        recv_ops = recvs.get(chan, [])
+        if len(recv_ops) != len(send_ops):
+            raise ClassAnalysisError(
+                f"channel {chan}: {len(send_ops)} send(s) vs "
+                f"{len(recv_ops)} receive(s)"
+            )
+        src, dst = chan
+        for sj, rj in zip(send_ops, recv_ops):
+            out[src][sj] = rj
+            out[dst][rj] = sj
+    for chan in recvs:
+        if chan not in sends:
+            raise ClassAnalysisError(f"channel {chan}: receive with no send")
+    return out
+
+
+def _payload_shape(prog: CompiledProgram, extra: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-op ``(block count, large-block count)`` under residue ``extra``."""
+    bounds = prog.seg_bounds
+    nblk = (bounds[1:] - bounds[:-1]).astype(np.int32)
+    if prog.nops == 0:
+        return nblk, np.zeros(0, dtype=np.int32)
+    large = (prog.seg_blocks < extra).astype(np.int32)
+    nlarge = np.add.reduceat(large, bounds[:-1].astype(np.intp)).astype(np.int32)
+    return nblk, nlarge
+
+
+def _link_classes(
+    prog: CompiledProgram, nodes_per_group: int
+) -> np.ndarray:
+    """Per-op link class for a 1-rank-per-node machine (rank == node).
+
+    Self-communication is forbidden by the IR, so every non-copy op is
+    internode; it is group-crossing when the dragonfly group of the rank
+    and the peer differ.  Copies get ``-1``.
+    """
+    link = np.full(prog.nops, LINK_INTER, dtype=np.int8)
+    if nodes_per_group:
+        crossing = (prog.peers // nodes_per_group) != (prog.rank // nodes_per_group)
+        link[crossing] = LINK_GLOBAL
+    link[prog.kinds == OP_COPY] = -1
+    return link
+
+
+def _feed_of(prog: CompiledProgram) -> Tuple[Tuple[Tuple[bool, int], ...], ...]:
+    """Per raw step ``(is_send, op_index)`` with copies stripped."""
+    kinds = prog.kinds.tolist()
+    bounds = prog.steps_raw.tolist()
+    feed = []
+    for s in range(len(bounds) - 1):
+        ops = []
+        for i in range(bounds[s], bounds[s + 1]):
+            kind = kinds[i]
+            if kind == OP_COPY:
+                continue
+            ops.append((kind == OP_SEND, i))
+        feed.append(tuple(ops))
+    return tuple(feed)
+
+
+def classify(
+    compiled: CompiledSchedule, machine: MachineSpec, nbytes: int
+) -> RankClasses:
+    """Partition the schedule's ranks into timing-equivalence classes.
+
+    See the module docstring for the algorithm.  The machine must pass
+    :func:`machine_asymmetry` (one rank per node, no shared global
+    channel pools); violations raise
+    :class:`~repro.errors.ClassAnalysisError`, as does any schedule whose
+    computed partition breaks the class↔class bijection invariant.
+
+    >>> from repro.compile import compile_schedule
+    >>> from repro.core.registry import build_schedule
+    >>> from repro.simnet.machines import reference
+    >>> c = classify(compile_schedule(build_schedule("allgather", "ring", 8)),
+    ...              reference(8), 1024)
+    >>> c.nclasses, c.labels.tolist()
+    (1, [0, 0, 0, 0, 0, 0, 0, 0])
+    """
+    reason = machine_asymmetry(machine)
+    if reason is not None:
+        raise ClassAnalysisError(f"{machine.name}: {reason}")
+    if machine.nranks != compiled.nranks:
+        raise ClassAnalysisError(
+            f"{machine.name} hosts {machine.nranks} ranks but the "
+            f"schedule needs {compiled.nranks}"
+        )
+    p = compiled.nranks
+    programs = compiled.programs
+    extra = nbytes % compiled.nblocks
+    _, npg = link_profile(machine)
+    cops = counterpart_ops(programs)
+
+    shapes = [_payload_shape(prog, extra) for prog in programs]
+    links = [_link_classes(prog, npg) for prog in programs]
+
+    # Base signature: relabeling-invariant program content.
+    base_keys = []
+    for r, prog in enumerate(programs):
+        nblk, nlarge = shapes[r]
+        base_keys.append((
+            prog.kinds.tobytes(),
+            prog.steps_raw.tobytes(),
+            nblk.tobytes(),
+            nlarge.tobytes(),
+            links[r].tobytes(),
+            cops[r].tobytes(),
+        ))
+    labels = _dense_labels(base_keys)
+
+    # Refinement: split on peer class labels until stable.  Copies carry
+    # peer -1; map them to a fixed sentinel label outside the class space.
+    peer_idx = [prog.peers.astype(np.intp) for prog in programs]
+    copy_mask = [prog.peers < 0 for prog in programs]
+    for _ in range(p):
+        keys = []
+        for r in range(p):
+            peer_labels = labels[np.where(copy_mask[r], 0, peer_idx[r])]
+            peer_labels = np.where(copy_mask[r], -1, peer_labels)
+            keys.append((int(labels[r]), peer_labels.tobytes()))
+        new_labels = _dense_labels(keys)
+        if np.array_equal(new_labels, labels):
+            break
+        labels = new_labels
+
+    # Assemble per-class programs and verify the bijection invariant.
+    nclasses = int(labels.max()) + 1 if p else 0
+    counts = np.bincount(labels, minlength=nclasses)
+    classes: List[ClassProgram] = []
+    members_of = [np.where(labels == c)[0] for c in range(nclasses)]
+    for c in range(nclasses):
+        members = members_of[c]
+        rep = int(members[0])
+        prog = programs[rep]
+        nblk, nlarge = shapes[rep]
+        kinds = prog.kinds
+        send_target: List[Optional[Tuple[int, int]]] = [None] * prog.nops
+        if len(members) > 1:
+            member_peers = np.stack([programs[int(m)].peers for m in members])
+        else:
+            member_peers = prog.peers[None, :]
+        for j in range(prog.nops):
+            if kinds[j] != OP_SEND:
+                continue
+            targets = member_peers[:, j]
+            target_labels = labels[targets]
+            tc = int(target_labels[0])
+            if not np.all(target_labels == tc):
+                raise ClassAnalysisError(
+                    f"class {c} op {j}: peers span multiple classes"
+                )
+            if len(np.unique(targets)) != len(members) or counts[tc] != len(members):
+                raise ClassAnalysisError(
+                    f"class {c} op {j}: sends to class {tc} are not 1:1 "
+                    f"({len(members)} sender(s), {int(counts[tc])} receiver(s))"
+                )
+            send_target[j] = (tc, int(cops[rep][j]))
+        classes.append(ClassProgram(
+            rep=rep,
+            size=int(counts[c]),
+            kinds=kinds,
+            nblk=nblk,
+            nlarge=nlarge,
+            link=links[rep],
+            feed=_feed_of(prog),
+            send_target=tuple(send_target),
+        ))
+    return RankClasses(
+        nranks=p,
+        nblocks=compiled.nblocks,
+        residue=extra,
+        labels=labels,
+        classes=tuple(classes),
+    )
+
+
+def _dense_labels(keys: List) -> np.ndarray:
+    """Dense class ids in order of first occurrence (rep = lowest rank)."""
+    table: Dict = {}
+    labels = np.empty(len(keys), dtype=np.int32)
+    for r, key in enumerate(keys):
+        labels[r] = table.setdefault(key, len(table))
+    return labels

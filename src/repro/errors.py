@@ -25,6 +25,7 @@ __all__ = [
     "PartialFailure",
     "RecoveryError",
     "CompileError",
+    "ClassAnalysisError",
 ]
 
 
@@ -206,6 +207,19 @@ class RecoveryError(ExecutionError):
     def __init__(self, message: str, *, report=None) -> None:
         super().__init__(message)
         self.report = report
+
+
+class ClassAnalysisError(ReproError):
+    """Rank-equivalence-class analysis found a schedule it cannot collapse.
+
+    Raised by :mod:`repro.compile.classes` when the computed partition
+    violates a soundness invariant the collapsed simulator relies on
+    (e.g. one class's matched sends land in more than one receiver class,
+    or two members of a class target the same receiver).  The engine
+    dispatcher in :mod:`repro.simnet.simulate` treats this as an
+    asymmetric input and falls back to the materialized engine — the
+    error never escapes ``simulate(engine="auto")``.
+    """
 
 
 class CompileError(ReproError):

@@ -92,6 +92,7 @@ def sweep_collective(
     jobs: int = 0,
     check: bool = False,
     compiled: bool = True,
+    engine: str = "auto",
 ) -> SweepResult:
     """Simulate every (algorithm, radix, size) combination.
 
@@ -111,13 +112,19 @@ def sweep_collective(
     memoize by fingerprint, so the pre-pass costs each schedule once.
     ``compiled=False`` forces op-by-op IR interpretation in the
     simulator; the times — and therefore the winners — are bit-identical
-    either way (see :mod:`repro.compile`).
+    either way (see :mod:`repro.compile`).  ``engine`` selects the
+    simulation core per point (:data:`~repro.simnet.simulate.ENGINES`) —
+    also result-transparent, so tables tuned under ``"collapsed"`` match
+    tables tuned under ``"materialized"`` bit for bit.  ``machine`` may
+    be a registry name (:func:`repro.simnet.machines.get`).
     """
     # Imported lazily: repro.bench.sweep imports radix_grid from this
     # module at import time, so the reverse dependency must resolve at
     # call time to keep the module graph acyclic.
     from ..bench.sweep import SweepPoint, run_sweep, sweep_errors
+    from ..simnet.machines import resolve as resolve_machine
 
+    machine = resolve_machine(machine)
     p = machine.nranks
     names = list(algorithms) if algorithms else algorithms_for(collective)
     result = SweepResult(collective=collective, machine=machine.name)
@@ -161,7 +168,7 @@ def sweep_collective(
                     f"{report.describe(max_findings=3)}"
                 )
     results = run_sweep(points, machine, jobs=jobs, noise=noise,
-                        faults=faults, compiled=compiled)
+                        faults=faults, compiled=compiled, engine=engine)
     errors = sweep_errors(results)
     if errors:
         raise SelectionError(
@@ -190,6 +197,7 @@ def tune(
     jobs: int = 0,
     check: bool = False,
     compiled: bool = True,
+    engine: str = "auto",
 ) -> SelectionTable:
     """Produce a selection table tuned for ``machine``.
 
@@ -206,7 +214,13 @@ def tune(
     analysis suite first (see :func:`sweep_collective`).
     ``compiled=False`` (the CLI's ``--no-compile``) disables the
     compiled simulator feed; emitted tables are identical regardless.
+    So is ``engine`` (the CLI's ``--engine``): the collapsed core is
+    bit-identical where eligible and falls back where not, so it can
+    only change tuning wall-clock, never a winner.
     """
+    from ..simnet.machines import resolve as resolve_machine
+
+    machine = resolve_machine(machine)
     sorted_sizes = sorted(set(int(s) for s in sizes))
     if not sorted_sizes:
         raise SelectionError("tune needs at least one message size")
@@ -214,7 +228,7 @@ def tune(
     for collective in collectives:
         sweep = sweep_collective(
             collective, machine, sorted_sizes, noise=noise, faults=faults,
-            jobs=jobs, check=check, compiled=compiled,
+            jobs=jobs, check=check, compiled=compiled, engine=engine,
         )
         winners: List[Tuple[int, Choice]] = [
             (n, sweep.best(n).choice) for n in sorted_sizes

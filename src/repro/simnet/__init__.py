@@ -2,11 +2,11 @@
 Frontier and Polaris hardware (see DESIGN.md §2 for the substitution
 rationale)."""
 
-from .engine import Engine, Event, Resource, Timeout
+from .engine import ClassBatch, Engine, Event, Resource, Timeout
 from .machine import DragonflySpec, GiBps, MachineSpec, us
-from .machines import by_name, frontier, polaris, reference
+from .machines import by_name, frontier, get, polaris, reference, resolve
 from .noise import NoiseModel
-from .simulate import SimResult, TrafficSummary, simulate, traffic_summary
+from .simulate import ENGINES, SimResult, TrafficSummary, simulate, traffic_summary
 from .trace import TimelineStats, timeline_stats, to_chrome_trace, write_chrome_trace
 
 __all__ = [
@@ -22,9 +22,13 @@ __all__ = [
     "polaris",
     "reference",
     "by_name",
+    "get",
+    "resolve",
     "NoiseModel",
     "simulate",
     "SimResult",
+    "ENGINES",
+    "ClassBatch",
     "traffic_summary",
     "TrafficSummary",
     "to_chrome_trace",

@@ -1,0 +1,297 @@
+"""Class-collapsed discrete-event simulation: one representative per
+rank-equivalence class.
+
+The materialized engine (:mod:`repro.simnet.simulate`) spawns one DES
+process per rank and one per message — cost linear in ``p``.  On
+symmetric topologies the partition computed by
+:mod:`repro.compile.classes` proves that all members of a class execute
+isomorphic programs against isomorphic peers, so their event timings are
+identical: it suffices to simulate **one representative rank per class**
+and fan the per-class results back out to all ``p`` ranks with one NumPy
+gather (:class:`~repro.simnet.engine.ClassBatch`).
+
+Soundness rests on two facts the classifier verifies:
+
+* every resource in an eligible machine is **private to one rank**
+  (one rank per node, no shared intranode fabric or dragonfly channel
+  pools — :func:`repro.compile.classes.machine_asymmetry`), so a
+  representative's private port/compute resources see exactly the
+  contention the real rank's would;
+* for every (class, send op) pair the matched receives land in exactly
+  one receiver class with a 1:1 sender↔receiver bijection, so
+  redirecting the representative's send to the receiver class's
+  representative preserves both endpoints' event structure.
+
+Costs follow the materialized engine's recipe *exactly* (same hold,
+latency, and reduction terms, same acquire order, same trigger points);
+the golden-grid suite pins bit-identical results at small ``p``.  The
+asymmetric features — noise, faults, timelines, custom block maps —
+are not modeled here; the dispatcher in
+:func:`repro.simnet.simulate.simulate` routes those runs to the
+materialized engine instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..compile.classes import LINK_GLOBAL, ClassProgram, RankClasses
+from ..compile.program import OP_RECV, OP_REDUCE_RECV, OP_SEND
+from ..errors import ClassAnalysisError, MachineError
+from ..obs import Obs, get_obs
+from .engine import Acquire, AllOf, ClassBatch, Engine, Event, Resource, Timeout
+from .machine import MachineSpec
+from .simulate import SimResult
+
+__all__ = ["simulate_collapsed"]
+
+
+class _CMsg:
+    """One representative message: class→class, standing for ``size``
+    identical rank→rank messages."""
+
+    __slots__ = (
+        "nbytes",
+        "reduce",
+        "link",
+        "src_cls",
+        "dst_cls",
+        "send_posted",
+        "recv_posted",
+        "send_done",
+        "recv_done",
+    )
+
+    def __init__(self, engine: Engine, nbytes: int, reduce: bool, link: int,
+                 src_cls: int, dst_cls: int) -> None:
+        self.nbytes = nbytes
+        self.reduce = reduce
+        self.link = link
+        self.src_cls = src_cls
+        self.dst_cls = dst_cls
+        self.send_posted = Event(engine)
+        self.recv_posted = Event(engine)
+        self.send_done = Event(engine)
+        self.recv_done = Event(engine)
+
+
+def _build_messages(
+    engine: Engine, classes: RankClasses, nbytes: int
+) -> Tuple[List[Dict[int, _CMsg]], List[Dict[int, _CMsg]]]:
+    """Per class: op-index → message maps for sends (out) and recvs (in).
+
+    Messages are created iterating classes in ascending class order and
+    ops in program order — the same creation order the representatives'
+    traffic would take in the materialized engine, which pins identical
+    FIFO tie-breaking on the event heap.  Raises
+    :class:`~repro.errors.ClassAnalysisError` if the redirection tables
+    do not cover every receive exactly once (defensive: :func:`classify`
+    already verified the bijection).
+    """
+    out_msg: List[Dict[int, _CMsg]] = [{} for _ in classes.classes]
+    in_msg: List[Dict[int, _CMsg]] = [{} for _ in classes.classes]
+    per_op_bytes = [
+        c.op_bytes(nbytes, classes.nblocks) for c in classes.classes
+    ]
+    for ci, cls in enumerate(classes.classes):
+        kinds = cls.kinds
+        for j in range(cls.nops):
+            if kinds[j] != OP_SEND:
+                continue
+            target = cls.send_target[j]
+            if target is None:
+                raise ClassAnalysisError(
+                    f"class {ci} send op {j} has no redirection target"
+                )
+            tc, tj = target
+            tkinds = classes.classes[tc].kinds
+            if tj < 0 or tj >= len(tkinds) or tkinds[tj] not in (
+                OP_RECV, OP_REDUCE_RECV
+            ):
+                raise ClassAnalysisError(
+                    f"class {ci} send op {j} targets class {tc} op {tj}, "
+                    f"which is not a receive"
+                )
+            if tj in in_msg[tc]:
+                raise ClassAnalysisError(
+                    f"class {tc} recv op {tj} matched by two sends"
+                )
+            msg = _CMsg(
+                engine,
+                nbytes=int(per_op_bytes[ci][j]),
+                reduce=bool(tkinds[tj] == OP_REDUCE_RECV),
+                link=int(cls.link[j]),
+                src_cls=ci,
+                dst_cls=tc,
+            )
+            out_msg[ci][j] = msg
+            in_msg[tc][tj] = msg
+    for ci, cls in enumerate(classes.classes):
+        kinds = cls.kinds
+        for j in range(cls.nops):
+            if kinds[j] in (OP_RECV, OP_REDUCE_RECV) and j not in in_msg[ci]:
+                raise ClassAnalysisError(
+                    f"class {ci} recv op {j} is not covered by any send"
+                )
+    return out_msg, in_msg
+
+
+def simulate_collapsed(
+    classes: RankClasses,
+    machine: MachineSpec,
+    nbytes: int,
+    *,
+    schedule_desc: str = "",
+    obs: Optional[Obs] = None,
+) -> SimResult:
+    """Simulate one representative per class; fan results out to all ranks.
+
+    ``classes`` must come from :func:`repro.compile.classes.classify` for
+    this machine and a total with the same ``nbytes % nblocks`` residue.
+    Returns a :class:`~repro.simnet.simulate.SimResult` whose
+    ``rank_times`` is a ``numpy`` array (``expand``-ed per-class times)
+    and whose traffic counters are class-size-weighted totals — the same
+    numbers the materialized engine reports for the same run.
+    """
+    if machine.nranks != classes.nranks:
+        raise MachineError(
+            f"{machine.name} hosts {machine.nranks} ranks but the class "
+            f"partition covers {classes.nranks}"
+        )
+    if nbytes < 0:
+        raise MachineError(f"nbytes must be >= 0, got {nbytes}")
+    if nbytes % classes.nblocks != classes.residue:
+        raise ClassAnalysisError(
+            f"partition was built for residue {classes.residue} but "
+            f"nbytes={nbytes} has residue {nbytes % classes.nblocks}"
+        )
+    scope = get_obs(obs)
+    engine = Engine(obs=scope)
+    df = machine.dragonfly
+    nclasses = classes.nclasses
+    sizes = np.array([c.size for c in classes.classes], dtype=np.int64)
+    batch = ClassBatch(classes.labels, sizes)
+
+    # Private per-representative resources: eligibility (machine_asymmetry)
+    # guarantees the real machine shares nothing between ranks, so one
+    # send/recv port pool and one compute unit per class is exact.
+    send_ports = [
+        Resource(engine, machine.nic_ports, f"sendport[c{c}]")
+        for c in range(nclasses)
+    ]
+    recv_ports = [
+        Resource(engine, machine.nic_ports, f"recvport[c{c}]")
+        for c in range(nclasses)
+    ]
+    compute = [Resource(engine, 1, f"compute[c{c}]") for c in range(nclasses)]
+
+    out_msg, in_msg = _build_messages(engine, classes, nbytes)
+
+    # Class-size-weighted traffic accounting (ppn == 1: all inter-node).
+    n_messages = 0
+    stats = {"inter_messages": 0, "global_messages": 0, "inter_bytes": 0}
+    for ci, msgs in enumerate(out_msg):
+        weight = int(sizes[ci])
+        for msg in msgs.values():
+            n_messages += weight
+            stats["inter_messages"] += weight
+            stats["inter_bytes"] += msg.nbytes * weight
+            if msg.link == LINK_GLOBAL:
+                stats["global_messages"] += weight
+
+    rep_times = np.zeros(nclasses, dtype=np.float64)
+    o = machine.injection_overhead
+
+    def rank_proc(ci: int, cls: ClassProgram):
+        outs = out_msg[ci]
+        ins = in_msg[ci]
+        for step in cls.feed:
+            waits: List[Event] = []
+            for is_send, j in step:
+                if o:
+                    yield Timeout(o)
+                if is_send:
+                    msg = outs[j]
+                    msg.send_posted.trigger()
+                    waits.append(msg.send_done)
+                else:
+                    msg = ins[j]
+                    msg.recv_posted.trigger()
+                    waits.append(msg.recv_done)
+            if waits:
+                yield AllOf(waits)
+        rep_times[ci] = engine.now
+
+    def transfer_proc(msg: _CMsg):
+        yield AllOf([msg.send_posted, msg.recv_posted])
+        # Mirrors the materialized engine's internode recipe exactly
+        # (ppn == 1 rules out the intranode branch; noise/fault factors
+        # are handled by falling back before we get here).
+        hold = machine.port_msg_overhead + msg.nbytes * machine.beta_inter
+        held = [send_ports[msg.src_cls], recv_ports[msg.dst_cls]]
+        alpha = machine.alpha_inter
+        if msg.link == LINK_GLOBAL and df is not None:
+            alpha += df.alpha_global
+        for res in held:
+            yield Acquire(res)
+        yield Timeout(hold)
+        for res in reversed(held):
+            res.release()
+        msg.send_done.trigger()
+        yield Timeout(alpha)
+        if msg.reduce and machine.gamma > 0 and msg.nbytes > 0:
+            yield Acquire(compute[msg.dst_cls])
+            yield Timeout(machine.gamma * msg.nbytes)
+            compute[msg.dst_cls].release()
+        msg.recv_done.trigger()
+
+    # Creation order mirrors the materialized engine: all transfers first
+    # (classes ascending, ops in program order), then the rank processes
+    # in ascending representative-rank order — class ids are already
+    # ordered by representative rank.
+    for ci in range(nclasses):
+        for j in sorted(out_msg[ci]):
+            engine.process(transfer_proc(out_msg[ci][j]), name=f"xfer[c{ci}:{j}]")
+    for ci, cls in enumerate(classes.classes):
+        engine.process(rank_proc(ci, cls), name=f"rank[c{ci}={cls.rep}]")
+
+    if scope.enabled:
+        with scope.span(
+            "simulate",
+            schedule=schedule_desc,
+            machine=machine.name,
+            nbytes=nbytes,
+            engine="collapsed",
+            nclasses=nclasses,
+        ):
+            makespan = engine.run()
+            m = scope.metrics
+            m.counter("repro_sim_runs_total").inc()
+            for link, count in (
+                (
+                    "inter",
+                    stats["inter_messages"] - stats["global_messages"],
+                ),
+                ("global", stats["global_messages"]),
+            ):
+                if count:
+                    m.counter(
+                        "repro_sim_messages_total", link=link
+                    ).inc(count)
+    else:
+        makespan = engine.run()
+
+    return SimResult(
+        time=makespan,
+        rank_times=batch.expand(rep_times),
+        messages=n_messages,
+        intra_messages=0,
+        inter_messages=stats["inter_messages"],
+        global_messages=stats["global_messages"],
+        intra_bytes=0,
+        inter_bytes=stats["inter_bytes"],
+        engine="collapsed",
+        nclasses=nclasses,
+    )

@@ -38,10 +38,21 @@ from typing import Any, Callable, Deque, Generator, List, Optional, Tuple
 
 from collections import deque
 
+import numpy as np
+
 from ..errors import MachineError
 from ..obs import OBS
 
-__all__ = ["Engine", "Event", "Timeout", "AllOf", "Acquire", "Resource", "Process"]
+__all__ = [
+    "Engine",
+    "Event",
+    "Timeout",
+    "AllOf",
+    "Acquire",
+    "Resource",
+    "Process",
+    "ClassBatch",
+]
 
 
 class Event:
@@ -275,6 +286,55 @@ def _describe_waitable(waitable: Any) -> str:
     if isinstance(waitable, Event):
         return "event"
     return type(waitable).__name__
+
+
+class ClassBatch:
+    """Vectorized fan-out from per-class simulation state to per-rank state.
+
+    The class-collapsed simulator (:mod:`repro.simnet.collapsed`) runs one
+    DES process per rank-equivalence class; everything per-rank it reports
+    is a *batch expansion* of per-class values.  This helper owns that
+    expansion so advancing all members of a class is one NumPy operation
+    (a fancy-indexed gather), never a Python loop over ``p`` ranks —
+    the step that keeps result assembly sublinear-friendly at
+    ``p = 10^6``.
+    """
+
+    __slots__ = ("labels", "sizes")
+
+    def __init__(self, labels: np.ndarray, sizes: np.ndarray) -> None:
+        self.labels = labels          # int32 [nranks]: class id per rank
+        self.sizes = sizes            # int64 [nclasses]: members per class
+
+    @property
+    def nranks(self) -> int:
+        """Total ranks covered by the batch."""
+        return len(self.labels)
+
+    @property
+    def nclasses(self) -> int:
+        """Number of equivalence classes."""
+        return len(self.sizes)
+
+    def expand(self, per_class: np.ndarray) -> np.ndarray:
+        """Per-rank array from a per-class one: one gather, no loop.
+
+        >>> import numpy as np
+        >>> batch = ClassBatch(np.array([0, 1, 0, 1]), np.array([2, 2]))
+        >>> batch.expand(np.array([1.5, 2.5])).tolist()
+        [1.5, 2.5, 1.5, 2.5]
+        """
+        return np.asarray(per_class)[self.labels]
+
+    def total(self, per_class: np.ndarray) -> int:
+        """Population total of a per-class count (weighted by class size).
+
+        >>> import numpy as np
+        >>> batch = ClassBatch(np.array([0, 0, 0, 1]), np.array([3, 1]))
+        >>> batch.total(np.array([2, 5]))
+        11
+        """
+        return int(np.dot(np.asarray(per_class, dtype=np.int64), self.sizes))
 
 
 class Engine:

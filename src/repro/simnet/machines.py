@@ -29,10 +29,14 @@ models of eqs. (1)–(12) — the agreement is checked by
 
 from __future__ import annotations
 
+import dataclasses
+import re
+from typing import Union
+
 from ..errors import MachineError
 from .machine import DragonflySpec, GiBps, MachineSpec, us
 
-__all__ = ["frontier", "polaris", "reference", "by_name"]
+__all__ = ["frontier", "polaris", "reference", "by_name", "get", "resolve"]
 
 
 def frontier(
@@ -160,3 +164,75 @@ def by_name(name: str, nodes: int, ppn: int) -> MachineSpec:
     raise MachineError(
         f"unknown machine {name!r}; known: frontier, polaris, reference"
     )
+
+
+# Self-contained spec names: base[-NODES[xPPN]][-flat].
+_NAME_RE = re.compile(
+    r"^(?P<base>frontier|polaris|reference|dragonfly)"
+    r"(?:-(?P<nodes>\d+)(?:x(?P<ppn>\d+))?)?"
+    r"(?P<flat>-flat)?$"
+)
+
+
+def get(name: str) -> MachineSpec:
+    """A machine spec from a self-contained registry name.
+
+    Grammar: ``base[-NODES[xPPN]][-flat]`` where ``base`` is
+    ``frontier``, ``polaris``, ``reference``, or ``dragonfly`` (an alias
+    for a 1-ppn frontier — the name the large-p experiments use).
+    ``NODES`` defaults to each base's default geometry; ``PPN`` to 1.
+    A ``-flat`` suffix drops the dragonfly global-channel *pools* while
+    keeping the group latency layer (``alpha_global``) — the shape the
+    collapsed engine accepts (see
+    :func:`repro.compile.classes.machine_asymmetry`).
+
+    Accepted everywhere a :class:`~repro.simnet.machine.MachineSpec` is:
+    the :func:`repro.api.simulate` facade, the CLIs' ``--machine``, and
+    sweep configurations — so p=10⁴–10⁶ specs never need hand-built
+    objects.
+
+    >>> get("dragonfly-1024").nranks
+    1024
+    >>> get("frontier-64x8").ppn
+    8
+    >>> get("reference-4096").name
+    'reference-4096'
+    >>> get("frontier-256-flat").dragonfly.global_channels is None
+    True
+    """
+    m = _NAME_RE.match(name.strip())
+    if m is None:
+        raise MachineError(
+            f"unparseable machine name {name!r}; expected "
+            f"base[-NODES[xPPN]][-flat] with base one of "
+            f"frontier, polaris, reference, dragonfly"
+        )
+    base = m.group("base")
+    nodes = int(m.group("nodes")) if m.group("nodes") else None
+    ppn = int(m.group("ppn")) if m.group("ppn") else 1
+    groups = m.group("flat") is None
+    if base == "reference":
+        if ppn != 1:
+            raise MachineError("reference machine is 1 rank per node")
+        return reference(nodes if nodes is not None else 128)
+    if base == "dragonfly" and ppn != 1:
+        raise MachineError("dragonfly-N names are 1 rank per node")
+    builder = polaris if base == "polaris" else frontier
+    spec = builder(
+        nodes if nodes is not None else 128, ppn, dragonfly_groups=groups
+    )
+    if not groups:
+        spec = dataclasses.replace(spec, name=spec.name + "-flat")
+    return spec
+
+
+def resolve(machine: Union[str, MachineSpec]) -> MachineSpec:
+    """``machine`` itself, or :func:`get` of it when given as a name."""
+    if isinstance(machine, str):
+        return get(machine)
+    if not isinstance(machine, MachineSpec):
+        raise MachineError(
+            f"expected a MachineSpec or registry name, "
+            f"got {type(machine).__name__}"
+        )
+    return machine

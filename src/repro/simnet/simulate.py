@@ -34,7 +34,7 @@ from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Tuple
 
 from ..core.schedule import CopyOp, RecvOp, Schedule, SendOp
-from ..errors import MachineError
+from ..errors import ClassAnalysisError, MachineError
 from ..faults.plan import FaultPlan
 from ..obs import Obs, get_obs
 from ..faults.sim import analyze, match_messages
@@ -42,7 +42,18 @@ from .engine import Acquire, AllOf, Engine, Event, Resource, Timeout
 from .machine import MachineSpec
 from .noise import NoiseModel
 
-__all__ = ["SimResult", "simulate", "traffic_summary", "TrafficSummary"]
+__all__ = ["SimResult", "simulate", "traffic_summary", "TrafficSummary",
+           "ENGINES"]
+
+#: Valid values for ``simulate(engine=...)`` and the CLIs' ``--engine``.
+ENGINES = ("auto", "materialized", "collapsed")
+
+#: Below this rank count ``engine="auto"`` runs the materialized engine
+#: even when the schedule is collapsible — class analysis overhead beats
+#: the savings at small p, and small-p runs are the compatibility surface
+#: the golden corpus pins.  Lazy (generator-program) schedules ignore the
+#: threshold: they exist precisely to avoid materializing p structures.
+_AUTO_COLLAPSE_MIN_RANKS = 256
 
 
 @dataclass
@@ -61,6 +72,9 @@ class SimResult:
     retransmissions: int = 0         # lost transmissions recovered by retry
     failed_ranks: Tuple[int, ...] = ()   # ranks crashed by the fault plan
     stalled_ranks: Tuple[int, ...] = ()  # ranks blocked forever on a dead peer
+    engine: str = "materialized"     # engine that produced this result
+    fallback: Optional[str] = None   # why a collapsed request fell back
+    nclasses: Optional[int] = None   # class count (collapsed engine only)
 
     @property
     def time_us(self) -> float:
@@ -101,6 +115,44 @@ class _Msg:
         self.recv_done = Event(engine)
 
 
+def _collapse_blockers(
+    schedule,
+    machine: MachineSpec,
+    *,
+    noise,
+    faults,
+    collect_timeline: bool,
+    block_map,
+    compiled: bool,
+) -> Optional[str]:
+    """Why this run cannot use the collapsed engine, or ``None``.
+
+    Any per-rank asymmetry breaks the class-equivalence argument: noise
+    draws per-message factors, fault plans target individual ranks/links,
+    timelines and custom block maps need per-rank identity, and an
+    interpreted (``compiled=False``) run has no flat tables to classify.
+    Nonzero roots are rejected by policy — a rooted collective at
+    ``root=r`` is isomorphic to ``root=0``, so rather than special-case
+    the relabeling the dispatcher routes it to the materialized engine.
+    """
+    if noise is not None:
+        return "noise model active"
+    if faults is not None:
+        return "fault plan present"
+    if collect_timeline:
+        return "timeline collection requested"
+    if block_map is not None:
+        return "custom block map"
+    if not compiled:
+        return "interpreted feed requested (compiled=False)"
+    root = getattr(schedule, "root", None)
+    if root not in (None, 0):
+        return f"nonzero root {root}"
+    from ..compile.classes import machine_asymmetry
+
+    return machine_asymmetry(machine)
+
+
 def simulate(
     schedule: Schedule,
     machine: MachineSpec,
@@ -111,6 +163,7 @@ def simulate(
     collect_timeline: bool = False,
     block_map=None,
     compiled: bool = True,
+    engine: str = "auto",
     obs: Optional[Obs] = None,
 ) -> SimResult:
     """Simulate ``schedule`` moving ``nbytes`` (total buffer size) on
@@ -145,7 +198,34 @@ def simulate(
     construction — raw step boundaries, same op order, copies free either
     way — so every cost, timeline entry, and fault fate is bit-identical
     (pinned by the differential suite and the golden-cost corpus).
+
+    ``engine`` selects the simulation core.  ``"materialized"`` is the
+    classic one-process-per-rank engine described above;
+    ``"collapsed"`` simulates one representative per rank-equivalence
+    class (:mod:`repro.simnet.collapsed`) and fans results back out —
+    bit-identical on symmetric inputs, sublinear in ``p``; ``"auto"``
+    (the default) picks collapsed when the run is symmetric (no noise,
+    faults, timeline, custom block map, or nonzero root; an eligible
+    machine) and large enough to profit, materialized otherwise.  An
+    explicit ``engine="collapsed"`` request on an asymmetric run does not
+    fail: it falls back to the materialized engine and records why in
+    ``SimResult.fallback``.  ``machine`` may also be a registry name
+    (e.g. ``"dragonfly-1024"``) — resolved via
+    :func:`repro.simnet.machines.get`.
+
+    Lazy generator schedules (:mod:`repro.core.lazy`, marked
+    ``is_lazy``) are classified directly without materializing per-rank
+    step lists; when such a schedule must take the materialized path it
+    is first expanded via its ``materialize()`` hook.
     """
+    if isinstance(machine, str):
+        from .machines import get as _get_machine
+
+        machine = _get_machine(machine)
+    if engine not in ENGINES:
+        raise MachineError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}"
+        )
     p = schedule.nranks
     if machine.nranks != p:
         raise MachineError(
@@ -154,15 +234,70 @@ def simulate(
         )
     if nbytes < 0:
         raise MachineError(f"nbytes must be >= 0, got {nbytes}")
+    if block_map is not None and block_map.nblocks != schedule.nblocks:
+        raise MachineError(
+            f"block map has {block_map.nblocks} blocks but the "
+            f"schedule uses {schedule.nblocks}"
+        )
 
+    # ------------------------------------------------------------------
+    # Engine dispatch: try the class-collapsed core when requested and
+    # eligible; fall back to the materialized engine below, recording why.
+    # ------------------------------------------------------------------
+    lazy = getattr(schedule, "is_lazy", False)
+    fallback: Optional[str] = None
+    if engine in ("auto", "collapsed"):
+        reason = _collapse_blockers(
+            schedule,
+            machine,
+            noise=noise,
+            faults=faults,
+            collect_timeline=collect_timeline,
+            block_map=block_map,
+            compiled=compiled,
+        )
+        attempt = reason is None
+        if attempt and engine == "auto" and not lazy and (
+            p < _AUTO_COLLAPSE_MIN_RANKS
+        ):
+            attempt = False  # policy choice at small p, not a fallback
+        elif reason is not None and engine == "collapsed":
+            fallback = reason
+        if attempt:
+            from .collapsed import simulate_collapsed
+
+            try:
+                if lazy:
+                    classes = schedule.classes(machine, nbytes)
+                else:
+                    from ..compile.cache import get_or_classify
+
+                    classes = get_or_classify(schedule, machine, nbytes)
+                # Auto policy: when the partition is degenerate (every
+                # rank its own class — butterfly exchanges whose partner
+                # *order* is rank-dependent), the collapsed core would
+                # just re-enact the materialized run with extra batching
+                # overhead.  Simulation cost should track class count,
+                # so a partition that doesn't collapse isn't worth the
+                # detour.  An explicit engine="collapsed" request still
+                # runs it (the caller asked for that core, and results
+                # are bit-identical either way).
+                if engine == "collapsed" or classes.nclasses < p:
+                    return simulate_collapsed(
+                        classes,
+                        machine,
+                        nbytes,
+                        schedule_desc=schedule.describe(),
+                        obs=obs,
+                    )
+            except ClassAnalysisError as exc:
+                fallback = str(exc)
+
+    if lazy:
+        schedule = schedule.materialize()
     if block_map is None:
         blocks = schedule.block_map(nbytes)
     else:
-        if block_map.nblocks != schedule.nblocks:
-            raise MachineError(
-                f"block map has {block_map.nblocks} blocks but the "
-                f"schedule uses {schedule.nblocks}"
-            )
         blocks = block_map
     scope = get_obs(obs)
     engine = Engine(obs=scope)
@@ -459,6 +594,8 @@ def simulate(
         retransmissions=stats["retransmissions"],
         failed_ranks=failed_ranks,
         stalled_ranks=stalled_ranks,
+        engine="materialized",
+        fallback=fallback,
     )
 
 

@@ -127,7 +127,7 @@ class TestWorkerEnvelope:
         # worker mode off the context's origin pid, not the obs flag.
         ctx = dataclasses.replace(ctx, origin_pid=-1)
         (chunk,) = _chunk_points(
-            machine, None, None, True, True, points[:3], ctx
+            machine, None, None, True, True, "auto", points[:3], ctx
         )
         out = _run_chunk(chunk)
         return ctx, points[:3], out
@@ -164,7 +164,9 @@ class TestWorkerEnvelope:
         """With ctx=None (serial sweep) results come back bare, not
         enveloped."""
         machine, points = _workload()
-        (chunk,) = _chunk_points(machine, None, None, True, True, points[:2])
+        (chunk,) = _chunk_points(
+            machine, None, None, True, True, "auto", points[:2]
+        )
         out = _run_chunk(chunk)
         assert len(out) == 2
         assert not isinstance(out[0], _ObsEnvelope)

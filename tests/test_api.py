@@ -48,10 +48,29 @@ class TestSimulate:
                              timeline=True)
         assert res.timeline is not None
 
-    def test_legacy_positional_nbytes_still_works(self):
+    def test_positional_nbytes_removed(self):
         sched = repro.build("bcast", "knomial", p=4, k=2)
-        res = repro.simulate(sched, repro.reference(4), 64)
-        assert res.time > 0
+        with pytest.raises(TypeError):
+            repro.simulate(sched, repro.reference(4), 64)
+
+    def test_machine_by_name(self):
+        sched = repro.build("bcast", "knomial", p=8, k=2)
+        named = repro.simulate(sched, "reference-8", nbytes=4096)
+        spec = repro.simulate(sched, repro.reference(8), nbytes=4096)
+        assert named.time == spec.time
+
+    def test_engine_selection_surface(self):
+        sched = repro.build("allgather", "ring", p=8)
+        mat = repro.simulate(sched, repro.reference(8), nbytes=8192,
+                             engine="materialized")
+        col = repro.simulate(sched, repro.reference(8), nbytes=8192,
+                             engine="collapsed")
+        assert mat.engine == "materialized"
+        assert col.engine == "collapsed"
+        assert col.time == mat.time
+        with pytest.raises(repro.MachineError, match="engine"):
+            repro.simulate(sched, repro.reference(8), nbytes=8192,
+                           engine="quantum")
 
 
 class TestExecute:
@@ -92,40 +111,45 @@ class TestExecute:
             repro.execute("bcast", "knomial", 4, 8)
 
 
-class TestDeprecatedSpellings:
-    def test_each_legacy_name_warns_exactly_once(self, fresh_warnings):
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            repro.build_schedule("bcast", "knomial", 4, k=2)
-            repro.build_schedule("bcast", "knomial", 4, k=2)
-            repro.run_collective("allreduce", "recursive_multiplying",
-                                 4, 8, k=2)
-            repro.run_collective("allreduce", "recursive_multiplying",
-                                 4, 8, k=2)
-        deps = [w for w in caught
-                if issubclass(w.category, DeprecationWarning)]
-        assert len(deps) == 2
-        assert "repro.build" in str(deps[0].message)
-        assert "repro.execute" in str(deps[1].message)
+class TestLegacyRemoval:
+    """The PR 3-era once-warned shims are gone after their deprecation
+    window; the implementation modules they delegated to still work."""
 
-    def test_legacy_execute_dispatches_on_schedule(self, fresh_warnings):
+    def test_legacy_names_removed(self):
+        for name in ("build_schedule", "run_collective",
+                     "run_collective_threaded", "execute_threaded"):
+            with pytest.raises(AttributeError):
+                getattr(repro, name)
+            assert name not in repro.__all__
+
+    def test_execute_no_longer_dispatches_on_schedule(self):
         sched = repro.build("bcast", "knomial", p=4, k=2)
         buffers = [np.zeros(8, dtype=np.int64) for _ in range(4)]
-        buffers[0][:] = 3
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            out = repro.execute(sched, buffers)
-        assert any(issubclass(w.category, DeprecationWarning)
-                   for w in caught)
-        assert all(np.array_equal(b, buffers[0]) for b in out)
+        with pytest.raises((TypeError, repro.ReproError)):
+            repro.execute(sched, buffers)
 
-    def test_legacy_run_collective_threaded(self, fresh_warnings):
+    def test_implementation_modules_still_work(self):
+        from repro.runtime.executor import run_collective
+        from repro.runtime.threaded import run_collective_threaded
+
+        run = run_collective("bcast", "knomial", 4, 8, k=2)
+        assert np.array_equal(run.buffers[1], run.expected[1])
+        bufs = run_collective_threaded("bcast", "knomial", 4, 8, k=2)
+        assert len(bufs) == 4
+
+    def test_collect_timeline_shim_warns_once(self, fresh_warnings):
+        sched = repro.build("bcast", "knomial", p=4, k=2)
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("always")
-            bufs = repro.run_collective_threaded("bcast", "knomial",
-                                                 4, 8, k=2)
-        assert len(bufs) == 4
-        assert any("backend='threaded'" in str(w.message) for w in caught)
+            res = repro.simulate(sched, repro.reference(4), nbytes=64,
+                                 collect_timeline=True)
+            repro.simulate(sched, repro.reference(4), nbytes=64,
+                           collect_timeline=True)
+        assert res.timeline is not None
+        deps = [w for w in caught
+                if issubclass(w.category, DeprecationWarning)]
+        assert len(deps) == 1
+        assert "timeline=" in str(deps[0].message)
 
     def test_implementation_modules_do_not_warn(self):
         from repro.runtime.executor import run_collective

@@ -1,0 +1,117 @@
+"""Unit tests for the rank-equivalence partition (:mod:`repro.compile.classes`).
+
+The partition is the soundness core of the collapsed engine: every rank
+in a class must be timing-indistinguishable from its representative up
+to peer relabeling, and the class graph must stay a bijection (class-c
+sends land 1:1 on a single receiving class).  These tests pin the
+partition's shape on known-symmetric and known-degenerate schedules, the
+cache behavior of :func:`repro.compile.get_or_classify`, and the machine
+preconditions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compile import compile_schedule, get_or_classify
+from repro.compile.classes import classify, machine_asymmetry
+from repro.core.registry import build_schedule
+from repro.errors import ClassAnalysisError
+from repro.simnet.machines import frontier, reference
+
+
+def _classify(coll, alg, p, *, k=None, nbytes=4096):
+    schedule = build_schedule(coll, alg, p, k=k)
+    return classify(compile_schedule(schedule), reference(p), nbytes)
+
+
+class TestPartitionShape:
+    def test_ring_allgather_is_one_class(self):
+        c = _classify("allgather", "ring", 8)
+        assert c.nclasses == 1
+        assert c.labels.tolist() == [0] * 8
+        assert c.classes[0].size == 8
+        assert c.classes[0].rep == 0
+
+    def test_symmetric_butterflies_are_one_class(self):
+        for coll, alg, k in [
+            ("allreduce", "recursive_multiplying", 2),
+            ("allgather", "recursive_multiplying", 3),
+            ("allreduce", "kring", 2),
+            ("allgather", "kring", 1),
+            ("allreduce", "recursive_doubling", None),
+        ]:
+            c = _classify(coll, alg, 8, k=k)
+            assert c.nclasses == 1, (coll, alg, k)
+
+    def test_rooted_trees_stay_degenerate(self):
+        # Every rank of a rooted k-nomial tree has a distinct timing
+        # role (depth, fan-out slot), so the only sound partition is the
+        # trivial one.  A coarser merge here would fake symmetry and
+        # corrupt simulated costs.
+        for coll in ("bcast", "reduce"):
+            c = _classify(coll, "knomial", 8, k=2)
+            assert c.nclasses == 8
+            assert sorted(c.reps) == list(range(8))
+
+    def test_labels_partition_every_rank(self):
+        c = _classify("allreduce", "knomial", 16, k=4)
+        assert len(c.labels) == 16
+        sizes = np.bincount(c.labels, minlength=c.nclasses)
+        assert int(sizes.sum()) == 16
+        assert all(cls.size == int(sizes[i]) for i, cls in
+                   enumerate(c.classes))
+
+    def test_rep_is_lowest_member(self):
+        c = _classify("allgather", "ring", 12)
+        for label, cls in enumerate(c.classes):
+            members = np.where(c.labels == label)[0]
+            assert cls.rep == int(members[0])
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        a = _classify("allreduce", "ring", 8)
+        b = _classify("allreduce", "ring", 8)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_distinguishes_schedules(self):
+        a = _classify("allgather", "ring", 8)
+        b = _classify("allgather", "ring", 12)
+        assert a.fingerprint() != b.fingerprint()
+
+
+class TestClassCache:
+    def test_same_residue_shares_entry(self):
+        # The partition depends on nbytes only through the block residue
+        # (nbytes % nblocks): two sizes with equal residue must be
+        # served by one cached object.
+        schedule = build_schedule("allgather", "ring", 8)
+        m = reference(8)
+        a = get_or_classify(schedule, m, 1024)
+        b = get_or_classify(schedule, m, 2048)
+        assert a is b
+
+    def test_distinct_residue_distinct_entry(self):
+        schedule = build_schedule("allgather", "ring", 8)
+        m = reference(8)
+        a = get_or_classify(schedule, m, 1024)   # residue 0
+        b = get_or_classify(schedule, m, 1027)   # residue 3
+        assert a is not b
+        assert a.residue == 0 and b.residue == 3
+
+
+class TestMachinePreconditions:
+    def test_multirank_nodes_are_asymmetric(self):
+        m = frontier(4, 2)
+        assert machine_asymmetry(m) is not None
+        with pytest.raises(ClassAnalysisError):
+            classify(compile_schedule(build_schedule("allgather", "ring", 8)),
+                     m, 4096)
+
+    def test_reference_is_symmetric(self):
+        assert machine_asymmetry(reference(8)) is None
+
+    def test_rank_count_mismatch_rejected(self):
+        with pytest.raises(ClassAnalysisError):
+            classify(compile_schedule(build_schedule("allgather", "ring", 8)),
+                     reference(16), 4096)

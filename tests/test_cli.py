@@ -57,9 +57,28 @@ class TestTune:
         payload = json.loads(capsys.readouterr().out)
         assert payload["name"].startswith("tuned-")
 
-    def test_bad_machine_rejected_by_argparse(self):
-        with pytest.raises(SystemExit):
-            main_tune(["--machine", "summit"])
+    def test_bad_machine_rejected(self, capsys):
+        rc = main_tune(["--machine", "summit"])
+        assert rc == 2
+        assert "unknown machine" in capsys.readouterr().err
+
+    def test_registry_name_machine(self, capsys):
+        rc = main_tune(
+            ["--machine", "reference-4",
+             "--min-bytes", "8", "--max-bytes", "512"]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "tuned-reference-4"
+
+    def test_engine_flag_matches_materialized(self, capsys):
+        argv = ["--machine", "reference", "--nodes", "4",
+                "--min-bytes", "8", "--max-bytes", "512"]
+        assert main_tune(argv + ["--engine", "collapsed"]) == 0
+        collapsed = json.loads(capsys.readouterr().out)
+        assert main_tune(argv + ["--engine", "materialized"]) == 0
+        materialized = json.loads(capsys.readouterr().out)
+        assert collapsed["rules"] == materialized["rules"]
 
     def test_reference_requires_ppn_1(self, capsys):
         rc = main_tune(["--machine", "reference", "--ppn", "2"])

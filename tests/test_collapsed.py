@@ -1,0 +1,100 @@
+"""Golden equivalence: the collapsed engine is bit-identical to the
+materialized engine on the small-p registry grid.
+
+This is the collapsed engine's entire correctness contract — not
+"approximately equal", but the same floats: the class partition proves
+ranks are timing-isomorphic, so simulating one representative per class
+and fanning out must reproduce the materialized engine's makespan,
+per-rank completion times, and traffic accounting exactly.  The grid
+covers every generalized (collective, algorithm) pair plus the ring/
+recursive-doubling families the lazy generators mirror, across radices
+and sizes, at p up to 32.
+"""
+
+import pytest
+
+from repro.core.registry import GENERALIZED_ALGORITHMS, info
+from repro.selection.tuner import radix_grid
+from repro.simnet.machines import reference
+from repro.simnet.simulate import simulate
+
+#: Non-generalized families on the grid: the ones the lazy generator
+#: schedules (repro.core.lazy) mirror, pinned here via their registry
+#: builders.
+RING_FAMILIES = (
+    ("allgather", "ring"),
+    ("reduce_scatter", "ring"),
+    ("allreduce", "ring"),
+    ("allreduce", "recursive_doubling"),
+)
+
+
+def _grid():
+    for coll, alg in GENERALIZED_ALGORITHMS:
+        entry = info(coll, alg)
+        for p in (8, 16, 32):
+            for k in radix_grid(p, min_k=entry.min_k)[:3]:
+                yield coll, alg, p, k
+    for coll, alg in RING_FAMILIES:
+        for p in (8, 16, 32):
+            yield coll, alg, p, None
+
+
+def _assert_identical(mat, col, label):
+    assert col.time == mat.time, label
+    assert list(col.rank_times) == list(mat.rank_times), label
+    assert col.messages == mat.messages, label
+    assert col.intra_messages == mat.intra_messages, label
+    assert col.inter_messages == mat.inter_messages, label
+    assert col.intra_bytes == mat.intra_bytes, label
+    assert col.inter_bytes == mat.inter_bytes, label
+
+
+@pytest.mark.parametrize("coll,alg,p,k", list(_grid()))
+def test_collapsed_matches_materialized(coll, alg, p, k):
+    entry = info(coll, alg)
+    schedule = entry.build(p, k=k, root=0)
+    machine = reference(p)
+    for nbytes in (64, 4096):
+        mat = simulate(schedule, machine, nbytes, engine="materialized")
+        col = simulate(schedule, machine, nbytes, engine="collapsed")
+        label = f"{coll}/{alg} p={p} k={k} n={nbytes}"
+        # An explicit collapsed request on this grid must actually run
+        # the collapsed core (symmetric machine, root 0, no noise).
+        assert col.engine == "collapsed", (label, col.fallback)
+        assert col.fallback is None, label
+        assert col.nclasses is not None and col.nclasses >= 1
+        _assert_identical(mat, col, label)
+
+
+class TestAutoPolicy:
+    def test_auto_small_p_stays_materialized(self):
+        # Below the auto threshold the collapsed engine's setup cost
+        # is not worth it for materialized schedules — auto must pick
+        # the classic engine (explicit engine="collapsed" still works,
+        # as the grid test above proves).
+        schedule = info("allgather", "ring").build(8, k=None, root=0)
+        res = simulate(schedule, reference(8), 4096)
+        assert res.engine == "materialized"
+        assert res.fallback is None  # policy skip, not a fallback
+
+    def test_auto_degenerate_partition_stays_materialized(self):
+        # A partition with nclasses == p collapses nothing; auto must
+        # route it to the faster materialized engine even at large p.
+        schedule = info("bcast", "knomial").build(512, k=2, root=0)
+        res = simulate(schedule, reference(512), 4096)
+        assert res.engine == "materialized"
+
+    def test_auto_lazy_uses_collapsed_at_any_p(self):
+        from repro.core.lazy import lookup
+
+        lazy = lookup("allgather", "ring", 8)
+        res = simulate(lazy, reference(8), 4096)
+        assert res.engine == "collapsed"
+        assert res.nclasses == 1
+
+    def test_collapsed_result_is_flagged(self):
+        schedule = info("allreduce", "ring").build(16, k=None, root=0)
+        res = simulate(schedule, reference(16), 4096, engine="collapsed")
+        assert res.engine == "collapsed"
+        assert res.nclasses == 1

@@ -1,0 +1,122 @@
+"""Tests for the lazy generator schedules (:mod:`repro.core.lazy`).
+
+A :class:`~repro.core.lazy.LazySchedule` is a closed-form description of
+a rank-symmetric schedule: per-rank tables are generated on demand, the
+class partition is a single class by construction, and ``materialize()``
+recovers the explicit registry schedule when small enough.  The tests
+pin (a) the lookup scope, (b) generator faithfulness — the generated
+per-rank programs match the registry builder's op for op, and the
+simulated costs match bit for bit through both engines — and (c) the
+materialization guard that keeps "expand 4M ops" requests from defeating
+the point.
+"""
+
+import pytest
+
+from repro.core.lazy import LAZY_FAMILIES, _MATERIALIZE_MAX_OPS, lookup
+from repro.core.registry import build_schedule
+from repro.core.schedule import RecvOp, SendOp
+from repro.errors import ScheduleError
+from repro.simnet.machines import reference
+from repro.simnet.simulate import simulate
+
+
+class TestLookupScope:
+    def test_covers_the_declared_families(self):
+        assert ("allgather", "ring") in LAZY_FAMILIES
+        assert ("reduce_scatter", "ring") in LAZY_FAMILIES
+        assert ("allreduce", "ring") in LAZY_FAMILIES
+        assert ("allreduce", "recursive_doubling") in LAZY_FAMILIES
+        for coll, alg in LAZY_FAMILIES:
+            assert lookup(coll, alg, 8) is not None
+
+    def test_out_of_scope_returns_none(self):
+        assert lookup("bcast", "knomial", 8) is None        # family
+        assert lookup("allgather", "ring", 1) is None       # p too small
+        assert lookup("allgather", "ring", 8, k=3) is None  # explicit k
+        assert lookup("allgather", "ring", 8, root=3) is None
+        # Recursive doubling needs a power of two (the registry builder
+        # folds odd remainders, which breaks rank symmetry).
+        assert lookup("allreduce", "recursive_doubling", 12) is None
+        assert lookup("allreduce", "recursive_doubling", 16) is not None
+
+    def test_duck_types_the_schedule_surface(self):
+        lazy = lookup("allgather", "ring", 8)
+        assert lazy.is_lazy
+        assert lazy.nranks == 8
+        assert lazy.describe().endswith("(lazy)")
+        assert lazy.fingerprint() == lookup("allgather", "ring", 8).fingerprint()
+        assert lazy.block_map(4096).nblocks == lazy.nblocks
+
+
+def _ops(prog):
+    out = []
+    for step in prog.steps:
+        ops = []
+        for op in step.ops:
+            if isinstance(op, SendOp):
+                ops.append(("send", op.peer, tuple(op.blocks)))
+            elif isinstance(op, RecvOp):
+                ops.append(("recv", op.peer, tuple(op.blocks), op.reduce))
+        out.append(tuple(ops))
+    return tuple(out)
+
+
+class TestGeneratorFaithfulness:
+    @pytest.mark.parametrize("coll,alg", sorted(LAZY_FAMILIES))
+    def test_programs_match_registry_builder(self, coll, alg):
+        p = 8
+        lazy = lookup(coll, alg, p)
+        built = build_schedule(coll, alg, p)
+        for r in range(p):
+            assert _ops(lazy.program(r)) == _ops(built.programs[r]), (
+                f"{coll}/{alg} rank {r}: generated program diverges "
+                f"from the registry builder"
+            )
+
+    @pytest.mark.parametrize("coll,alg", sorted(LAZY_FAMILIES))
+    @pytest.mark.parametrize("p", [4, 8, 16])
+    def test_simulated_costs_match_builder(self, coll, alg, p):
+        lazy = lookup(coll, alg, p)
+        built = build_schedule(coll, alg, p)
+        machine = reference(p)
+        for nbytes in (64, 4096):
+            ref = simulate(built, machine, nbytes, engine="materialized")
+            col = simulate(lazy, machine, nbytes, engine="collapsed")
+            assert col.engine == "collapsed" and col.nclasses == 1
+            assert col.time == ref.time, (coll, alg, p, nbytes)
+            assert list(col.rank_times) == list(ref.rank_times)
+            assert col.messages == ref.messages
+
+    def test_classes_is_single_class_and_cached(self):
+        lazy = lookup("allreduce", "ring", 16)
+        c = lazy.classes(reference(16), 4096)
+        assert c.nclasses == 1
+        assert c.nranks == 16
+        assert lazy.classes(reference(16), 4096) is c
+
+
+class TestMaterialize:
+    def test_small_p_round_trips(self):
+        lazy = lookup("allgather", "ring", 8)
+        explicit = lazy.materialize()
+        assert explicit.fingerprint() == build_schedule(
+            "allgather", "ring", 8).fingerprint()
+
+    def test_large_p_refuses(self):
+        # allreduce/ring at p=2048 would expand to ~4p^2 = 16.8M ops —
+        # over the guard; the collapsed engine is the supported path.
+        lazy = lookup("allreduce", "ring", 2048)
+        est = len(lazy._tables(0).kinds) * lazy.nranks
+        assert est > _MATERIALIZE_MAX_OPS
+        with pytest.raises(ScheduleError):
+            lazy.materialize()
+
+    def test_auto_simulates_lazy_without_materializing(self):
+        # The whole point: a p=4096 lazy schedule simulates through the
+        # collapsed engine without ever expanding per-rank step lists.
+        lazy = lookup("allgather", "ring", 4096)
+        res = simulate(lazy, reference(4096), 65536)
+        assert res.engine == "collapsed"
+        assert res.nclasses == 1
+        assert len(res.rank_times) == 4096
