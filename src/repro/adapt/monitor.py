@@ -1,0 +1,191 @@
+"""Health monitoring: changepoint detection over per-round timings.
+
+The adaptive loop needs to know *when the fabric changed*, not just that
+a round was slow — a single outlier round must not trigger a re-tune.
+:class:`HealthMonitor` keeps an EWMA baseline of observed round times
+and fires a structured :class:`ConditionChange` only when the observed /
+baseline ratio stays past the threshold for ``window`` consecutive
+rounds (the classic debounced changepoint rule).  Outlier rounds are
+*not* folded into the EWMA while a streak is open, so a real regime
+change cannot slowly poison its own baseline into silence.
+
+Alongside the timing channel, :meth:`HealthMonitor.note_degraded`
+watches the :class:`~repro.recovery.detect.LinkDegraded` stream (the
+simulator's static detector, or heartbeat telemetry on the threaded
+backend) and fires on *set changes*: a new degraded link is a ``link``
+event, the set emptying is a ``heal`` event.  Both channels emit the
+same :class:`ConditionChange` vocabulary, so the selector is agnostic
+about which one saw the drift first.
+
+Everything here is a pure function of the observations fed in — the
+monitor never reads a clock — which is what keeps adaptive runs
+bit-identical across backends and job counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Optional, Tuple
+
+from ..errors import AdaptError
+from ..recovery.detect import LinkDegraded
+
+__all__ = ["ConditionChange", "HealthMonitor"]
+
+
+@dataclass(frozen=True)
+class ConditionChange:
+    """A detected shift in fabric condition.
+
+    ``kind`` is one of ``"degrade"`` (timings rose past the threshold
+    for a full window), ``"improve"`` (timings fell — something healed),
+    ``"link"`` (the degraded-link telemetry set changed), or ``"heal"``
+    (that set emptied).  ``ratio`` is observed / baseline at the moment
+    of firing (1.0 for telemetry events, which carry no timing).
+    """
+
+    round_index: int
+    kind: str
+    ratio: float
+    observed: float
+    baseline: float
+    detail: str = ""
+
+    def describe(self) -> str:
+        """One-line summary: round, kind, ratio, and any detail."""
+        extra = f" ({self.detail})" if self.detail else ""
+        return (
+            f"round {self.round_index}: {self.kind} "
+            f"x{self.ratio:.2f}{extra}"
+        )
+
+
+class HealthMonitor:
+    """Debounced EWMA changepoint detector over round timings.
+
+    ``alpha`` is the EWMA weight of the newest in-band observation;
+    ``threshold`` the observed/baseline ratio that opens a streak; and
+    ``window`` the number of consecutive out-of-band rounds required
+    before a :class:`ConditionChange` fires.  After firing, the baseline
+    re-anchors to the new regime so a *second* change can be detected.
+    """
+
+    def __init__(
+        self,
+        *,
+        alpha: float = 0.3,
+        threshold: float = 1.25,
+        window: int = 2,
+    ) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise AdaptError(f"alpha must be in (0, 1], got {alpha}")
+        if threshold <= 1.0:
+            raise AdaptError(f"threshold must be > 1, got {threshold}")
+        if window < 1:
+            raise AdaptError(f"window must be >= 1, got {window}")
+        self.alpha = alpha
+        self.threshold = threshold
+        self.window = window
+        self._baseline: Optional[float] = None
+        self._streak_high = 0
+        self._streak_low = 0
+        self._degraded: FrozenSet[Tuple[int, int]] = frozenset()
+
+    @property
+    def baseline(self) -> Optional[float]:
+        """The current EWMA baseline (``None`` before any observation)."""
+        return self._baseline
+
+    def reset(self) -> None:
+        """Forget the baseline and both telemetry/streak states."""
+        self._baseline = None
+        self._streak_high = 0
+        self._streak_low = 0
+        self._degraded = frozenset()
+
+    def observe(
+        self, round_index: int, seconds: float
+    ) -> Optional[ConditionChange]:
+        """Feed one round's observed time; maybe fire a change event.
+
+        The first observation anchors the baseline.  Observations inside
+        the threshold band update the EWMA; observations outside it are
+        withheld from the EWMA and counted — ``window`` in a row fires
+        ``"degrade"`` (or ``"improve"``) and re-anchors the baseline at
+        the offending observation.
+        """
+        if seconds <= 0.0:
+            raise AdaptError(
+                f"observed time must be > 0, got {seconds} "
+                f"at round {round_index}"
+            )
+        if self._baseline is None:
+            self._baseline = seconds
+            return None
+        ratio = seconds / self._baseline
+        if ratio > self.threshold:
+            self._streak_high += 1
+            self._streak_low = 0
+            if self._streak_high >= self.window:
+                event = ConditionChange(
+                    round_index=round_index,
+                    kind="degrade",
+                    ratio=ratio,
+                    observed=seconds,
+                    baseline=self._baseline,
+                )
+                self._baseline = seconds
+                self._streak_high = 0
+                return event
+            return None
+        if ratio < 1.0 / self.threshold:
+            self._streak_low += 1
+            self._streak_high = 0
+            if self._streak_low >= self.window:
+                event = ConditionChange(
+                    round_index=round_index,
+                    kind="improve",
+                    ratio=ratio,
+                    observed=seconds,
+                    baseline=self._baseline,
+                )
+                self._baseline = seconds
+                self._streak_low = 0
+                return event
+            return None
+        self._streak_high = 0
+        self._streak_low = 0
+        self._baseline = (
+            self.alpha * seconds + (1.0 - self.alpha) * self._baseline
+        )
+        return None
+
+    def note_degraded(
+        self, round_index: int, degraded: Iterable[LinkDegraded]
+    ) -> Optional[ConditionChange]:
+        """Feed the round's degraded-link telemetry; fire on set change.
+
+        A changed non-empty set fires ``"link"``; the set emptying fires
+        ``"heal"``.  An unchanged set never fires, so steady degradation
+        does not re-trigger the selector every round.
+        """
+        links = frozenset((d.src, d.dst) for d in degraded)
+        if links == self._degraded:
+            return None
+        previous, self._degraded = self._degraded, links
+        kind = "heal" if not links else "link"
+        detail = (
+            "links " + ", ".join(f"{s}->{d}" for s, d in sorted(links))
+            if links
+            else "all links healed "
+            + ", ".join(f"{s}->{d}" for s, d in sorted(previous))
+        )
+        base = self._baseline if self._baseline is not None else 0.0
+        return ConditionChange(
+            round_index=round_index,
+            kind=kind,
+            ratio=1.0,
+            observed=base,
+            baseline=base,
+            detail=detail,
+        )

@@ -1,0 +1,310 @@
+"""Online selection: a seeded UCB bandit with hysteresis and a ladder.
+
+The offline tuner picks ``(algorithm, k)`` once on a healthy fabric.
+:class:`OnlineSelector` keeps picking as conditions drift: each candidate
+arm is a :class:`~repro.selection.table.Choice`, warm-started from the
+tuner's healthy-sweep priors, and re-scored every round by a
+lower-confidence-bound rule (UCB for *minimization*) over the observed
+timings.  Three guards stop it thrashing:
+
+* **hysteresis** — a challenger must beat the incumbent's mean by a
+  minimum relative margin before a switch is considered;
+* **switch cost** — the declared cost of tearing down one schedule and
+  standing up another is charged against the challenger's projected
+  advantage (and to the report's effective time when a switch happens);
+* **cooldown** — after a switch, the incumbent holds for a few rounds so
+  its new observations can settle before the next comparison.
+
+On a :class:`~repro.adapt.monitor.ConditionChange` the selector resets
+every arm's observation count to its warm-start pseudo-count: stale
+means stop dominating, confidence widths reopen, and the bandit
+re-explores — the generalization of :mod:`repro.recovery.retune`'s
+one-shot re-pick.  Sustained trouble escalates down the policy ladder
+*keep → retune → shrink → abort* (:meth:`OnlineSelector.ladder_action`):
+``shrink`` restricts the arm set to the historically best few, and
+``abort`` tells the caller to stop degrading gracefully rather than
+keep running a hopeless fabric.
+
+Determinism: ties break on the sorted ``(algorithm, k)`` key and every
+input is either a pure simulation result or a seeded plan, so adaptive
+runs are bit-identical at any ``jobs`` and on both backends.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..errors import AdaptError
+from ..selection.table import Choice
+from .monitor import ConditionChange
+
+__all__ = ["AdaptPolicy", "DEFAULT_POLICY", "OnlineSelector"]
+
+
+@dataclass(frozen=True)
+class AdaptPolicy:
+    """Tunable knobs of the adaptive loop (selector + monitor + ladder).
+
+    ``explore`` scales the bandit's confidence width; ``hysteresis`` is
+    the minimum relative improvement a challenger needs; ``switch_cost``
+    (seconds) is charged on every switch; ``cooldown`` holds the
+    incumbent for that many rounds after a switch.  ``alpha`` /
+    ``threshold`` / ``window`` parameterize the
+    :class:`~repro.adapt.monitor.HealthMonitor`.  The ladder escalates
+    when observed time stays above the healthy baseline: past
+    ``shrink_ratio`` for ``patience`` rounds the arm set shrinks to the
+    best ``shrink_to`` arms; past ``abort_ratio`` for ``patience``
+    rounds the loop aborts.  ``max_candidates`` caps the warm-started
+    arm set (best priors first); ``telemetry`` feeds the degraded-link
+    stream into the monitor.
+    """
+
+    explore: float = 0.5
+    hysteresis: float = 0.05
+    switch_cost: float = 0.0
+    cooldown: int = 2
+    alpha: float = 0.3
+    threshold: float = 1.25
+    window: int = 2
+    patience: int = 4
+    shrink_ratio: float = 4.0
+    shrink_to: int = 3
+    abort_ratio: float = 50.0
+    max_candidates: int = 8
+    telemetry: bool = True
+
+    def __post_init__(self) -> None:
+        if self.explore < 0.0:
+            raise AdaptError(f"explore must be >= 0, got {self.explore}")
+        if self.hysteresis < 0.0:
+            raise AdaptError(
+                f"hysteresis must be >= 0, got {self.hysteresis}"
+            )
+        if self.switch_cost < 0.0:
+            raise AdaptError(
+                f"switch_cost must be >= 0, got {self.switch_cost}"
+            )
+        if self.cooldown < 0:
+            raise AdaptError(f"cooldown must be >= 0, got {self.cooldown}")
+        if self.patience < 1:
+            raise AdaptError(f"patience must be >= 1, got {self.patience}")
+        if self.shrink_ratio <= 1.0:
+            raise AdaptError(
+                f"shrink_ratio must be > 1, got {self.shrink_ratio}"
+            )
+        if self.abort_ratio <= self.shrink_ratio:
+            raise AdaptError(
+                f"abort_ratio must be > shrink_ratio, got "
+                f"{self.abort_ratio} <= {self.shrink_ratio}"
+            )
+        if self.shrink_to < 1:
+            raise AdaptError(
+                f"shrink_to must be >= 1, got {self.shrink_to}"
+            )
+        if self.max_candidates < 1:
+            raise AdaptError(
+                f"max_candidates must be >= 1, got {self.max_candidates}"
+            )
+
+
+#: The default knob settings; scenarios and CLIs start from these.
+DEFAULT_POLICY = AdaptPolicy()
+
+
+def _arm_key(choice: Choice) -> Tuple[str, int]:
+    """Deterministic sort key for tie-breaking (k=None sorts first)."""
+    return (choice.algorithm, -1 if choice.k is None else choice.k)
+
+
+class OnlineSelector:
+    """UCB-style bandit over ``(algorithm, k)`` arms, minimizing time.
+
+    Warm-started from prior mean times (one pseudo-observation per arm),
+    pruned to the policy's ``max_candidates`` best priors.  Scores are
+    lower confidence bounds ``mean - explore * scale * sqrt(ln(t+1)/n)``
+    with ``scale`` the best prior mean, so exploration width is relative
+    to the problem's natural time scale.
+    """
+
+    def __init__(
+        self,
+        priors: Mapping[Choice, float],
+        *,
+        policy: AdaptPolicy = DEFAULT_POLICY,
+        seed: int = 0,
+    ) -> None:
+        if not priors:
+            raise AdaptError("selector needs at least one candidate arm")
+        if any(t <= 0.0 for t in priors.values()):
+            raise AdaptError("prior times must all be > 0")
+        self.policy = policy
+        self.seed = seed
+        ranked = sorted(
+            priors.items(), key=lambda item: (item[1], _arm_key(item[0]))
+        )
+        kept = ranked[: policy.max_candidates]
+        self._arms: Tuple[Choice, ...] = tuple(
+            sorted((c for c, _ in kept), key=_arm_key)
+        )
+        self._priors: Dict[Choice, float] = {c: t for c, t in kept}
+        self._means: Dict[Choice, float] = dict(self._priors)
+        self._counts: Dict[Choice, int] = {c: 1 for c in self._arms}
+        self._scale = min(self._priors.values())
+        self._rounds = 0
+        self._cooldown_left = 0
+        self._shrunk = False
+        self._shrink_streak = 0
+        self._abort_streak = 0
+        self._current = min(
+            self._arms, key=lambda c: (self._means[c], _arm_key(c))
+        )
+        self.switches = 0
+
+    @property
+    def arms(self) -> Tuple[Choice, ...]:
+        """The live candidate arms (shrink may have restricted them)."""
+        return self._arms
+
+    @property
+    def current(self) -> Choice:
+        """The incumbent arm — what runs next round."""
+        return self._current
+
+    def mean(self, arm: Choice) -> float:
+        """The arm's running mean observed time (prior-seeded)."""
+        return self._means[arm]
+
+    def scores(self) -> Dict[Choice, float]:
+        """Lower confidence bound per live arm (smaller is better)."""
+        total = sum(self._counts[c] for c in self._arms)
+        return {
+            c: self._means[c]
+            - self.policy.explore
+            * self._scale
+            * math.sqrt(math.log(total + 1.0) / self._counts[c])
+            for c in self._arms
+        }
+
+    def observe(self, arm: Choice, seconds: float) -> None:
+        """Fold one observed round time into the arm's running mean."""
+        if arm not in self._means:
+            raise AdaptError(f"unknown arm {arm.describe()}")
+        if seconds <= 0.0:
+            raise AdaptError(f"observed time must be > 0, got {seconds}")
+        self._counts[arm] += 1
+        n = self._counts[arm]
+        self._means[arm] += (seconds - self._means[arm]) / n
+        self._rounds += 1
+
+    def on_change(self, event: ConditionChange) -> None:
+        """React to a detected condition change: reopen exploration.
+
+        Every arm's count resets to the warm-start pseudo-count so its
+        confidence width reopens and its next observation carries half
+        the mean's weight — stale-regime means wash out in a few rounds
+        instead of anchoring the bandit to the old fabric.  Also clears
+        any cooldown: a changed world justifies an immediate re-pick.
+        """
+        self._counts = {c: 1 for c in self._arms}
+        self._cooldown_left = 0
+
+    def retune(self, priors: Mapping[Choice, float]) -> None:
+        """Re-seed the live arms from a fresh (degraded-mode) sweep.
+
+        This is the ladder's ``retune`` rung — the generalization of
+        :func:`repro.recovery.retune.retune_degraded`'s one-shot
+        re-pick: every live arm present in ``priors`` gets its mean
+        replaced by the swept time under the *current* conditions and
+        its count reset to the warm-start pseudo-count, so the next
+        :meth:`pick` compares fresh like-for-like means.  Arms absent
+        from ``priors`` keep their history.  Clears any cooldown.
+        """
+        for arm in self._arms:
+            if arm in priors:
+                if priors[arm] <= 0.0:
+                    raise AdaptError(
+                        f"retune prior for {arm.describe()} must be > 0"
+                    )
+                self._means[arm] = priors[arm]
+                self._counts[arm] = 1
+        self._cooldown_left = 0
+
+    def ladder_action(
+        self, ratio: float, event: Optional[ConditionChange]
+    ) -> str:
+        """Advance the *keep → retune → shrink → abort* ladder one round.
+
+        ``ratio`` is observed time over the healthy baseline.  Any
+        monitor event asks for ``retune`` — the caller then either
+        re-seeds from a degraded-mode sweep (:meth:`retune`) or, with no
+        telemetry to sweep under, just reopens exploration
+        (:meth:`on_change`).  Ratios above ``abort_ratio`` for
+        ``patience`` consecutive rounds return ``abort``; above
+        ``shrink_ratio`` they return ``shrink`` once (the arm set
+        restricts to the ``shrink_to`` best means, applied here).
+        Otherwise ``keep``.
+        """
+        policy = self.policy
+        if ratio > policy.abort_ratio:
+            self._abort_streak += 1
+            self._shrink_streak += 1
+        elif ratio > policy.shrink_ratio:
+            self._abort_streak = 0
+            self._shrink_streak += 1
+        else:
+            self._abort_streak = 0
+            self._shrink_streak = 0
+        if self._abort_streak >= policy.patience:
+            return "abort"
+        if self._shrink_streak >= policy.patience and not self._shrunk:
+            self.shrink()
+            return "shrink"
+        if event is not None:
+            return "retune"
+        return "keep"
+
+    def shrink(self) -> Tuple[Choice, ...]:
+        """Restrict the arm set to the ``shrink_to`` best current means
+        (the incumbent always survives); returns the dropped arms."""
+        keep = sorted(
+            self._arms, key=lambda c: (self._means[c], _arm_key(c))
+        )[: self.policy.shrink_to]
+        if self._current not in keep:
+            keep[-1] = self._current
+        dropped = tuple(c for c in self._arms if c not in keep)
+        self._arms = tuple(sorted(keep, key=_arm_key))
+        self._shrunk = True
+        return dropped
+
+    def pick(self) -> Tuple[Choice, bool]:
+        """Choose the arm for the next round.
+
+        Returns ``(arm, switched)``.  During cooldown the incumbent
+        holds.  Otherwise the best-scoring challenger wins only if its
+        mean beats the incumbent's by the hysteresis margin *and* the
+        projected advantage covers the switch cost.
+        """
+        if self._cooldown_left > 0:
+            self._cooldown_left -= 1
+            return self._current, False
+        scores = self.scores()
+        best = min(
+            self._arms, key=lambda c: (scores[c], _arm_key(c))
+        )
+        if best == self._current:
+            return self._current, False
+        incumbent_mean = self._means[self._current]
+        challenger_mean = self._means[best]
+        margin = incumbent_mean - challenger_mean
+        needed = (
+            incumbent_mean * self.policy.hysteresis
+            + self.policy.switch_cost
+        )
+        if margin <= needed:
+            return self._current, False
+        self._current = best
+        self._cooldown_left = self.policy.cooldown
+        self.switches += 1
+        return self._current, True

@@ -162,6 +162,9 @@ def execute(
     timeout: float = 30.0,
     faults=None,
     recovery=None,
+    adapt=None,
+    adapt_policy=None,
+    machine=None,
     compiled: bool = True,
     obs: Optional[Obs] = None,
 ):
@@ -185,6 +188,21 @@ def execute(
     schedule/buffers/expected fields, plus the survivor mapping and the
     :class:`~repro.recovery.RecoveryReport`).
 
+    ``adapt`` turns on online adaptive selection: a scenario name
+    (``"flap"``, ``"migrate"``, ``"contention"``, ``"calm"``) or an
+    :class:`~repro.adapt.AdaptScenario`.  The adaptive loop
+    (:func:`repro.adapt.run_adaptive`) first runs against the simulated
+    ``machine`` (a spec or registry name; default: Frontier-shaped,
+    ``p`` nodes x 1 rank) under the scenario's drift, then the winning
+    ``(algorithm, k)`` executes on the requested backend and the return
+    value is an :class:`~repro.adapt.AdaptiveRun` (report + run).  The
+    caller's ``algorithm``/``k`` are the fallback executed if the loop's
+    ladder aborts — graceful degradation, never an exception.
+    ``adapt_policy`` overrides the knobs
+    (:class:`~repro.adapt.AdaptPolicy`).  With ``adapt=None`` (the
+    default) none of this machinery runs: the path below is exactly the
+    pre-adaptive one, bit for bit.
+
     ``compiled=True`` (the default) executes the schedule's compiled
     program tables (:mod:`repro.compile`) — bit-identical results, just
     faster; ``compiled=False`` forces op-by-op IR interpretation (the
@@ -199,6 +217,61 @@ def execute(
     if backend not in BACKENDS:
         raise ExecutionError(
             f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+    if adapt is not None:
+        from .adapt.loop import AdaptiveRun, run_adaptive
+        from .adapt.scenarios import get_scenario
+        from .adapt.selector import DEFAULT_POLICY
+        from .selection.table import Choice
+        from .simnet.machines import frontier
+
+        scenario = (
+            get_scenario(adapt, p) if isinstance(adapt, str) else adapt
+        )
+        mach = (
+            _resolve_machine(machine)
+            if machine is not None
+            else frontier(nodes=p, ppn=1)
+        )
+        report = run_adaptive(
+            collective,
+            mach,
+            count * np.dtype(dtype).itemsize,
+            rounds=scenario.rounds,
+            phased=scenario.phased,
+            contention=scenario.contention,
+            root=root,
+            policy=adapt_policy if adapt_policy is not None else DEFAULT_POLICY,
+            seed=seed,
+        )
+        choice = (
+            Choice(algorithm, k) if report.aborted else report.final_choice
+        )
+        run = execute(
+            collective,
+            choice.algorithm,
+            p=p,
+            count=count,
+            backend=backend,
+            k=choice.k,
+            root=root,
+            op=op,
+            dtype=dtype,
+            seed=seed,
+            check=check,
+            rtol=rtol,
+            atol=atol,
+            timeout=timeout,
+            faults=faults,
+            recovery=recovery,
+            compiled=compiled,
+            obs=obs,
+        )
+        return AdaptiveRun(report=report, run=run, choice=choice)
+    if machine is not None:
+        raise ExecutionError(
+            "machine applies only with adapt= (execution backends are "
+            "machine-free; simulation machines live in repro.simulate)"
         )
     if recovery is not None:
         from .recovery import execute_with_recovery

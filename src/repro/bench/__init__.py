@@ -1,6 +1,7 @@
 """Benchmark harness: OSU-style measurement, radix sweeps, speedup curves,
 and the per-figure experiment definitions."""
 
+from .adapt import run_adapt_bench
 from .experiments import ALL_EXPERIMENTS, ExperimentResult, run_experiment
 from .osu import LatencyPoint, default_sizes, osu_latency, osu_latency_schedule
 from .perf import check_regression, load_report, run_perf, write_report
@@ -36,6 +37,7 @@ __all__ = [
     "run_sweep",
     "simulate_point",
     "sweep_errors",
+    "run_adapt_bench",
     "run_perf",
     "check_regression",
     "write_report",

@@ -66,7 +66,14 @@ __all__ = [
     "load_report",
 ]
 
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
+
+# Adapt-tier configuration (schema v6): the online-selection loop's
+# gates.  The convergence bound is deliberately looser than the golden
+# test's pinned value (1 round on the flap scenario) — the gate rejects
+# a broken selector, the golden rejects any behavior drift.
+_ADAPT_NBYTES = 1 << 16
+_ADAPT_MAX_TIME_TO_ADAPT = 4
 
 # Default measurement configuration. Smoke mode trims the grid so CI can
 # afford the run; the metrics keep the same shape either way.
@@ -769,6 +776,77 @@ def _bench_scale(smoke: bool) -> Dict:
     }
 
 
+def _bench_adapt(machine: MachineSpec, smoke: bool) -> Dict:
+    """The adapt tier: the online-selection loop's three promises.
+
+    * **adaptive-off bit-identity** — on the ``calm`` scenario (no
+      drift) the loop must never switch, accrue exactly zero regret,
+      and every round's observed time must equal a plain
+      :func:`~repro.simnet.simulate.simulate` of the static healthy
+      winner bit for bit — the adapt machinery may not perturb a single
+      simulated number when there is nothing to adapt to (and with
+      ``adapt=None`` none of it runs at all);
+    * **regret bound** — on the ``flap`` scenario the loop's cumulative
+      regret vs. the per-round oracle must stay strictly below the
+      static-selection baseline's, and the selector must converge to
+      the oracle's post-change winner within
+      :data:`_ADAPT_MAX_TIME_TO_ADAPT` rounds of every phase change;
+    * **jobs invariance** — the whole trail re-run at ``jobs=2`` must
+      be bit-identical (inherited from the sweep engine's determinism).
+
+    Violations of the off-identity raise immediately (a perf number
+    earned by perturbing results is worthless); the regret and
+    invariance verdicts are gated by :func:`check_regression`.
+    """
+    from ..adapt.loop import run_adaptive
+    from ..adapt.scenarios import get_scenario
+    from .adapt import run_adapt_bench
+
+    calm = get_scenario("calm", machine.nranks)
+    t0 = time.perf_counter()
+    off = run_adaptive(
+        "allreduce", machine, _ADAPT_NBYTES, rounds=calm.rounds
+    )
+    off_wall = time.perf_counter() - t0
+    entry = info("allreduce", off.static_algorithm)
+    static = entry.build(machine.nranks, k=off.static_k, root=0)
+    plain = simulate(static, machine, _ADAPT_NBYTES)
+    off_identical = (
+        off.switches == 0
+        and off.regret == 0.0
+        and all(r.time == plain.time for r in off.records)
+    )
+    if not off_identical:
+        raise ReproError(
+            "adapt tier integrity check failed: the no-drift adaptive "
+            "loop diverged from plain simulation of the static winner"
+        )
+
+    t0 = time.perf_counter()
+    flap = run_adapt_bench(
+        machine,
+        collective="allreduce",
+        nbytes=_ADAPT_NBYTES,
+        scenario="flap",
+        check_jobs=2,
+    )
+    flap_wall = time.perf_counter() - t0
+    return {
+        "nbytes": _ADAPT_NBYTES,
+        "max_time_to_adapt_allowed": _ADAPT_MAX_TIME_TO_ADAPT,
+        "off": {
+            "scenario": "calm",
+            "rounds": len(off.records),
+            "switches": off.switches,
+            "regret": off.regret,
+            "bit_identical": off_identical,
+            "wall_s": off_wall,
+        },
+        "flap": flap,
+        "flap_wall_s": flap_wall,
+    }
+
+
 def run_perf(
     *,
     machine_name: str = "frontier",
@@ -811,6 +889,7 @@ def run_perf(
             machine, repeats * 6
         ),
         "scale": _bench_scale(smoke),
+        "adapt": _bench_adapt(machine, smoke),
     }
     return report
 
@@ -964,6 +1043,47 @@ def check_regression(
                 f"(allowed {sub.get('max_ratio'):.0f}x — simulation cost "
                 f"must track class count, not p)"
             )
+    adapt = current.get("adapt")
+    if adapt is not None:
+        # Skip-if-absent like the other late tiers (baselines predating
+        # schema 6 have no adapt section).  All gates are self-relative
+        # promises of the current report — host speed never enters.
+        off = adapt.get("off", {})
+        if not off.get("bit_identical", False):
+            failures.append(
+                "no-drift adaptive loop diverged from plain simulation "
+                "of the static winner"
+            )
+        if off.get("switches", 0):
+            failures.append(
+                f"no-drift adaptive loop switched "
+                f"{off['switches']} time(s) (must be 0)"
+            )
+        flap = adapt.get("flap", {})
+        if not flap.get("jobs_invariant", False):
+            failures.append(
+                "adaptive trail is not bit-identical across --jobs"
+            )
+        if not flap.get("adapted_all_changes", False):
+            failures.append(
+                "adaptive selector never matched the oracle's winner "
+                "after at least one phase change"
+            )
+        ratio = flap.get("regret_ratio")
+        if ratio is None or ratio >= 1.0:
+            failures.append(
+                f"adaptive regret is not strictly below the static "
+                f"baseline (ratio {ratio})"
+            )
+        allowed = adapt.get(
+            "max_time_to_adapt_allowed", _ADAPT_MAX_TIME_TO_ADAPT
+        )
+        tta = flap.get("max_time_to_adapt")
+        if tta is None or tta > allowed:
+            failures.append(
+                f"time-to-adapt {tta} round(s) exceeds the allowed "
+                f"{allowed}"
+            )
     obs = current.get("obs")
     base_obs = baseline.get("obs")
     if obs is not None:
@@ -1083,6 +1203,23 @@ def format_report(report: Dict) -> str:
             f"{dur['warm_speedup']:5.2f}x "
             f"({dur['schedules']} schedules, results identical: "
             f"{dur['results_identical']})"
+        )
+    adapt = report.get("adapt")
+    if adapt is not None:
+        off, flap = adapt["off"], adapt["flap"]
+        lines.append(
+            f"  adapt off      : {off['scenario']} rounds={off['rounds']}, "
+            f"switches={off['switches']}, regret {off['regret']:.2e}s, "
+            f"bit-identical: {off['bit_identical']}"
+        )
+        ratio = flap.get("regret_ratio")
+        ratio_str = f"{ratio:.2f}x" if ratio is not None else "n/a"
+        lines.append(
+            f"  adapt flap     : regret {flap['regret'] * 1e6:7.1f} us | "
+            f"static {flap['static_regret'] * 1e6:7.1f} us | {ratio_str} "
+            f"(max time-to-adapt {flap['max_time_to_adapt']} round(s), "
+            f"{flap['switches']} switch(es), jobs-invariant: "
+            f"{flap['jobs_invariant']})"
         )
     scale = report.get("scale")
     if scale is not None:

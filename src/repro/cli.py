@@ -1,6 +1,6 @@
 """Command-line entry points.
 
-Nine console scripts are installed with the package:
+Ten console scripts are installed with the package:
 
 ``repro-bench``
     Run one (or all) of the paper's experiments and print the figure data
@@ -56,6 +56,16 @@ Nine console scripts are installed with the package:
     ``--resume``.  ``--store DIR`` persists built schedules across runs;
     the resumed results are bit-identical to an uninterrupted sweep.
 
+``repro-adapt``
+    The online adaptive selection loop (:mod:`repro.adapt`): drive a
+    named drift scenario — a flapping NIC, a migrating straggler,
+    multi-job contention, or a calm fabric — on a simulated machine and
+    report cumulative regret and time-to-adapt against the per-round
+    oracle, plus the full round-by-round trail as JSON:
+    ``repro-adapt --scenario flap -o adapt_report.json``; add
+    ``--check-jobs 2`` to prove the trail bit-identical across sweep
+    fan-outs.
+
 ``repro-check``
     Static schedule analysis — deadlock (eager + rendezvous send
     semantics), intra-step buffer hazards, dataflow lint, and
@@ -92,6 +102,7 @@ __all__ = [
     "main_trace",
     "main_check",
     "main_sweep",
+    "main_adapt",
 ]
 
 
@@ -339,6 +350,12 @@ def main_chaos(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--timeout", type=float, default=10.0,
                         help="per-receive timeout for the threaded "
                         "transport (seconds)")
+    parser.add_argument("--engine", default="auto", choices=ENGINES,
+                        help="simulation core for the sim backend "
+                        "(threaded cases ignore it); classifications "
+                        "are identical under all three — 'collapsed' "
+                        "additionally records why each faulted case "
+                        "fell back to the materialized core")
     parser.add_argument("--recover", action="store_true",
                         help="heal unmaskable faults through "
                         "repro.recovery (detect, shrink/substitute, "
@@ -391,6 +408,7 @@ def main_chaos(argv: Optional[List[str]] = None) -> int:
             backends=backends,
             timeout=args.timeout,
             recover=recover,
+            engine=args.engine,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -504,6 +522,11 @@ def main_recover(argv: Optional[List[str]] = None) -> int:
         except ReproError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+        except KeyboardInterrupt:
+            # A truncated recovery report would understate
+            # time-to-recovery coverage — write nothing.
+            print("\ninterrupted: no report written", file=sys.stderr)
+            return 130
         print(summarize_recovery(records))
         if args.output:
             write_recovery_report(records, args.output, machine=machine,
@@ -522,35 +545,43 @@ def main_recover(argv: Optional[List[str]] = None) -> int:
                           max_rto=0.1),
     )
     status = 0
-    if args.backend in ("sim", "both"):
-        from .recovery import simulate_with_recovery
+    try:
+        if args.backend in ("sim", "both"):
+            from .recovery import simulate_with_recovery
 
-        res = simulate_with_recovery(
-            args.collective, args.algorithm, machine, args.nbytes,
-            recovery=policy, k=args.k, faults=plan,
-        )
-        print(f"sim: {res.report.describe()}")
-        if res.recovered:
-            print(f"sim: total {res.time_us:.1f} us, time-to-recovery "
-                  f"{res.time_to_recovery_us:.1f} us, post-recovery "
-                  f"{res.post_recovery_us:.1f} us")
-        else:
-            status = 1
-    if args.backend in ("threaded", "both"):
-        from .recovery import execute_with_recovery
-
-        try:
-            run = execute_with_recovery(
-                args.collective, args.algorithm, p=args.p,
-                count=args.count, recovery=policy, k=args.k, faults=plan,
+            res = simulate_with_recovery(
+                args.collective, args.algorithm, machine, args.nbytes,
+                recovery=policy, k=args.k, faults=plan,
             )
-        except RecoveryError as exc:
-            print(f"threaded: unrecovered: {exc}", file=sys.stderr)
-            status = 1
-        else:
-            print(f"threaded: {run.report.describe()}")
-            print(f"threaded: survivors host slots {list(run.hosts)}; "
-                  "results verified bit-exact over the survivor group")
+            print(f"sim: {res.report.describe()}")
+            if res.recovered:
+                print(f"sim: total {res.time_us:.1f} us, time-to-recovery "
+                      f"{res.time_to_recovery_us:.1f} us, post-recovery "
+                      f"{res.post_recovery_us:.1f} us")
+            else:
+                status = 1
+        if args.backend in ("threaded", "both"):
+            from .recovery import execute_with_recovery
+
+            try:
+                run = execute_with_recovery(
+                    args.collective, args.algorithm, p=args.p,
+                    count=args.count, recovery=policy, k=args.k,
+                    faults=plan,
+                )
+            except RecoveryError as exc:
+                print(f"threaded: unrecovered: {exc}", file=sys.stderr)
+                status = 1
+            else:
+                print(f"threaded: {run.report.describe()}")
+                print(f"threaded: survivors host slots {list(run.hosts)}; "
+                      "results verified bit-exact over the survivor group")
+    except KeyboardInterrupt:
+        # ^C mid-demo (the threaded transport can sit in its retry
+        # ladder for a while): conventional 128+SIGINT status, no
+        # partial verdict printed as if it were one.
+        print("\ninterrupted", file=sys.stderr)
+        return 130
     return status
 
 
@@ -592,6 +623,10 @@ def main_bench_perf(argv: Optional[List[str]] = None) -> int:
                         "sections, re-run the cached sweep with "
                         "observability on and write its metrics snapshot "
                         "here (JSON; Prometheus text beside it as .prom)")
+    parser.add_argument("--adapt-out", default=None, metavar="PATH",
+                        help="also write the adapt tier's full drift "
+                        "trail here (adapt_report.json — the same "
+                        "document repro-adapt -o writes)")
     args = parser.parse_args(argv)
 
     from .bench.perf import (
@@ -635,6 +670,15 @@ def main_bench_perf(argv: Optional[List[str]] = None) -> int:
     if args.output:
         write_report(report, args.output)
         print(f"wrote {args.output}")
+    if args.adapt_out:
+        import json as _json
+        from pathlib import Path
+
+        Path(args.adapt_out).write_text(
+            _json.dumps(report["adapt"]["flap"], indent=2, sort_keys=True)
+            + "\n"
+        )
+        print(f"wrote {args.adapt_out}")
     if args.baseline:
         try:
             baseline = load_report(args.baseline)
@@ -838,7 +882,13 @@ def main_check(argv: Optional[List[str]] = None) -> int:
             print("error: no registry entries match the filter",
                   file=sys.stderr)
             return 2
-        records = run_check_sweep(points, jobs=args.jobs)
+        try:
+            records = run_check_sweep(points, jobs=args.jobs)
+        except KeyboardInterrupt:
+            # A partial grid would pass CI on configurations it never
+            # analyzed — refuse to summarize or write one.
+            print("\ninterrupted: no report written", file=sys.stderr)
+            return 130
         summary = summarize_check_sweep(records)
         doc = {
             "summary": summary,
@@ -905,6 +955,9 @@ def main_check(argv: Optional[List[str]] = None) -> int:
     except (ReproError, OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        print("\ninterrupted: no report written", file=sys.stderr)
+        return 130
     if args.json:
         print(_json.dumps(report.to_dict(), indent=2))
     else:
@@ -1081,6 +1134,155 @@ def main_sweep(argv: Optional[List[str]] = None) -> int:
         )
         print(f"wrote {args.output}")
     return 1 if stats.errors else 0
+
+
+def main_adapt(argv: Optional[List[str]] = None) -> int:
+    """``repro-adapt``: online adaptive selection under drift."""
+    from .adapt.scenarios import SCENARIOS
+
+    parser = argparse.ArgumentParser(
+        prog="repro-adapt",
+        description="Drive the online adaptive selection loop "
+        "(repro.adapt) through a named drift scenario on a simulated "
+        "machine: a UCB bandit over (algorithm, k) arms, warm-started "
+        "from tuner priors and guarded by hysteresis and switch cost, "
+        "re-selects as links flap, stragglers migrate, or neighbor jobs "
+        "contend.  Reports cumulative regret and time-to-adapt vs the "
+        "per-round oracle; the full trail is deterministic and "
+        "bit-identical at any --jobs.",
+    )
+    parser.add_argument("--collective", default="allreduce",
+                        choices=COLLECTIVES)
+    parser.add_argument("--machine", default="frontier",
+                        help="base machine (frontier/polaris/reference, "
+                        "combined with --nodes/--ppn) or a self-contained "
+                        "registry name like dragonfly-1024 "
+                        "(repro.simnet.machines.get)")
+    parser.add_argument("--nodes", type=int, default=16)
+    parser.add_argument("--ppn", type=int, default=1)
+    parser.add_argument("--nbytes", type=int, default=65536,
+                        help="message size the loop re-selects at "
+                        "(default 65536)")
+    parser.add_argument("--scenario", default="flap",
+                        choices=sorted(SCENARIOS),
+                        help="drift scenario (default flap: all links at "
+                        "one rank degrade, then heal)")
+    parser.add_argument("--rounds", type=int, default=None,
+                        help="override the scenario's round count")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="seed for the scenario and the bandit "
+                        "tie-breaks (default 0)")
+    parser.add_argument("--engine", default="auto", choices=ENGINES,
+                        help="simulation core for the underlying sweeps; "
+                        "the trail is identical under all three")
+    parser.add_argument("-j", "--jobs", type=int, default=0,
+                        help="worker processes for the underlying sweeps "
+                        "(0/1 serial, -1 all cores); the trail is "
+                        "identical at any job count")
+    parser.add_argument("--check-jobs", type=int, default=None,
+                        metavar="N",
+                        help="re-run the whole loop at this job count "
+                        "and verify the trail is bit-identical")
+    parser.add_argument("--hysteresis", type=float, default=None,
+                        help="relative margin a challenger arm must win "
+                        "by before the loop switches (default 0.05)")
+    parser.add_argument("--switch-cost", type=float, default=None,
+                        metavar="SECONDS",
+                        help="time charged on the first round after an "
+                        "arm switch (default 0)")
+    parser.add_argument("--cooldown", type=int, default=None,
+                        help="rounds the loop must hold an arm after "
+                        "switching (default 2)")
+    parser.add_argument("--patience", type=int, default=None,
+                        help="consecutive bad rounds before the ladder "
+                        "escalates to shrink/abort (default 4)")
+    parser.add_argument("--max-candidates", type=int, default=None,
+                        help="arm universe size: the healthy sweep's "
+                        "best N (algorithm, k) pairs (default 8)")
+    parser.add_argument("--no-telemetry", action="store_true",
+                        help="ignore degraded-link telemetry; adapt on "
+                        "round timings alone")
+    parser.add_argument("-o", "--output", default=None, metavar="PATH",
+                        help="write the full trail JSON here "
+                        "(e.g. adapt_report.json)")
+    args = parser.parse_args(argv)
+
+    import json as _json
+    from dataclasses import replace
+    from pathlib import Path
+
+    from .adapt.selector import DEFAULT_POLICY
+    from .bench.adapt import run_adapt_bench
+
+    overrides = {}
+    if args.hysteresis is not None:
+        overrides["hysteresis"] = args.hysteresis
+    if args.switch_cost is not None:
+        overrides["switch_cost"] = args.switch_cost
+    if args.cooldown is not None:
+        overrides["cooldown"] = args.cooldown
+    if args.patience is not None:
+        overrides["patience"] = args.patience
+    if args.max_candidates is not None:
+        overrides["max_candidates"] = args.max_candidates
+    if args.no_telemetry:
+        overrides["telemetry"] = False
+    try:
+        policy = (
+            replace(DEFAULT_POLICY, **overrides) if overrides
+            else DEFAULT_POLICY
+        )
+        machine = _machine_arg(args.machine, args.nodes, args.ppn)
+        doc = run_adapt_bench(
+            machine,
+            collective=args.collective,
+            nbytes=args.nbytes,
+            scenario=args.scenario,
+            rounds=args.rounds,
+            policy=policy,
+            jobs=args.jobs,
+            check_jobs=args.check_jobs,
+            engine=args.engine,
+            seed=args.seed,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        # A truncated trail would misstate regret and time-to-adapt —
+        # write nothing.
+        print("\ninterrupted: no report written", file=sys.stderr)
+        return 130
+
+    static, final = doc["static"], doc["final"]
+    print(f"{args.collective} n={doc['nbytes']} on {doc['machine']}: "
+          f"scenario {doc['scenario']}, {len(doc['rounds'])} round(s)")
+    print(f"static winner {static['algorithm']}/k={static['k']}, "
+          f"final arm {final['algorithm']}/k={final['k']}, "
+          f"{doc['switches']} switch(es)")
+    ratio = doc["regret_ratio"]
+    print(f"regret {doc['regret'] * 1e6:.2f} us vs static "
+          f"{doc['static_regret'] * 1e6:.2f} us"
+          + (f" ({ratio:.2f}x)" if ratio is not None else ""))
+    for change, tta in sorted(doc["time_to_adapt"].items(),
+                              key=lambda item: int(item[0])):
+        print(f"change at round {change}: "
+              + ("never caught the oracle" if tta is None
+                 else f"adapted in {tta} round(s)"))
+    if args.check_jobs is not None and args.check_jobs != args.jobs:
+        print(f"trail at --jobs {args.jobs} vs {args.check_jobs}: "
+              + ("bit-identical" if doc["jobs_invariant"] else "DIVERGED"))
+    if doc["aborted"]:
+        print("ladder ABORTED: fabric too degraded for any candidate",
+              file=sys.stderr)
+    if args.output:
+        Path(args.output).write_text(
+            _json.dumps(doc, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.output}")
+    if doc["aborted"]:
+        return 1
+    return 0 if doc["jobs_invariant"] else 1
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation helper

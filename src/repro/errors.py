@@ -24,6 +24,7 @@ __all__ = [
     "FaultError",
     "PartialFailure",
     "RecoveryError",
+    "AdaptError",
     "CompileError",
     "ClassAnalysisError",
 ]
@@ -219,6 +220,17 @@ class ClassAnalysisError(ReproError):
     dispatcher in :mod:`repro.simnet.simulate` treats this as an
     asymmetric input and falls back to the materialized engine — the
     error never escapes ``simulate(engine="auto")``.
+    """
+
+
+class AdaptError(ReproError):
+    """The online adaptive-selection loop could not run or gave up.
+
+    Raised by :mod:`repro.adapt` on misconfiguration (no candidates, a
+    non-positive round count, malformed phased plans) and by surfaces
+    that treat a ladder ``abort`` as fatal — the loop itself never
+    raises on abort; it returns a report with ``aborted=True`` so
+    callers can degrade gracefully.
     """
 
 

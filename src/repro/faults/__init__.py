@@ -20,7 +20,18 @@ from .channel import (
     ChannelTimeout,
     LossyChannel,
 )
-from .plan import Crash, FaultPlan, LinkFault, RetryPolicy, Straggler
+from .plan import (
+    BackgroundJob,
+    ContentionModel,
+    Crash,
+    FaultPhase,
+    FaultPlan,
+    LinkFault,
+    PhasedFaultPlan,
+    RetryPolicy,
+    Straggler,
+    combine_plans,
+)
 from .rng import derive_rng
 
 __all__ = [
@@ -29,6 +40,11 @@ __all__ = [
     "LinkFault",
     "Straggler",
     "Crash",
+    "FaultPhase",
+    "PhasedFaultPlan",
+    "BackgroundJob",
+    "ContentionModel",
+    "combine_plans",
     "LossyChannel",
     "ChannelMonitor",
     "ChannelFailure",

@@ -23,17 +23,29 @@ transport.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
 from ..errors import MachineError
 from .rng import bernoulli
 
-__all__ = ["RetryPolicy", "LinkFault", "Straggler", "Crash", "FaultPlan"]
+__all__ = [
+    "RetryPolicy",
+    "LinkFault",
+    "Straggler",
+    "Crash",
+    "FaultPlan",
+    "FaultPhase",
+    "PhasedFaultPlan",
+    "BackgroundJob",
+    "ContentionModel",
+    "combine_plans",
+]
 
 # Salts keep the drop / duplicate / delay decision streams independent.
 _SALT_DROP = 1
 _SALT_DUP = 2
 _SALT_DELAY = 3
+_SALT_CONTENTION = 4
 
 
 def _check_rate(name: str, value: float) -> None:
@@ -320,3 +332,290 @@ class FaultPlan:
     def crash_step(self, rank: int) -> Optional[int]:
         """The step before which ``rank`` crashes, or ``None``."""
         return self._crashes.get(rank)  # type: ignore[attr-defined]
+
+
+# ---------------------------------------------------------------------------
+# Time-varying conditions: phased plans and background-job contention.
+#
+# A FaultPlan describes one *static* regime.  Production fabrics drift:
+# links flap, stragglers migrate, neighbor jobs come and go.  The two
+# declarations below describe that drift as data — a round-indexed
+# sequence of regimes and a seeded background-traffic mix — and resolve,
+# per round, to an ordinary FaultPlan that the simulator charges exactly
+# like any other (repro.adapt runs its feedback loop against them).
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FaultPhase:
+    """One regime of a :class:`PhasedFaultPlan`.
+
+    ``plan`` holds from round ``start_round`` (inclusive) until the next
+    phase begins; ``plan=None`` means the fabric is healthy during the
+    phase.  ``label`` names the phase in reports ("flap", "healed", ...).
+    """
+
+    start_round: int
+    plan: Optional[FaultPlan] = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.start_round < 0:
+            raise MachineError(
+                f"phase start_round must be >= 0, got {self.start_round}"
+            )
+
+    def describe(self) -> str:
+        """One-line summary: start round, label, and the phase's plan."""
+        body = self.plan.describe() if self.plan is not None else "healthy"
+        name = f" {self.label!r}" if self.label else ""
+        return f"round>={self.start_round}{name}: {body}"
+
+
+@dataclass(frozen=True)
+class PhasedFaultPlan:
+    """Round-indexed fault regimes: degradations that appear and heal.
+
+    Phases are sorted by ``start_round`` (strictly increasing); before
+    the first phase the fabric is healthy.  :meth:`plan_at` resolves the
+    regime governing a round — the adaptive loop calls it once per round
+    and hands the result straight to the simulator, so a phased plan
+    costs exactly what the equivalent sequence of static plans would.
+    """
+
+    phases: Tuple[FaultPhase, ...] = ()
+
+    def __post_init__(self) -> None:
+        starts = [ph.start_round for ph in self.phases]
+        if any(b <= a for a, b in zip(starts, starts[1:])):
+            raise MachineError(
+                f"phase start_rounds must be strictly increasing, "
+                f"got {starts}"
+            )
+
+    @property
+    def change_rounds(self) -> Tuple[int, ...]:
+        """The rounds at which the governing regime changes."""
+        return tuple(ph.start_round for ph in self.phases)
+
+    def phase_at(self, round_index: int) -> Optional[FaultPhase]:
+        """The phase governing ``round_index``, or ``None`` before the
+        first phase begins."""
+        if round_index < 0:
+            raise MachineError(
+                f"round_index must be >= 0, got {round_index}"
+            )
+        governing = None
+        for ph in self.phases:
+            if ph.start_round <= round_index:
+                governing = ph
+            else:
+                break
+        return governing
+
+    def plan_at(self, round_index: int) -> Optional[FaultPlan]:
+        """The fault plan charged during ``round_index`` (``None`` =
+        healthy)."""
+        ph = self.phase_at(round_index)
+        return ph.plan if ph is not None else None
+
+    def describe(self) -> str:
+        """One-line summary of every phase in order."""
+        if not self.phases:
+            return "PhasedFaultPlan(healthy)"
+        return "PhasedFaultPlan(" + "; ".join(
+            ph.describe() for ph in self.phases
+        ) + ")"
+
+
+@dataclass(frozen=True)
+class BackgroundJob:
+    """One neighbor job sharing the fabric with the measured collective.
+
+    While active, every directed link between two of the job's ``ranks``
+    is congested: its serialization cost is multiplied by
+    ``1 + intensity`` and its latency by ``1 + delay``.  ``duty`` is the
+    probability the job is active in any given round — activity is a
+    pure function of ``(model seed, job index, round)``, so a traffic
+    mix replays identically on every backend and at any job count.
+    """
+
+    name: str
+    ranks: Tuple[int, ...]
+    intensity: float
+    delay: float = 0.0
+    duty: float = 1.0
+
+    def __post_init__(self) -> None:
+        if len(set(self.ranks)) < 2:
+            raise MachineError(
+                f"background job {self.name!r} needs >= 2 distinct ranks "
+                f"to load a link, got {self.ranks}"
+            )
+        if any(r < 0 for r in self.ranks):
+            raise MachineError(
+                f"background job {self.name!r} ranks must be >= 0"
+            )
+        if self.intensity <= 0.0:
+            raise MachineError(
+                f"background job {self.name!r} intensity must be > 0, "
+                f"got {self.intensity}"
+            )
+        if self.delay < 0.0:
+            raise MachineError(
+                f"background job {self.name!r} delay must be >= 0, "
+                f"got {self.delay}"
+            )
+        if not 0.0 <= self.duty <= 1.0:
+            raise MachineError(
+                f"background job {self.name!r} duty must be in [0, 1], "
+                f"got {self.duty}"
+            )
+
+
+@dataclass(frozen=True)
+class ContentionModel:
+    """Deterministic multi-job traffic coupling link costs per round.
+
+    A seeded mix of :class:`BackgroundJob` s; :meth:`plan_at` resolves
+    the mix into an ordinary :class:`FaultPlan` carrying one
+    :class:`LinkFault` per congested link, with overlapping jobs
+    compounding multiplicatively — exactly how shared-fabric congestion
+    composes.  The result is charged by the simulator like any declared
+    degradation, so contention and hard faults share one cost model.
+    """
+
+    jobs: Tuple[BackgroundJob, ...] = ()
+    seed: int = 0
+
+    def active_jobs(self, round_index: int) -> Tuple[BackgroundJob, ...]:
+        """The jobs on the fabric during ``round_index`` (seeded duty
+        cycling; a job with ``duty=1`` is always on)."""
+        if round_index < 0:
+            raise MachineError(
+                f"round_index must be >= 0, got {round_index}"
+            )
+        active = []
+        for idx, job in enumerate(self.jobs):
+            if job.duty >= 1.0 or bernoulli(
+                job.duty, self.seed, _SALT_CONTENTION, idx, round_index
+            ):
+                active.append(job)
+        return tuple(active)
+
+    def link_factors(
+        self, round_index: int
+    ) -> Dict[Tuple[int, int], Tuple[float, float]]:
+        """Per-link ``(delay_factor, bandwidth_factor)`` during the
+        round, compounded across every active job (links not present
+        are uncongested)."""
+        factors: Dict[Tuple[int, int], Tuple[float, float]] = {}
+        for job in self.active_jobs(round_index):
+            ranks = sorted(set(job.ranks))
+            for src in ranks:
+                for dst in ranks:
+                    if src == dst:
+                        continue
+                    delay, bw = factors.get((src, dst), (1.0, 1.0))
+                    factors[(src, dst)] = (
+                        delay * (1.0 + job.delay),
+                        bw * (1.0 + job.intensity),
+                    )
+        return factors
+
+    def plan_at(self, round_index: int) -> Optional[FaultPlan]:
+        """The round's contention as a plain :class:`FaultPlan` (``None``
+        when no job is active)."""
+        factors = self.link_factors(round_index)
+        if not factors:
+            return None
+        links = tuple(
+            LinkFault(
+                src=src,
+                dst=dst,
+                delay_factor=delay,
+                bandwidth_factor=bw,
+            )
+            for (src, dst), (delay, bw) in sorted(factors.items())
+        )
+        return FaultPlan(seed=self.seed, links=links)
+
+    def describe(self) -> str:
+        """One-line summary of the traffic mix."""
+        if not self.jobs:
+            return "ContentionModel(idle fabric)"
+        parts = ", ".join(
+            f"{j.name}(x{1.0 + j.intensity:g} on {len(set(j.ranks))} "
+            f"ranks, duty {j.duty:g})"
+            for j in self.jobs
+        )
+        return f"ContentionModel(seed={self.seed}: {parts})"
+
+
+def _merge_link(
+    a: Optional[LinkFault], b: Optional[LinkFault], src: int, dst: int
+) -> LinkFault:
+    """Compound two faults on one link: rates combine as independent
+    events, factors multiply."""
+    if a is None:
+        assert b is not None
+        return b
+    if b is None:
+        return a
+    return LinkFault(
+        src=src,
+        dst=dst,
+        drop_rate=1.0 - (1.0 - a.drop_rate) * (1.0 - b.drop_rate),
+        dup_rate=1.0 - (1.0 - a.dup_rate) * (1.0 - b.dup_rate),
+        delay_factor=a.delay_factor * b.delay_factor,
+        bandwidth_factor=a.bandwidth_factor * b.bandwidth_factor,
+    )
+
+
+def combine_plans(
+    base: Optional[FaultPlan], extra: Optional[FaultPlan]
+) -> Optional[FaultPlan]:
+    """Charge two fault regimes at once — e.g. a phase's degradations
+    *and* the round's background contention.
+
+    Plan-wide rates combine as independent events; per-link faults merge
+    with multiplied factors; stragglers multiply their slowdowns;
+    crashes union (the earlier step wins for a rank both plans crash).
+    The combined plan keeps ``base``'s seed and retry policy, so the
+    per-message decision streams of a phase are unchanged by stacking
+    contention on top.
+    """
+    if base is None:
+        return extra
+    if extra is None:
+        return base
+    links: Dict[Tuple[int, int], Optional[LinkFault]] = {
+        (lf.src, lf.dst): lf for lf in base.links
+    }
+    for lf in extra.links:
+        key = (lf.src, lf.dst)
+        links[key] = _merge_link(links.get(key), lf, *key)
+    stragglers: Dict[int, float] = {s.rank: s.factor for s in base.stragglers}
+    for s in extra.stragglers:
+        stragglers[s.rank] = stragglers.get(s.rank, 1.0) * s.factor
+    crashes: Dict[int, int] = {c.rank: c.step for c in base.crashes}
+    for c in extra.crashes:
+        step = crashes.get(c.rank)
+        crashes[c.rank] = c.step if step is None else min(step, c.step)
+    return FaultPlan(
+        drop_rate=1.0 - (1.0 - base.drop_rate) * (1.0 - extra.drop_rate),
+        dup_rate=1.0 - (1.0 - base.dup_rate) * (1.0 - extra.dup_rate),
+        delay_rate=1.0 - (1.0 - base.delay_rate) * (1.0 - extra.delay_rate),
+        delay_factor=max(base.delay_factor, extra.delay_factor),
+        seed=base.seed,
+        links=tuple(links[key] for key in sorted(links)),  # type: ignore[misc]
+        stragglers=tuple(
+            Straggler(rank=r, factor=f)
+            for r, f in sorted(stragglers.items())
+        ),
+        crashes=tuple(
+            Crash(rank=r, step=s) for r, s in sorted(crashes.items())
+        ),
+        retry=base.retry,
+        straggler_step_delay=base.straggler_step_delay,
+    )

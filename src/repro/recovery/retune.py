@@ -96,13 +96,33 @@ def retune_or_keep(
     *,
     k: Optional[int] = None,
     root: int = 0,
+    jobs: int = 0,
 ) -> Tuple[str, Optional[int]]:
-    """Like :func:`retune_degraded`, but falls back to the current
+    """Like :func:`retune_degraded`, but sticky: keeps the incumbent
     ``(algorithm, k)`` when the sweep cannot run (e.g. an algorithm set
-    with no registered entry for this collective)."""
+    with no registered entry for this collective) *and* when the sweep's
+    winner merely ties the incumbent's time — switching schedules is not
+    free, so a re-pick must strictly beat what is already running."""
+    from ..selection.tuner import sweep_collective
+    from ..selection.table import Choice
+
     try:
-        return retune_degraded(
-            collective, machine, nbytes, degraded, root=root
+        sweep = sweep_collective(
+            collective,
+            machine,
+            [int(nbytes)],
+            root=root,
+            faults=degraded_plan(degraded),
+            jobs=jobs,
         )
+        best = sweep.best(int(nbytes))
     except SelectionError:
         return algorithm, k
+    incumbent = sweep.times_for(Choice(algorithm, k)).get(int(nbytes))
+    if incumbent is not None and best.time == incumbent:
+        return algorithm, k
+    if OBS.enabled:
+        OBS.metrics.counter(
+            "repro_recovery_retunes_total", collective=collective
+        ).inc()
+    return best.choice.algorithm, best.choice.k

@@ -1,0 +1,111 @@
+"""Property tests: chaos cases record the collapsed engine's exact fallback.
+
+A :class:`~repro.faults.plan.FaultPlan` is always a collapse blocker —
+rank-equivalence classes don't survive per-rank drops, stragglers, or
+crashes — so *every* simulated chaos case run with ``engine="collapsed"``
+must fall back to the materialized core and record the exact reason
+(``"fault plan present"``) in :attr:`ChaosResult.fallback`.  Hypothesis
+drives arbitrary plans through :func:`repro.faults.chaos.run_case`; the
+classification itself must be engine-invariant, and the default
+``engine="auto"`` path (which *declines* to collapse rather than falling
+back) must record no fallback at all.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.chaos import default_scenarios, run_case, run_chaos
+from repro.faults.plan import (
+    Crash,
+    FaultPlan,
+    LinkFault,
+    RetryPolicy,
+    Straggler,
+)
+
+P = 8
+RETRY = RetryPolicy(max_retries=8, rto=0.01, backoff=2.0, max_rto=0.08)
+
+
+@st.composite
+def fault_plans(draw):
+    """An arbitrary mixed plan over 8 ranks: loss, links, stragglers,
+    crashes — in any combination, always with at least one fault."""
+    drop = draw(st.sampled_from([0.0, 0.02, 0.1]))
+    dup = draw(st.sampled_from([0.0, 0.05]))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    links = ()
+    if draw(st.booleans()):
+        src = draw(st.integers(min_value=0, max_value=P - 1))
+        dst = draw(st.integers(min_value=0, max_value=P - 1).filter(
+            lambda d: d != src
+        ))
+        links = (LinkFault(src, dst, drop_rate=0.1, delay_factor=3.0),)
+    stragglers = ()
+    if draw(st.booleans()):
+        stragglers = (
+            Straggler(rank=draw(st.integers(min_value=0, max_value=P - 1)),
+                      factor=8.0),
+        )
+    crashes = ()
+    if draw(st.booleans()):
+        crashes = (
+            Crash(rank=draw(st.integers(min_value=0, max_value=P - 1)),
+                  step=draw(st.integers(min_value=0, max_value=4))),
+        )
+    if not (drop or dup or links or stragglers or crashes):
+        drop = 0.02  # an empty plan would not be a fault plan at all
+    return FaultPlan(
+        drop_rate=drop,
+        dup_rate=dup,
+        seed=seed,
+        links=links,
+        stragglers=stragglers,
+        crashes=crashes,
+        retry=RETRY,
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(plan=fault_plans())
+def test_every_plan_records_exact_fallback(plan):
+    res = run_case("allreduce", "knomial", plan, backend="sim", p=P,
+                   engine="collapsed")
+    assert res.fallback == "fault plan present"
+    assert res.ok  # classification contract holds regardless of engine
+
+
+@settings(max_examples=25, deadline=None)
+@given(plan=fault_plans())
+def test_classification_is_engine_invariant(plan):
+    collapsed = run_case("allreduce", "knomial", plan, backend="sim", p=P,
+                         engine="collapsed")
+    auto = run_case("allreduce", "knomial", plan, backend="sim", p=P)
+    materialized = run_case("allreduce", "knomial", plan, backend="sim",
+                            p=P, engine="materialized")
+    assert collapsed.outcome == auto.outcome == materialized.outcome
+    # auto/materialized never *fall back* — auto declines up front, and
+    # the materialized core is the fallback target itself.
+    assert auto.fallback is None
+    assert materialized.fallback is None
+
+
+def test_default_sweep_records_fallback_on_every_sim_case():
+    results = run_chaos(
+        default_scenarios(0, P),
+        p=P,
+        backends=["sim"],
+        algorithms=[("allreduce", "knomial")],
+        engine="collapsed",
+    )
+    assert results  # the sweep ran something
+    for r in results:
+        assert r.fallback == "fault plan present"
+        assert "collapsed fell back" in r.describe()
+
+
+def test_threaded_cases_never_record_fallback():
+    plan = FaultPlan(drop_rate=0.02, seed=0, retry=RETRY)
+    res = run_case("allreduce", "knomial", plan, backend="threaded", p=4,
+                   count=16, engine="collapsed")
+    assert res.fallback is None  # no simulation engine on the wire

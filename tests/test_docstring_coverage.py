@@ -23,6 +23,7 @@ import pytest
 #: (``repro.api``), so both spellings are checked.
 MODULES = [
     "repro",
+    "repro.adapt",
     "repro.api",
     "repro.check",
     "repro.compile",

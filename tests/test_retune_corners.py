@@ -1,0 +1,104 @@
+"""Corner cases of degraded-mode re-tuning (:mod:`repro.recovery.retune`).
+
+The adaptive loop's ``retune`` rung is built on these primitives, so
+their edges are load-bearing: an empty degradation stream must mean "no
+plan" (not an empty plan that still blocks the collapsed engine), a
+sweep that merely *ties* the incumbent must not cause a switch, and the
+re-pick must be bit-deterministic at any worker fan-out.
+"""
+
+import pytest
+
+from repro.errors import SelectionError
+from repro.obs import OBS
+from repro.recovery.detect import LinkDegraded
+from repro.recovery.retune import degraded_plan, retune_degraded, retune_or_keep
+from repro.simnet.machines import reference
+
+M8 = reference(8)
+NBYTES = 65536
+
+#: A degradation pattern strong enough to rerank: every link at rank 1.
+DEGRADED = tuple(
+    LinkDegraded(src, dst, delay_factor=4.0, bandwidth_factor=8.0)
+    for r in [1]
+    for src, dst in [(r, o) for o in range(8) if o != r]
+    + [(o, r) for o in range(8) if o != r]
+)
+
+
+def test_empty_degradation_means_no_plan():
+    assert degraded_plan(()) is None
+
+
+def test_noop_factors_mean_no_plan():
+    # Links reported degraded but with unit factors carry no penalty —
+    # sweeping under them would just disable the collapsed engine.
+    noop = (LinkDegraded(0, 1, delay_factor=1.0, bandwidth_factor=1.0),)
+    assert degraded_plan(noop) is None
+
+
+def test_degraded_plan_carries_only_the_penalties():
+    plan = degraded_plan(DEGRADED[:2])
+    assert plan is not None
+    assert len(plan.links) == 2
+    assert plan.drop_rate == 0.0 and not plan.crashes
+
+
+def test_retune_or_keep_keeps_incumbent_on_tie():
+    # The healthy winner, asked to re-tune with nothing degraded, ties
+    # itself — and must be kept, not "switched to" redundantly.
+    winner = retune_degraded("allreduce", M8, NBYTES, ())
+    kept = retune_or_keep("allreduce", winner[0], M8, NBYTES, (),
+                          k=winner[1])
+    assert kept == winner
+
+
+def test_retune_or_keep_switches_off_a_beaten_incumbent():
+    winner = retune_degraded("allreduce", M8, NBYTES, ())
+    # ring allreduce is never the 64 KiB winner at p=8; it must move.
+    moved = retune_or_keep("allreduce", "ring", M8, NBYTES, ())
+    assert moved == winner
+
+
+def test_retune_or_keep_counts_only_actual_switches():
+    # retune_degraded counts every call; retune_or_keep must count only
+    # actual switches, so the winner is computed before OBS turns on.
+    winner = retune_degraded("allreduce", M8, NBYTES, ())
+    OBS.reset()
+    OBS.enable()
+    try:
+        retune_or_keep("allreduce", winner[0], M8, NBYTES, (),
+                       k=winner[1])
+        counter = OBS.metrics.counter(
+            "repro_recovery_retunes_total", collective="allreduce"
+        )
+        kept_value = counter.value
+        retune_or_keep("allreduce", "ring", M8, NBYTES, ())
+        switched_value = counter.value
+    finally:
+        OBS.disable()
+        OBS.reset()
+    assert kept_value == 0.0  # tie-keep must not count as a re-tune
+    assert switched_value == 1.0
+
+
+def test_retune_or_keep_keeps_incumbent_when_sweep_cannot_run(monkeypatch):
+    from repro.selection import tuner
+
+    def boom(*args, **kwargs):
+        raise SelectionError("no sweep for you")
+
+    monkeypatch.setattr(tuner, "sweep_collective", boom)
+    assert retune_or_keep("allreduce", "knomial", M8, NBYTES, (),
+                          k=4) == ("knomial", 4)
+
+
+def test_repick_is_deterministic_at_any_jobs():
+    serial = retune_or_keep("allreduce", "knomial", M8, NBYTES, DEGRADED,
+                            k=4, jobs=0)
+    fanned = retune_or_keep("allreduce", "knomial", M8, NBYTES, DEGRADED,
+                            k=4, jobs=2)
+    assert serial == fanned
+    assert serial == retune_degraded("allreduce", M8, NBYTES, DEGRADED,
+                                     jobs=2)
