@@ -1,7 +1,8 @@
 # Convenience targets for the common workflows.
 
 .PHONY: install test chaos chaos-recover bench perf compile-bench \
-        validate experiments tune examples trace-demo check soak clean
+        validate experiments tune examples trace-demo check soak \
+        serve-smoke clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -64,6 +65,14 @@ check:
 # land in soak-artifacts/; CI uploads them on every run.
 soak:
 	python -m repro.bench.soak --rounds 6 -o soak-artifacts
+
+# Tuning-service smoke (DESIGN.md §17): boot a real repro-serve
+# subprocess on an ephemeral port, probe every endpoint (served vs
+# direct selection identity, schedule fingerprint round-trip, 8-way
+# coalesced /tune, /metrics), SIGTERM it, and save the exported
+# selection-config artifact CI uploads.
+serve-smoke:
+	python -m repro.server.smoke -o selection_config.json
 
 experiments:
 	repro-bench all

@@ -33,7 +33,7 @@ arm matches the oracle's post-change winner.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..errors import AdaptError
 from ..faults.plan import (
@@ -204,6 +204,7 @@ def run_adaptive(
     jobs: int = 0,
     engine: str = "auto",
     seed: int = 0,
+    priors: Optional[Mapping[Choice, float]] = None,
 ) -> AdaptReport:
     """Run the closed loop for ``rounds`` rounds; return the full trail.
 
@@ -216,6 +217,14 @@ def run_adaptive(
     wall-clock only: every number in the report is bit-identical across
     them.  An ``abort`` from the ladder stops the loop early and sets
     ``aborted`` on the report — it never raises.
+
+    ``priors`` seeds the healthy arm times directly — the
+    ``{Choice: seconds}`` mapping
+    :meth:`repro.server.SelectionConfig.priors_for` exports — replacing
+    the loop's own healthy sweep.  Healthy simulation is deterministic,
+    so priors recorded on the same machine reproduce exactly the sweep's
+    numbers and the whole trail is bit-identical to a cold run; the
+    warm start only removes the boot sweep's wall-clock.
     """
     from ..api import build
     from ..core.registry import info
@@ -228,6 +237,10 @@ def run_adaptive(
     nbytes = int(nbytes)
 
     cache: Dict[Optional[FaultPlan], Dict[Choice, float]] = {}
+    if priors:
+        cache[None] = {
+            choice: float(time) for choice, time in priors.items()
+        }
 
     def times_under(plan: Optional[FaultPlan]) -> Dict[Choice, float]:
         if plan not in cache:

@@ -165,6 +165,7 @@ def execute(
     adapt=None,
     adapt_policy=None,
     machine=None,
+    select: Optional[str] = None,
     compiled: bool = True,
     obs: Optional[Obs] = None,
 ):
@@ -203,6 +204,15 @@ def execute(
     default) none of this machinery runs: the path below is exactly the
     pre-adaptive one, bit for bit.
 
+    ``select`` delegates the algorithm choice to a running tuning
+    service (:mod:`repro.server`): pass its base URL
+    (``select="http://127.0.0.1:8080"``) and the service's tuned
+    ``(algorithm, k)`` for ``(collective, p, count × itemsize)``
+    replaces the caller's ``algorithm``/``k`` before the normal path
+    runs.  Mutually exclusive with ``adapt`` — one oracle per run.  The
+    served choice is bit-identical to the in-process tuner's, so a run
+    through ``select=`` matches a run tuned locally.
+
     ``compiled=True`` (the default) executes the schedule's compiled
     program tables (:mod:`repro.compile`) — bit-identical results, just
     faster; ``compiled=False`` forces op-by-op IR interpretation (the
@@ -218,6 +228,18 @@ def execute(
         raise ExecutionError(
             f"unknown backend {backend!r}; expected one of {BACKENDS}"
         )
+    if select is not None:
+        if adapt is not None:
+            raise ExecutionError(
+                "select= and adapt= are mutually exclusive: the tuning "
+                "service and the adaptive loop are both choice oracles"
+            )
+        from .server.client import TuningClient
+
+        choice = TuningClient(select).select(
+            collective, p, count * np.dtype(dtype).itemsize
+        )
+        algorithm, k = choice.algorithm, choice.k
     if adapt is not None:
         from .adapt.loop import AdaptiveRun, run_adaptive
         from .adapt.scenarios import get_scenario

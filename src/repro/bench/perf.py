@@ -23,7 +23,11 @@ populated store must beat a cold in-process run), and
 **interpreter-vs-compiled** (executing a schedule's compiled program
 tables on the threaded backend must beat op-by-op IR interpretation by
 at least 2x on every acceptance config, with bit-identical result
-buffers — see :mod:`repro.compile`).
+buffers — see :mod:`repro.compile`), and **serve** (the tuning
+service: N concurrent ``/tune`` requests must coalesce into one sweep,
+a selection-config warm start must beat a cold tune 2x, and every
+served selection must be bit-identical to the in-process tuner — see
+:mod:`repro.server`).
 
 :func:`run_perf` produces a JSON-able report; ``repro-bench-perf``
 writes it to ``BENCH_perf.json``.  The committed copy at the repo root
@@ -66,7 +70,20 @@ __all__ = [
     "load_report",
 ]
 
-SCHEMA_VERSION = 6
+SCHEMA_VERSION = 7
+
+# Serve-tier configuration (schema v7): the tuning service's gates.
+# The grid is deliberately small — the tier times *service* economics
+# (coalescing, prior warm-starts), not the sweep itself — but big
+# enough that one cold sweep dwarfs 8 HTTP round-trips, so the 1.2x
+# coalescing ceiling measures sharing, not socket noise.
+_SERVE_P = 8
+_SERVE_SIZES = (1 << 10, 1 << 12, 1 << 14, 1 << 16)
+_SERVE_COLLECTIVES = ("allreduce",)
+_SERVE_CLIENTS = 8
+_SERVE_COALESCE_MAX_RATIO = 1.2
+_SERVE_WARM_MIN_SPEEDUP = 2.0
+_SERVE_COALESCE_ATTEMPTS = 3
 
 # Adapt-tier configuration (schema v6): the online-selection loop's
 # gates.  The convergence bound is deliberately looser than the golden
@@ -847,6 +864,124 @@ def _bench_adapt(machine: MachineSpec, smoke: bool) -> Dict:
     }
 
 
+def _bench_serve(smoke: bool) -> Dict:
+    """The serve tier: the tuning service's three promises, measured.
+
+    * **bit-identity** — every ``/select`` answer and the exported
+      ``/config`` document must equal what an in-process
+      :func:`repro.server.build_config` tune of the same grid produces,
+      byte for byte (raised on violation — a service that answers
+      differently than the library is not a cache, it is a fork);
+    * **coalescing** — :data:`_SERVE_CLIENTS` concurrent ``POST /tune``
+      requests for the same cold sweep must share one leader (exactly
+      one ``sweeps_run`` increment) and finish within
+      :data:`_SERVE_COALESCE_MAX_RATIO` of a single cold tune's wall
+      clock — N clients must pay for one sweep, not N;
+    * **warm start** — a tune warm-started from a committed
+      selection-config's :meth:`~repro.server.SelectionConfig.
+      sweep_priors` must beat the cold tune by at least
+      :data:`_SERVE_WARM_MIN_SPEEDUP` while producing a bit-identical
+      artifact (the priors replay recorded timings instead of
+      simulating, so speed is the only thing allowed to change).
+
+    The coalescing measurement clears the simulation memo first so the
+    leader runs a real sweep, and retries (each attempt re-cleared) if
+    a follower ever lands after the leader already finished — the same
+    race discipline the smoke driver uses.
+    """
+    import concurrent.futures
+
+    from ..server import TuningClient, build_config, serve_background
+    from ..simnet.machines import reference
+
+    machine = reference(_SERVE_P)
+    sizes = list(_SERVE_SIZES)
+
+    clear_sim_memo()
+    global_schedule_cache().clear()
+    t0 = time.perf_counter()
+    direct = build_config(machine, sizes, collectives=_SERVE_COLLECTIVES)
+    cold_s = time.perf_counter() - t0
+
+    clear_sim_memo()
+    global_schedule_cache().clear()
+    t0 = time.perf_counter()
+    warm = build_config(
+        machine, sizes, collectives=_SERVE_COLLECTIVES,
+        priors=direct.sweep_priors(),
+    )
+    warm_s = time.perf_counter() - t0
+    if warm.to_json() != direct.to_json():
+        raise ReproError(
+            "serve tier integrity check failed: the prior-warmed tune "
+            "diverged from the cold tune"
+        )
+
+    with serve_background(
+        machine, sizes, collectives=_SERVE_COLLECTIVES
+    ) as handle:
+        client = TuningClient(handle.url)
+        selections_identical = all(
+            client.select("allreduce", machine.nranks, nbytes)
+            == direct.select("allreduce", machine.nranks, nbytes)
+            for nbytes in sizes
+        )
+        config_identical = client.config_text() == direct.to_json()
+        if not (selections_identical and config_identical):
+            raise ReproError(
+                "serve tier integrity check failed: served selections "
+                "or the exported config diverged from the in-process tune"
+            )
+
+        swept = joined = 0
+        single_s = coalesced_wall_s = float("inf")
+        attempts = 0
+        for attempts in range(1, _SERVE_COALESCE_ATTEMPTS + 1):
+            clear_sim_memo()
+            t0 = time.perf_counter()
+            client.tune("allreduce")
+            single_s = time.perf_counter() - t0
+
+            before = client.info()
+            clear_sim_memo()
+            with concurrent.futures.ThreadPoolExecutor(
+                max_workers=_SERVE_CLIENTS
+            ) as pool:
+                t0 = time.perf_counter()
+                futures = [
+                    pool.submit(client.tune, "allreduce")
+                    for _ in range(_SERVE_CLIENTS)
+                ]
+                outcomes = [f.result()["outcome"] for f in futures]
+                coalesced_wall_s = time.perf_counter() - t0
+            after = client.info()
+            swept = after["sweeps_run"] - before["sweeps_run"]
+            joined = after["coalesced"] - before["coalesced"]
+            if swept == 1 and outcomes.count("swept") == 1:
+                break
+
+    return {
+        "p": machine.nranks,
+        "sizes": sizes,
+        "collectives": list(_SERVE_COLLECTIVES),
+        "clients": _SERVE_CLIENTS,
+        "cold_tune_s": cold_s,
+        "warm_tune_s": warm_s,
+        "warm_speedup": cold_s / warm_s if warm_s > 0 else float("inf"),
+        "warm_identical": True,
+        "selections_identical": selections_identical,
+        "config_identical": config_identical,
+        "single_tune_s": single_s,
+        "coalesced_wall_s": coalesced_wall_s,
+        "coalesce_ratio": (
+            coalesced_wall_s / single_s if single_s > 0 else float("inf")
+        ),
+        "sweeps_run": swept,
+        "coalesced": joined,
+        "coalesce_attempts": attempts,
+    }
+
+
 def run_perf(
     *,
     machine_name: str = "frontier",
@@ -890,6 +1025,7 @@ def run_perf(
         ),
         "scale": _bench_scale(smoke),
         "adapt": _bench_adapt(machine, smoke),
+        "serve": _bench_serve(smoke),
     }
     return report
 
@@ -1084,6 +1220,41 @@ def check_regression(
                 f"time-to-adapt {tta} round(s) exceeds the allowed "
                 f"{allowed}"
             )
+    serve = current.get("serve")
+    if serve is not None:
+        # Skip-if-absent like the other late tiers (baselines predating
+        # schema 7 have no serve section).  All gates are self-relative
+        # ratios within the current report, so host speed cancels.
+        for flag, what in (
+            ("selections_identical", "served selections"),
+            ("config_identical", "the exported /config document"),
+            ("warm_identical", "the prior-warmed tune"),
+        ):
+            if not serve.get(flag, False):
+                failures.append(
+                    f"{what} diverged from the in-process cold tune"
+                )
+        if serve.get("sweeps_run", 0) != 1:
+            failures.append(
+                f"{serve.get('clients')} concurrent /tune requests ran "
+                f"{serve.get('sweeps_run')} sweep(s) instead of "
+                f"coalescing into 1"
+            )
+        ratio = serve.get("coalesce_ratio", float("inf"))
+        if ratio > _SERVE_COALESCE_MAX_RATIO:
+            failures.append(
+                f"{serve.get('clients')} coalesced /tune requests took "
+                f"{ratio:.2f}x a single tune's wall clock (allowed "
+                f"{_SERVE_COALESCE_MAX_RATIO:.1f}x — N clients must pay "
+                f"for one sweep)"
+            )
+        if serve.get("warm_speedup", 0.0) < _SERVE_WARM_MIN_SPEEDUP:
+            failures.append(
+                f"prior-warmed tune is only "
+                f"{serve.get('warm_speedup', 0.0):.2f}x the cold tune "
+                f"(required {_SERVE_WARM_MIN_SPEEDUP:.1f}x — committed "
+                f"selection-config priors must make boot nearly free)"
+            )
     obs = current.get("obs")
     base_obs = baseline.get("obs")
     if obs is not None:
@@ -1220,6 +1391,20 @@ def format_report(report: Dict) -> str:
             f"(max time-to-adapt {flap['max_time_to_adapt']} round(s), "
             f"{flap['switches']} switch(es), jobs-invariant: "
             f"{flap['jobs_invariant']})"
+        )
+    serve = report.get("serve")
+    if serve is not None:
+        lines.append(
+            f"  serve tune     : cold {serve['cold_tune_s']:6.2f} s | warm "
+            f"{serve['warm_tune_s']:6.3f} s | {serve['warm_speedup']:5.1f}x "
+            f"(selections identical: {serve['selections_identical']}, "
+            f"config identical: {serve['config_identical']})"
+        )
+        lines.append(
+            f"  serve coalesce : single {serve['single_tune_s']:5.2f} s | "
+            f"{serve['clients']} clients {serve['coalesced_wall_s']:5.2f} s "
+            f"| {serve['coalesce_ratio']:4.2f}x "
+            f"({serve['sweeps_run']} swept, {serve['coalesced']} coalesced)"
         )
     scale = report.get("scale")
     if scale is not None:

@@ -1,6 +1,6 @@
 """Command-line entry points.
 
-Ten console scripts are installed with the package:
+Eleven console scripts are installed with the package:
 
 ``repro-bench``
     Run one (or all) of the paper's experiments and print the figure data
@@ -66,6 +66,18 @@ Ten console scripts are installed with the package:
     ``--check-jobs 2`` to prove the trail bit-identical across sweep
     fan-outs.
 
+``repro-serve``
+    The schedule-tuning service (:mod:`repro.server`): boot an asyncio
+    HTTP daemon that answers ``/select`` queries from a tuned table,
+    serves content-addressed compiled schedules from a disk store,
+    coalesces concurrent identical ``/tune`` sweeps into single
+    flights, exposes Prometheus ``/metrics``, and exports the
+    MPICH-style selection-config artifact at ``/config``:
+    ``repro-serve --machine reference --nodes 8 --port 8080``; add
+    ``--grid tuned_config.json`` to warm-start boot from a committed
+    artifact and ``--store DIR`` to persist schedules across restarts.
+    SIGTERM shuts the service down cleanly (rc 0); Ctrl-C exits 130.
+
 ``repro-check``
     Static schedule analysis — deadlock (eager + rendezvous send
     semantics), intra-step buffer hazards, dataflow lint, and
@@ -103,6 +115,7 @@ __all__ = [
     "main_check",
     "main_sweep",
     "main_adapt",
+    "main_serve",
 ]
 
 
@@ -1283,6 +1296,116 @@ def main_adapt(argv: Optional[List[str]] = None) -> int:
     if doc["aborted"]:
         return 1
     return 0 if doc["jobs_invariant"] else 1
+
+
+def main_serve(argv: Optional[List[str]] = None) -> int:
+    """``repro-serve``: run the schedule-tuning HTTP service."""
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Boot the schedule-tuning service (repro.server): "
+        "an asyncio HTTP daemon serving tuned selections (/select), "
+        "content-addressed compiled schedules (/schedule), coalesced "
+        "sweeps (POST /tune), Prometheus metrics (/metrics), and the "
+        "exportable MPICH-style selection-config artifact (/config).  "
+        "The boot sweep tunes every collective over the size grid "
+        "before the socket binds; warm-start it from a committed "
+        "artifact with --grid.",
+        epilog="SIGTERM stops the service cleanly (exit 0); Ctrl-C "
+        "exits 130 like every other verb.",
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="interface to bind (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=0,
+                        help="listen port; 0 (default) picks an "
+                        "ephemeral one — the chosen URL is printed as "
+                        "'serving on http://...' once ready")
+    parser.add_argument("--machine", default="reference",
+                        help="base machine (frontier/polaris/reference, "
+                        "combined with --nodes/--ppn) or a self-contained "
+                        "registry name like dragonfly-1024 "
+                        "(repro.simnet.machines.get)")
+    parser.add_argument("--nodes", type=int, default=8)
+    parser.add_argument("--ppn", type=int, default=1)
+    parser.add_argument("--collectives", nargs="+", default=None,
+                        choices=COLLECTIVES, metavar="COLLECTIVE",
+                        help="collectives the boot sweep tunes "
+                        "(default: the paper's four — bcast, reduce, "
+                        "allgather, allreduce)")
+    parser.add_argument("--min-bytes", type=int, default=8)
+    parser.add_argument("--max-bytes", type=int, default=1 << 18)
+    parser.add_argument("--grid", default=None, metavar="PATH",
+                        help="warm-start the boot sweep from a committed "
+                        "selection-config artifact (repro-tune output "
+                        "re-exported via /config, or SelectionConfig."
+                        "save); covered points replay recorded timings "
+                        "instead of simulating")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="disk store backing schedules and compiled "
+                        "artifacts (repro.store); /schedule survives "
+                        "restarts and the fingerprint index is rebuilt "
+                        "from it at boot")
+    parser.add_argument("--engine", default="auto", choices=ENGINES,
+                        help="simulation core for the service's sweeps; "
+                        "served selections are identical under all three")
+    parser.add_argument("-j", "--jobs", type=int, default=0,
+                        help="worker processes for the service's sweeps "
+                        "(0/1 serial, -1 all cores); selections are "
+                        "identical at any job count")
+    parser.add_argument("--no-compile", action="store_true",
+                        help="interpret schedules op by op instead of "
+                        "using compiled program tables; selections are "
+                        "identical either way")
+    args = parser.parse_args(argv)
+
+    import asyncio
+    import signal
+
+    from .obs import OBS
+    from .server import TuningService
+
+    # The service's own request counters record unconditionally, but
+    # enabling the scope also surfaces cache/store/sweep instrumentation
+    # in /metrics — a daemon should be observable by default.
+    OBS.reset()
+    OBS.enable()
+    try:
+        machine = _machine_arg(args.machine, args.nodes, args.ppn)
+        sizes = [n for n in default_sizes(args.min_bytes, args.max_bytes)]
+        service = TuningService(
+            machine,
+            sizes[::2] + [sizes[-1]],
+            collectives=(tuple(args.collectives) if args.collectives
+                         else ("bcast", "reduce", "allgather", "allreduce")),
+            store=args.store,
+            grid=args.grid,
+            jobs=args.jobs,
+            engine=args.engine,
+            compiled=not args.no_compile,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        print("\ninterrupted during boot sweep", file=sys.stderr)
+        return 130
+
+    async def run() -> None:
+        await service.start(args.host, args.port)
+        print(f"serving on {service.url}", flush=True)
+        stop = asyncio.Event()
+        asyncio.get_running_loop().add_signal_handler(
+            signal.SIGTERM, stop.set
+        )
+        await stop.wait()
+        await service.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("\ninterrupted: tuning service stopped", file=sys.stderr)
+        return 130
+    print("SIGTERM: tuning service stopped cleanly", file=sys.stderr)
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation helper

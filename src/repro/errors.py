@@ -21,6 +21,7 @@ __all__ = [
     "TraceError",
     "ObsError",
     "StoreError",
+    "ServerError",
     "FaultError",
     "PartialFailure",
     "RecoveryError",
@@ -100,6 +101,20 @@ class StoreError(ReproError):
     the store (bad checksum, truncated entry, stray temp file) is never
     raised — damaged entries are quarantined and rebuilt, and a torn
     journal tail is skipped.  Only caller errors surface as exceptions.
+    """
+
+
+class ServerError(ReproError):
+    """The tuning service could not satisfy a request.
+
+    Raised by :mod:`repro.server` for service misuse on either side of
+    the wire: a malformed or unroutable HTTP request, a query for a
+    compiled artifact under an unknown fingerprint, a client that cannot
+    reach (or parse a response from) the server, or a service
+    constructed over an empty size grid.  Selection misses keep raising
+    :class:`SelectionError` — the error classes travel through the HTTP
+    boundary by name so clients can tell "no rule covers this point"
+    from "the service is broken".
     """
 
 

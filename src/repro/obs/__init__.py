@@ -160,6 +160,14 @@ class Obs:
             metadata=metadata,
         )
 
+    def prometheus(self) -> str:
+        """The current metrics snapshot in Prometheus text exposition.
+
+        Convenience for live scrape surfaces — the tuning service's
+        ``GET /metrics`` returns exactly this string.
+        """
+        return self.metrics.snapshot().to_prometheus()
+
     def write_metrics(self, path: Union[str, Path]) -> Path:
         """Write the metrics snapshot as JSON, plus Prometheus text
         alongside it (same stem, ``.prom`` suffix)."""

@@ -11,7 +11,7 @@ merge adjacent sizes with identical winners into compact byte-range rules.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.registry import algorithms_for, info
 from ..errors import SelectionError
@@ -20,7 +20,21 @@ from ..simnet.machine import MachineSpec
 from ..simnet.noise import NoiseModel
 from .table import Choice, Rule, SelectionTable
 
-__all__ = ["radix_grid", "sweep_collective", "SweepEntry", "tune"]
+__all__ = [
+    "DEFAULT_COLLECTIVES",
+    "radix_grid",
+    "sweep_points",
+    "sweep_collective",
+    "SweepEntry",
+    "table_from_sweeps",
+    "tune",
+]
+
+#: The collectives :func:`tune` (and the tuning service) sweeps by
+#: default — the four the paper tunes in §VI-G.
+DEFAULT_COLLECTIVES: Tuple[str, ...] = (
+    "bcast", "reduce", "allgather", "allreduce"
+)
 
 
 def radix_grid(p: int, *, min_k: int = 2, extras: Sequence[int] = (3, 5)) -> List[int]:
@@ -79,6 +93,58 @@ class SweepResult:
         }
 
 
+def sweep_points(
+    collective: str,
+    machine: MachineSpec,
+    sizes: Sequence[int],
+    *,
+    algorithms: Optional[Sequence[str]] = None,
+    root: int = 0,
+    skip: Sequence[str] = ("linear",),
+) -> List["SweepPoint"]:
+    """The exact point grid :func:`sweep_collective` would simulate.
+
+    One :class:`~repro.bench.sweep.SweepPoint` per (algorithm, radix,
+    size) combination, in the tuner's deterministic enumeration order —
+    generalized algorithms expand over :func:`radix_grid`, fixed-radix
+    ones contribute a single ``k=None`` row.  Factored out of
+    :func:`sweep_collective` so other layers can agree with the tuner
+    about *which* sweep a query implies without running it: the tuning
+    service keys its single-flight request coalescing on
+    :func:`repro.bench.sweep.sweep_fingerprint` over this list, so N
+    concurrent identical ``/tune`` queries hash to one sweep.
+    """
+    from ..bench.sweep import SweepPoint
+    from ..simnet.machines import resolve as resolve_machine
+
+    machine = resolve_machine(machine)
+    p = machine.nranks
+    names = list(algorithms) if algorithms else algorithms_for(collective)
+    points: List[SweepPoint] = []
+    for name in names:
+        if name in skip:
+            continue
+        entry = info(collective, name)
+        if entry.takes_k:
+            ks: List[Optional[int]] = list(
+                radix_grid(p, min_k=entry.min_k)
+            )
+        else:
+            ks = [None]
+        for k in ks:
+            for nbytes in sizes:
+                points.append(
+                    SweepPoint(
+                        collective,
+                        name,
+                        nbytes,
+                        k=k,
+                        root=root if entry.takes_root else 0,
+                    )
+                )
+    return points
+
+
 def sweep_collective(
     collective: str,
     machine: MachineSpec,
@@ -93,6 +159,7 @@ def sweep_collective(
     check: bool = False,
     compiled: bool = True,
     engine: str = "auto",
+    priors: Optional[Mapping[Tuple, float]] = None,
 ) -> SweepResult:
     """Simulate every (algorithm, radix, size) combination.
 
@@ -117,39 +184,30 @@ def sweep_collective(
     also result-transparent, so tables tuned under ``"collapsed"`` match
     tables tuned under ``"materialized"`` bit for bit.  ``machine`` may
     be a registry name (:func:`repro.simnet.machines.get`).
+    ``priors`` warm-starts the sweep from recorded timings — a mapping
+    from ``(collective, algorithm, k, root, nbytes)`` to seconds, as
+    exported by
+    :meth:`repro.server.SelectionConfig.sweep_priors` — and only the
+    points *absent* from it are simulated.  Simulated times are
+    deterministic, so a prior recorded on the same machine equals what
+    re-simulation would produce and the entries (and every winner
+    derived from them) are bit-identical to a cold sweep; priors only
+    apply to healthy sweeps (they are ignored under ``noise``/``faults``,
+    whose times they do not describe).
     """
     # Imported lazily: repro.bench.sweep imports radix_grid from this
     # module at import time, so the reverse dependency must resolve at
     # call time to keep the module graph acyclic.
-    from ..bench.sweep import SweepPoint, run_sweep, sweep_errors
+    from ..bench.sweep import run_sweep, sweep_errors
     from ..simnet.machines import resolve as resolve_machine
 
     machine = resolve_machine(machine)
     p = machine.nranks
-    names = list(algorithms) if algorithms else algorithms_for(collective)
     result = SweepResult(collective=collective, machine=machine.name)
-    points: List[SweepPoint] = []
-    for name in names:
-        if name in skip:
-            continue
-        entry = info(collective, name)
-        if entry.takes_k:
-            ks: List[Optional[int]] = list(
-                radix_grid(p, min_k=entry.min_k)
-            )
-        else:
-            ks = [None]
-        for k in ks:
-            for nbytes in sizes:
-                points.append(
-                    SweepPoint(
-                        collective,
-                        name,
-                        nbytes,
-                        k=k,
-                        root=root if entry.takes_root else 0,
-                    )
-                )
+    points = sweep_points(
+        collective, machine, sizes,
+        algorithms=algorithms, root=root, skip=skip,
+    )
     if check:
         from ..check import check_schedule
 
@@ -167,69 +225,64 @@ def sweep_collective(
                     f"refusing to tune over a broken schedule: "
                     f"{report.describe(max_findings=3)}"
                 )
-    results = run_sweep(points, machine, jobs=jobs, noise=noise,
-                        faults=faults, compiled=compiled, engine=engine)
-    errors = sweep_errors(results)
-    if errors:
-        raise SelectionError(
-            f"{collective} sweep: {len(errors)} point(s) failed: "
-            + "; ".join(errors[:4])
-        )
-    for res in results:
+    known: Dict[int, float] = {}
+    if priors and noise is None and faults is None:
+        for i, pt in enumerate(points):
+            time = priors.get(
+                (pt.collective, pt.algorithm, pt.k, pt.root, pt.nbytes)
+            )
+            if time is not None:
+                known[i] = float(time)
+    missing = [pt for i, pt in enumerate(points) if i not in known]
+    if missing:
+        results = run_sweep(missing, machine, jobs=jobs, noise=noise,
+                            faults=faults, compiled=compiled, engine=engine)
+        errors = sweep_errors(results)
+        if errors:
+            raise SelectionError(
+                f"{collective} sweep: {len(errors)} point(s) failed: "
+                + "; ".join(errors[:4])
+            )
+    else:
+        results = []
+    # Reassemble in the full enumeration order so entries — and every
+    # winner derived from them — are position-identical to a cold sweep.
+    simulated = iter(results)
+    for i, pt in enumerate(points):
+        time = known[i] if i in known else next(simulated).time
         result.entries.append(
             SweepEntry(
-                choice=Choice(res.point.algorithm, res.point.k),
-                nbytes=res.point.nbytes,
-                time=res.time,
+                choice=Choice(pt.algorithm, pt.k),
+                nbytes=pt.nbytes,
+                time=time,
             )
         )
     return result
 
 
-def tune(
-    machine: MachineSpec,
+def table_from_sweeps(
+    sweeps: Mapping[str, SweepResult],
     sizes: Sequence[int],
     *,
-    collectives: Sequence[str] = ("bcast", "reduce", "allgather", "allreduce"),
-    noise: Optional[NoiseModel] = None,
-    faults: Optional["FaultPlan"] = None,
-    name: Optional[str] = None,
-    jobs: int = 0,
-    check: bool = False,
-    compiled: bool = True,
-    engine: str = "auto",
+    name: str = "unnamed",
 ) -> SelectionTable:
-    """Produce a selection table tuned for ``machine``.
+    """Distill per-collective sweeps into a selection table.
 
-    Per collective: winner per size, then adjacent sizes with identical
-    winners merge into one rule.  The byte-range boundaries sit at the
-    sweep sizes themselves (the winner measured at size ``s`` governs
-    ``[s, next_s)``), the first rule extends to 0 and the last is
-    unbounded — matching how MPICH cutoff tables are written.
-
-    ``jobs`` parallelizes the underlying sweeps without affecting the
-    chosen winners: times are bit-identical to the serial sweep, so the
-    argmin per size — and therefore the emitted table — cannot change.
-    ``check=True`` gates every candidate schedule through the static
-    analysis suite first (see :func:`sweep_collective`).
-    ``compiled=False`` (the CLI's ``--no-compile``) disables the
-    compiled simulator feed; emitted tables are identical regardless.
-    So is ``engine`` (the CLI's ``--engine``): the collapsed core is
-    bit-identical where eligible and falls back where not, so it can
-    only change tuning wall-clock, never a winner.
+    The merge step of :func:`tune`, exposed so any source of
+    :class:`SweepResult` values — a fresh sweep, a tuning-service merge
+    of incremental ``/tune`` results, or timings replayed from an
+    exported selection-config artifact — distills to the *same* table
+    the one-shot tuner would emit: winner per size, adjacent identical
+    winners merged into byte-range rules (first rule extends to 0, last
+    unbounded), plus the standard fallbacks.  ``sweeps`` maps collective
+    name to its :class:`SweepResult`; iteration order becomes rule
+    order, so pass an ordered mapping.
     """
-    from ..simnet.machines import resolve as resolve_machine
-
-    machine = resolve_machine(machine)
     sorted_sizes = sorted(set(int(s) for s in sizes))
     if not sorted_sizes:
-        raise SelectionError("tune needs at least one message size")
-    table = SelectionTable(name=name or f"tuned-{machine.name}")
-    for collective in collectives:
-        sweep = sweep_collective(
-            collective, machine, sorted_sizes, noise=noise, faults=faults,
-            jobs=jobs, check=check, compiled=compiled, engine=engine,
-        )
+        raise SelectionError("table_from_sweeps needs at least one size")
+    table = SelectionTable(name=name)
+    for collective, sweep in sweeps.items():
         winners: List[Tuple[int, Choice]] = [
             (n, sweep.best(n).choice) for n in sorted_sizes
         ]
@@ -257,3 +310,59 @@ def tune(
     table.fallback["barrier"] = Choice("dissemination")
     table.fallback["alltoall"] = Choice("pairwise")
     return table
+
+
+def tune(
+    machine: MachineSpec,
+    sizes: Sequence[int],
+    *,
+    collectives: Sequence[str] = DEFAULT_COLLECTIVES,
+    noise: Optional[NoiseModel] = None,
+    faults: Optional["FaultPlan"] = None,
+    name: Optional[str] = None,
+    jobs: int = 0,
+    check: bool = False,
+    compiled: bool = True,
+    engine: str = "auto",
+    priors: Optional[Mapping[Tuple, float]] = None,
+) -> SelectionTable:
+    """Produce a selection table tuned for ``machine``.
+
+    Per collective: winner per size, then adjacent sizes with identical
+    winners merge into one rule.  The byte-range boundaries sit at the
+    sweep sizes themselves (the winner measured at size ``s`` governs
+    ``[s, next_s)``), the first rule extends to 0 and the last is
+    unbounded — matching how MPICH cutoff tables are written.
+
+    ``jobs`` parallelizes the underlying sweeps without affecting the
+    chosen winners: times are bit-identical to the serial sweep, so the
+    argmin per size — and therefore the emitted table — cannot change.
+    ``check=True`` gates every candidate schedule through the static
+    analysis suite first (see :func:`sweep_collective`).
+    ``compiled=False`` (the CLI's ``--no-compile``) disables the
+    compiled simulator feed; emitted tables are identical regardless.
+    So is ``engine`` (the CLI's ``--engine``): the collapsed core is
+    bit-identical where eligible and falls back where not, so it can
+    only change tuning wall-clock, never a winner.  And so is
+    ``priors`` (see :func:`sweep_collective`): points covered by a
+    recorded timing artifact are served from it instead of
+    re-simulated, which is the tuning service's warm start — an
+    exported selection config round-trips into a bit-identical table
+    at a fraction of the cold cost.
+    """
+    from ..simnet.machines import resolve as resolve_machine
+
+    machine = resolve_machine(machine)
+    sorted_sizes = sorted(set(int(s) for s in sizes))
+    if not sorted_sizes:
+        raise SelectionError("tune needs at least one message size")
+    sweeps: Dict[str, SweepResult] = {}
+    for collective in collectives:
+        sweeps[collective] = sweep_collective(
+            collective, machine, sorted_sizes, noise=noise, faults=faults,
+            jobs=jobs, check=check, compiled=compiled, engine=engine,
+            priors=priors,
+        )
+    return table_from_sweeps(
+        sweeps, sorted_sizes, name=name or f"tuned-{machine.name}"
+    )

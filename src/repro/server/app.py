@@ -1,0 +1,615 @@
+"""The tuning service: asyncio HTTP endpoints over the tuner + stores.
+
+:class:`TuningService` is the long-running daemon the ROADMAP's
+"schedule-tuning-as-a-service" item asks for — the balsam-style shape
+where many client processes share one tuning database instead of each
+re-running ``repro-tune``.  Pure stdlib: :func:`asyncio.start_server`
+plus a hand-rolled HTTP/1.1 exchange (one request per connection,
+``Connection: close``), so the service adds no dependency weight.
+
+The endpoint surface (DESIGN.md §17 walks each one):
+
+``GET /``
+    Service descriptor: machine, grid, live counters (``sweeps_run``,
+    ``coalesced``, ``inflight``) — the smoke driver polls ``inflight``
+    to make its coalescing assertions race-free.
+``GET /select?collective=&p=&nbytes=``
+    The tuned ``(algorithm, k)`` for a query point, answered from the
+    service's selection table — warm-started at boot from a committed
+    selection-config grid, so the first query is already fast.
+``GET /schedule?...``
+    Content-addressed compiled artifact: by build parameters or by
+    ``fingerprint=`` (source-schedule fingerprint or the 16-hex prefix
+    used in store keys).  Served through the same
+    :class:`~repro.store.schedules.PersistentScheduleCache` /
+    :class:`~repro.compile.cache.PersistentCompiledCache` pair the
+    sweep engine uses, so a disk store populated by one feeds the other.
+``POST /tune``
+    Run (or join) an authoritative sweep for one collective.  Requests
+    are **coalesced single-flight**: concurrent tunes that hash to the
+    same :func:`~repro.bench.sweep.sweep_fingerprint` share one sweep —
+    the first becomes the leader and runs it in an executor thread; the
+    rest await the leader's future and report ``outcome="coalesced"``.
+``GET /metrics``
+    The :mod:`repro.obs` Prometheus exposition, including the service's
+    own ``repro_server_requests_total`` counters.
+``GET /config``
+    The exported MPICH-style selection-config artifact
+    (:class:`~repro.server.config.SelectionConfig`), regenerated from
+    the service's current merged sweeps after every ``/tune``.
+
+Errors travel as JSON ``{"error": <class name>, "message": ...}`` so
+:class:`~repro.server.client.TuningClient` can re-raise
+:class:`~repro.errors.SelectionError` ("no rule covers this point")
+distinctly from :class:`~repro.errors.ServerError` ("the service is
+broken or misused").
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import json
+import pickle
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from ..compile.cache import (
+    CompiledCache,
+    compiled_store_key,
+    open_compiled_store,
+)
+from ..core.cache import ScheduleCache
+from ..core.registry import info
+from ..errors import ReproError, SelectionError, ServerError
+from ..obs import Obs, get_obs
+from ..selection.tuner import (
+    DEFAULT_COLLECTIVES,
+    SweepResult,
+    sweep_collective,
+    sweep_points,
+)
+from ..store.schedules import open_schedule_store
+from .config import SelectionConfig, config_from_sweeps
+
+__all__ = ["TuningService", "ServerHandle", "serve_background"]
+
+#: Error classes a response may name; the client re-raises by this name
+#: so selection misses stay :class:`SelectionError` across the wire.
+_WIRE_ERRORS = {"SelectionError": SelectionError, "ServerError": ServerError}
+
+#: (collective, algorithm, p, k, root) — what a fingerprint resolves to.
+_ScheduleParams = Tuple[str, str, int, Optional[int], int]
+
+
+class _HttpReply(Exception):
+    """Internal control flow: an endpoint's non-200 JSON response."""
+
+    def __init__(self, status: int, error: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.error = error
+        self.message = message
+
+
+class TuningService:
+    """One tuning daemon: selection table + stores behind HTTP.
+
+    Construction is synchronous and does the expensive part up front:
+    it sweeps every collective over the size grid (warm-started from
+    ``grid`` — a :class:`~repro.server.config.SelectionConfig` or a
+    path to one — so a committed artifact makes boot nearly free) and
+    distills the selection table.  :meth:`start` then binds the socket;
+    requests mutate the table only through ``/tune``'s merge.
+
+    ``store`` (a directory path) backs schedules and compiled artifacts
+    with the PR 6 disk tiers — the content-addressed ``/schedule``
+    endpoint then survives restarts, and the fingerprint index is
+    rebuilt from the store's ``compiled/…`` keys at boot.  Without it
+    the service runs on in-process LRUs.
+
+    ``obs`` scopes the metrics registry ``/metrics`` exposes (default:
+    the process-global :data:`repro.obs.OBS`).  The service's own
+    request counters are recorded unconditionally — a tuning daemon's
+    traffic should be visible without globally enabling instrumentation.
+    """
+
+    def __init__(
+        self,
+        machine,
+        sizes: Sequence[int],
+        *,
+        collectives: Sequence[str] = DEFAULT_COLLECTIVES,
+        store=None,
+        grid=None,
+        jobs: int = 0,
+        engine: str = "auto",
+        compiled: bool = True,
+        check: bool = False,
+        obs: Optional[Obs] = None,
+        fsync: bool = False,
+    ) -> None:
+        from ..simnet.machines import resolve as resolve_machine
+
+        self.machine = resolve_machine(machine)
+        self.sizes: List[int] = sorted(set(int(s) for s in sizes))
+        if not self.sizes:
+            raise ServerError("a tuning service needs a non-empty size grid")
+        self.collectives: Tuple[str, ...] = tuple(collectives)
+        self.jobs = jobs
+        self.engine = engine
+        self.compiled = compiled
+        self.check = check
+        self.obs = get_obs(obs)
+        self.store_root = str(store) if store is not None else None
+        if store is not None:
+            self.schedules = open_schedule_store(store, fsync=fsync)
+            self.compiled_cache = open_compiled_store(store, fsync=fsync)
+        else:
+            self.schedules = ScheduleCache()
+            self.compiled_cache = CompiledCache()
+        # fingerprint (full, and the 16-hex store-key prefix) → params
+        self._fingerprints: Dict[str, _ScheduleParams] = {}
+        self._index_store()
+        self.warm_started = False
+        priors = None
+        if grid is not None:
+            cfg = (
+                grid if isinstance(grid, SelectionConfig)
+                else SelectionConfig.load(grid)
+            )
+            priors = cfg.sweep_priors()
+            self.warm_started = True
+        # The boot sweep: every collective over the grid, points covered
+        # by the committed artifact replayed instead of simulated.
+        self._sweeps: Dict[str, SweepResult] = {}
+        for collective in self.collectives:
+            self._sweeps[collective] = sweep_collective(
+                collective, self.machine, self.sizes,
+                jobs=self.jobs, check=self.check,
+                compiled=self.compiled, engine=self.engine, priors=priors,
+            )
+        self._rebuild()
+        self.sweeps_run = 0
+        self.coalesced = 0
+        self._inflight: Dict[str, "asyncio.Future[SweepResult]"] = {}
+        self._sweep_lock = threading.Lock()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # State assembly
+    # ------------------------------------------------------------------
+
+    def _rebuild(self) -> None:
+        """Re-distill config + table from the current merged sweeps."""
+        self.config = config_from_sweeps(
+            self.machine, self.sizes, self._sweeps
+        )
+        self.table = self.config.table
+
+    def _index_store(self) -> None:
+        """Rebuild the fingerprint → params index from ``compiled/…`` keys.
+
+        Store keys carry the 16-hex source-fingerprint prefix as their
+        last segment (:func:`repro.compile.cache.compiled_store_key`),
+        which is exactly enough to answer ``/schedule?fingerprint=``
+        after a restart without loading a single artifact.
+        """
+        keys = getattr(self.schedules, "store", None)
+        if keys is None:
+            return
+        for _path, key in keys.keys_on_disk():
+            if not key:
+                continue
+            parts = key.split("/")
+            if len(parts) != 7 or parts[0] != "compiled":
+                continue
+            try:
+                params: _ScheduleParams = (
+                    parts[1],
+                    parts[2],
+                    int(parts[3][len("p="):]),
+                    None if parts[4] == "k=None"
+                    else int(parts[4][len("k="):]),
+                    # Non-rooted schedules record root=None in the key;
+                    # their builders take root=0.
+                    0 if parts[5] == "root=None"
+                    else int(parts[5][len("root="):]),
+                )
+            except ValueError:
+                continue
+            self._fingerprints[parts[6]] = params
+
+    def _register(self, schedule) -> str:
+        """Index a served schedule under its full and prefix fingerprints."""
+        fp = schedule.fingerprint()
+        params: _ScheduleParams = (
+            schedule.collective, schedule.algorithm, schedule.nranks,
+            schedule.k, schedule.root or 0,
+        )
+        self._fingerprints[fp] = params
+        self._fingerprints[fp[:16]] = params
+        return fp
+
+    # ------------------------------------------------------------------
+    # Endpoints (each returns the JSON-ready response payload)
+    # ------------------------------------------------------------------
+
+    def describe(self) -> Dict:
+        """The ``GET /`` service descriptor (also the CLI's boot banner)."""
+        return {
+            "service": "repro-tuning-service",
+            "machine": self.machine.name,
+            "nranks": self.machine.nranks,
+            "sizes": self.sizes,
+            "collectives": list(self.collectives),
+            "engine": self.engine,
+            "jobs": self.jobs,
+            "store": self.store_root,
+            "warm_started": self.warm_started,
+            "sweeps_run": self.sweeps_run,
+            "coalesced": self.coalesced,
+            "inflight": len(self._inflight),
+        }
+
+    def _ep_select(self, query: Dict[str, str]) -> Dict:
+        p = int(query.get("p", self.machine.nranks))
+        choice = self.table.select(
+            _require(query, "collective"), p, int(_require(query, "nbytes"))
+        )
+        return {
+            "collective": query["collective"],
+            "nranks": p,
+            "nbytes": int(query["nbytes"]),
+            "algorithm": choice.algorithm,
+            "k": choice.k,
+        }
+
+    def _ep_schedule(self, query: Dict[str, str]) -> Dict:
+        if "fingerprint" in query:
+            fp = query["fingerprint"]
+            params = self._fingerprints.get(fp) or self._fingerprints.get(
+                fp[:16]
+            )
+            if params is None:
+                raise _HttpReply(
+                    404, "ServerError",
+                    f"no schedule is indexed under fingerprint {fp!r}",
+                )
+            collective, algorithm, p, k, root = params
+        else:
+            collective = _require(query, "collective")
+            algorithm = _require(query, "algorithm")
+            p = int(query.get("p", self.machine.nranks))
+            k = int(query["k"]) if query.get("k") not in (None, "None") \
+                else None
+            root = int(query.get("root", 0))
+        # Fixed-radix schedules record their structural radix (e.g.
+        # recursive doubling's k=2) but their builders refuse a k
+        # argument — normalize so a fingerprint indexed from a built
+        # schedule resolves back through the same builder.
+        if k is not None and not info(collective, algorithm).takes_k:
+            k = None
+        schedule, _hit = self.schedules.get_or_build(
+            collective, algorithm, p, k=k, root=root
+        )
+        compiled, _chit = self.compiled_cache.get_or_compile(schedule)
+        fp = self._register(schedule)
+        return {
+            "collective": schedule.collective,
+            "algorithm": schedule.algorithm,
+            "p": schedule.nranks,
+            "k": schedule.k,
+            "root": schedule.root or 0,
+            "source_fingerprint": fp,
+            "compiled_fingerprint": compiled.fingerprint(),
+            "store_key": compiled_store_key(schedule),
+            "schedule_pickle": _b64(schedule),
+            "compiled_pickle": _b64(compiled),
+        }
+
+    async def _ep_tune(self, body: Dict) -> Dict:
+        collective = body.get("collective")
+        if not collective:
+            raise _HttpReply(
+                400, "ServerError", 'POST /tune needs {"collective": ...}'
+            )
+        points = sweep_points(collective, self.machine, self.sizes)
+        from ..bench.sweep import sweep_fingerprint
+
+        fp = sweep_fingerprint(points, self.machine)
+        fut = self._inflight.get(fp)
+        if fut is not None:
+            self.coalesced += 1
+            sweep = await fut
+            outcome = "coalesced"
+        else:
+            loop = asyncio.get_running_loop()
+            fut = loop.create_future()
+            self._inflight[fp] = fut
+            try:
+                sweep = await loop.run_in_executor(
+                    None, self._run_sweep, collective
+                )
+            except BaseException as exc:
+                fut.set_exception(exc)
+                fut.exception()  # a leaderless error must not warn
+                raise
+            else:
+                fut.set_result(sweep)
+            finally:
+                self._inflight.pop(fp, None)
+            self.sweeps_run += 1
+            self._sweeps[collective] = sweep
+            self._rebuild()
+            outcome = "swept"
+        winners = {
+            str(n): {
+                "algorithm": sweep.best(n).choice.algorithm,
+                "k": sweep.best(n).choice.k,
+            }
+            for n in self.sizes
+        }
+        return {
+            "collective": collective,
+            "fingerprint": fp,
+            "outcome": outcome,
+            "winners": winners,
+        }
+
+    def _run_sweep(self, collective: str) -> SweepResult:
+        """The leader's authoritative sweep (runs in an executor thread).
+
+        Deliberately *without* priors: ``/tune`` is the "re-measure now"
+        verb, so it simulates every point fresh and its result replaces
+        the collective's boot sweep.  Serialized by a lock — the single
+        flight already ensures identical queries share one sweep; the
+        lock keeps *different* collectives from racing the process-wide
+        caches underneath.
+        """
+        with self._sweep_lock:
+            return sweep_collective(
+                collective, self.machine, self.sizes,
+                jobs=self.jobs, check=self.check,
+                compiled=self.compiled, engine=self.engine,
+            )
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+
+    async def _handle(self, reader, writer) -> None:
+        """One connection: parse, dispatch, respond, close."""
+        status, ctype, payload, endpoint = 500, "application/json", b"", "?"
+        try:
+            method, target, headers = await _read_head(reader)
+            length = int(headers.get("content-length", "0"))
+            body = await reader.readexactly(length) if length else b""
+            url = urlsplit(target)
+            endpoint = url.path
+            query = {
+                key: values[-1]
+                for key, values in parse_qs(url.query).items()
+            }
+            status, ctype, payload = await self._dispatch(
+                method, url.path, query, body
+            )
+        except _HttpReply as reply:
+            status = reply.status
+            payload = _error_body(reply.error, reply.message)
+        except SelectionError as exc:
+            status, payload = 400, _error_body("SelectionError", str(exc))
+        except ReproError as exc:
+            status, payload = 400, _error_body(type(exc).__name__, str(exc))
+        except (asyncio.IncompleteReadError, ConnectionError, ValueError) \
+                as exc:
+            status = 400
+            payload = _error_body("ServerError", f"malformed request: {exc}")
+        except Exception as exc:  # noqa: BLE001 — a request must not
+            # take the daemon down; the failure travels to the client.
+            status = 500
+            payload = _error_body("ServerError", f"internal error: {exc}")
+        self.obs.metrics.counter(
+            "repro_server_requests_total",
+            endpoint=endpoint, status=str(status),
+        ).inc()
+        try:
+            writer.write(_response(status, ctype, payload))
+            await writer.drain()
+            writer.close()
+            await writer.wait_closed()
+        except ConnectionError:
+            pass  # client went away mid-reply; nothing to salvage
+
+    async def _dispatch(
+        self, method: str, path: str, query: Dict[str, str], body: bytes
+    ) -> Tuple[int, str, bytes]:
+        """Route one parsed request to its endpoint."""
+        if path == "/tune":
+            if method != "POST":
+                raise _HttpReply(405, "ServerError", "/tune is POST-only")
+            try:
+                parsed = json.loads(body.decode("utf-8") or "{}")
+            except json.JSONDecodeError as exc:
+                raise _HttpReply(
+                    400, "ServerError", f"malformed /tune body: {exc}"
+                ) from exc
+            return 200, "application/json", _json(await self._ep_tune(parsed))
+        if method != "GET":
+            raise _HttpReply(
+                405, "ServerError", f"{method} is not supported on {path}"
+            )
+        if path == "/":
+            return 200, "application/json", _json(self.describe())
+        if path == "/select":
+            return 200, "application/json", _json(self._ep_select(query))
+        if path == "/schedule":
+            return 200, "application/json", _json(self._ep_schedule(query))
+        if path == "/metrics":
+            text = self.obs.prometheus()
+            return 200, "text/plain; version=0.0.4", text.encode("utf-8")
+        if path == "/config":
+            return (
+                200, "application/json",
+                self.config.to_json().encode("utf-8"),
+            )
+        raise _HttpReply(404, "ServerError", f"no such endpoint: {path}")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def url(self) -> str:
+        """The service's base URL (valid after :meth:`start`)."""
+        if self.port is None:
+            raise ServerError("the service has not been started")
+        return f"http://{self.host}:{self.port}"
+
+    async def start(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> "TuningService":
+        """Bind the listening socket (``port=0`` picks an ephemeral one)."""
+        self._server = await asyncio.start_server(self._handle, host, port)
+        bound = self._server.sockets[0].getsockname()
+        self.host, self.port = bound[0], bound[1]
+        return self
+
+    async def stop(self) -> None:
+        """Close the listening socket and drain open connections."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+
+class ServerHandle:
+    """A background tuning service: thread + loop + ready-to-query URL.
+
+    Context-manager friendly (the README quickstart runs inside a
+    ``with`` block); :meth:`close` is idempotent.
+    """
+
+    def __init__(
+        self,
+        service: TuningService,
+        thread: threading.Thread,
+        loop: asyncio.AbstractEventLoop,
+    ) -> None:
+        self.service = service
+        self._thread = thread
+        self._loop = loop
+
+    @property
+    def url(self) -> str:
+        """The served base URL, e.g. ``http://127.0.0.1:43817``."""
+        return self.service.url
+
+    def close(self) -> None:
+        """Stop the loop, join the thread, release the socket."""
+        if self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join()
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def serve_background(machine, sizes: Sequence[int], **kwargs) -> ServerHandle:
+    """Boot a :class:`TuningService` on a daemon thread; return its handle.
+
+    The in-process path tests and executable docs use: construction
+    (and therefore the boot sweep) happens synchronously in the caller,
+    then the socket binds to an ephemeral port on a fresh event loop in
+    a background thread — by the time this returns, ``handle.url``
+    answers requests.  ``kwargs`` pass through to :class:`TuningService`.
+    """
+    service = TuningService(machine, sizes, **kwargs)
+    ready = threading.Event()
+    loops: List[asyncio.AbstractEventLoop] = []
+
+    def run() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(service.start())
+        loops.append(loop)
+        ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(service.stop())
+            loop.run_until_complete(loop.shutdown_default_executor())
+            loop.close()
+
+    thread = threading.Thread(
+        target=run, name="repro-serve", daemon=True
+    )
+    thread.start()
+    ready.wait()
+    return ServerHandle(service, thread, loops[0])
+
+
+# ----------------------------------------------------------------------
+# Wire helpers
+# ----------------------------------------------------------------------
+
+
+def _require(query: Dict[str, str], name: str) -> str:
+    """A mandatory query parameter, or a 400 naming what's missing."""
+    value = query.get(name)
+    if value is None:
+        raise _HttpReply(
+            400, "ServerError", f"missing query parameter {name!r}"
+        )
+    return value
+
+
+def _b64(obj) -> str:
+    """Pickle an artifact for transport (base64, like the disk store)."""
+    return base64.b64encode(
+        pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    ).decode("ascii")
+
+
+def _json(payload: Dict) -> bytes:
+    return json.dumps(payload, indent=2).encode("utf-8")
+
+
+def _error_body(error: str, message: str) -> bytes:
+    return _json({"error": error, "message": message})
+
+
+def _response(status: int, ctype: str, payload: bytes) -> bytes:
+    reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
+               405: "Method Not Allowed", 500: "Internal Server Error"}
+    head = (
+        f"HTTP/1.1 {status} {reasons.get(status, 'Error')}\r\n"
+        f"Content-Type: {ctype}\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        "Connection: close\r\n\r\n"
+    )
+    return head.encode("latin-1") + payload
+
+
+async def _read_head(reader) -> Tuple[str, str, Dict[str, str]]:
+    """Parse the request line + headers of one HTTP/1.1 request."""
+    raw = await reader.readuntil(b"\r\n\r\n")
+    lines = raw.decode("latin-1").split("\r\n")
+    try:
+        method, target, _version = lines[0].split(" ", 2)
+    except ValueError as exc:
+        raise _HttpReply(
+            400, "ServerError", f"malformed request line: {lines[0]!r}"
+        ) from exc
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if ":" in line:
+            name, _sep, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+    return method, target, headers

@@ -1,0 +1,303 @@
+"""End-to-end smoke drive of the tuning service, as CI runs it.
+
+``python -m repro.server.smoke -o selection_config.json`` boots a real
+``repro-serve`` subprocess on an ephemeral port and walks the whole
+service surface the way an external client would — over TCP, across a
+process boundary, with nothing shared but the URL:
+
+* ``GET /`` — the descriptor answers and advertises the boot grid;
+* ``GET /select`` — a tuned choice comes back and matches ``/config``;
+* ``GET /schedule`` — the compiled artifact round-trips (fetch by
+  parameters, re-fetch by the returned source fingerprint, verify the
+  compiled program against its schedule);
+* ``POST /tune`` — N concurrent requests for one *cold* collective
+  coalesce into a single sweep (exactly one ``outcome="swept"``, the
+  rest ``"coalesced"``);
+* ``GET /metrics`` — the Prometheus exposition includes the service's
+  own request counters;
+* ``GET /config`` — the selection-config artifact exports, loads back,
+  and agrees with the served selections; the saved file is the artifact
+  CI uploads;
+* ``SIGTERM`` — the daemon exits 0 ("stopped cleanly").
+
+The coalescing assertion is made race-free the same way the perf tier
+does it: the boot sweep covers only ``allreduce``, so tuning a cold
+collective costs a real sweep; the driver fires a leader, polls the
+descriptor's ``inflight`` counter until the leader is visibly in
+flight, then fires the followers into that window.  If a follower
+still straggles past the sweep (a loaded CI host can oversleep
+anything), the attempt retries on the next cold collective rather than
+flaking.
+
+Exit status is 0 only if every probe passes; failures print one
+``smoke FAIL:`` line each and exit 1, so the Makefile target and the
+CI job stay one-line consumers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["run_smoke", "main"]
+
+#: Collectives the boot sweep deliberately leaves cold, in the order
+#: the coalescing probe tries them.  Each retry needs a fresh one: the
+#: previous attempt's sweep warms the service's simulation memo, which
+#: would make a second attempt on the same collective near-instant.
+_COLD_COLLECTIVES = ("alltoall", "reduce_scatter", "gather")
+
+_BOOT_TIMEOUT_S = 120.0
+_POLL_INTERVAL_S = 0.005
+
+
+class _Smoke:
+    """One smoke run: a served subprocess plus its probe client."""
+
+    def __init__(self, output: Path, followers: int) -> None:
+        from .client import TuningClient
+
+        self.output = output
+        self.followers = followers
+        self.failures: List[str] = []
+        self.proc: Optional[subprocess.Popen] = None
+        self.client: Optional[TuningClient] = None
+
+    # -- plumbing ------------------------------------------------------
+
+    def fail(self, message: str) -> None:
+        self.failures.append(message)
+        print(f"smoke FAIL: {message}", file=sys.stderr)
+
+    def check(self, ok: bool, message: str) -> bool:
+        if ok:
+            print(f"smoke ok: {message}")
+        else:
+            self.fail(message)
+        return ok
+
+    def boot(self) -> bool:
+        """Spawn ``repro-serve`` and wait for its 'serving on' banner."""
+        src = str(Path(__file__).resolve().parents[2])
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        self.proc = subprocess.Popen(
+            [
+                sys.executable, "-c",
+                "import sys; from repro.cli import main_serve; "
+                "sys.exit(main_serve(sys.argv[1:]))",
+                "--port", "0",
+                "--machine", "reference", "--nodes", "8",
+                # Boot only allreduce: a fast start, and every other
+                # collective stays cold for the coalescing probe.
+                "--collectives", "allreduce",
+                "--min-bytes", "64", "--max-bytes", "8192",
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        banner: List[str] = []
+
+        def read() -> None:
+            for line in self.proc.stdout:  # pragma: no branch
+                if line.startswith("serving on "):
+                    banner.append(line.split("serving on ", 1)[1].strip())
+                    return
+
+        reader = threading.Thread(target=read, daemon=True)
+        reader.start()
+        reader.join(_BOOT_TIMEOUT_S)
+        if not banner:
+            self.fail(
+                f"server did not print 'serving on' within "
+                f"{_BOOT_TIMEOUT_S:.0f}s"
+            )
+            return False
+        from .client import TuningClient
+
+        self.client = TuningClient(banner[0])
+        print(f"smoke ok: server up at {banner[0]}")
+        return True
+
+    # -- probes --------------------------------------------------------
+
+    def probe_descriptor(self) -> Dict:
+        info = self.client.info()
+        self.check(
+            info.get("service") == "repro-tuning-service"
+            and info.get("collectives") == ["allreduce"],
+            f"descriptor: {info.get('service')} on {info.get('machine')} "
+            f"(p={info.get('nranks')}, {len(info.get('sizes', []))} sizes)",
+        )
+        return info
+
+    def probe_select(self) -> None:
+        choice = self.client.select("allreduce", 8, 4096)
+        self.check(
+            bool(choice.algorithm),
+            f"/select allreduce p=8 n=4096 -> {choice.algorithm} "
+            f"k={choice.k}",
+        )
+        # The same point through the exported artifact must agree.
+        cfg = self.client.config()
+        self.check(
+            cfg.select("allreduce", 8, 4096) == choice,
+            "/config selects the same choice as /select",
+        )
+
+    def probe_schedule(self) -> None:
+        schedule, compiled = self.client.compiled_schedule(
+            collective="allreduce", algorithm="recursive_doubling", p=8
+        )
+        by_fp = self.client.schedule(
+            fingerprint=schedule.fingerprint()
+        )
+        self.check(
+            by_fp["source_fingerprint"] == schedule.fingerprint(),
+            f"/schedule round-trips by fingerprint "
+            f"({schedule.fingerprint()[:16]}..., "
+            f"{len(compiled.programs)} programs)",
+        )
+
+    def probe_coalescing(self, info: Dict) -> None:
+        for collective in _COLD_COLLECTIVES:
+            outcomes = self._coalesce_once(collective)
+            if outcomes is None:
+                continue  # leader won the race; retry on a colder one
+            swept = outcomes.count("swept")
+            joined = outcomes.count("coalesced")
+            self.check(
+                swept == 1 and joined == self.followers,
+                f"/tune x{self.followers + 1} on cold {collective!r}: "
+                f"{swept} swept, {joined} coalesced",
+            )
+            return
+        self.fail(
+            "coalescing probe could not catch a sweep in flight on any "
+            f"cold collective {list(_COLD_COLLECTIVES)}"
+        )
+
+    def _coalesce_once(self, collective: str) -> Optional[List[str]]:
+        """Leader + followers on one cold collective.
+
+        Returns every request's ``outcome``, or ``None`` when the
+        leader's sweep finished before the descriptor ever showed it in
+        flight — an inconclusive attempt, not a failure.
+        """
+        outcomes: List[str] = []
+        lock = threading.Lock()
+
+        def tune() -> None:
+            out = self.client.tune(collective)
+            with lock:
+                outcomes.append(out["outcome"])
+
+        leader = threading.Thread(target=tune)
+        leader.start()
+        seen_inflight = False
+        while leader.is_alive():
+            if self.client.info()["inflight"] >= 1:
+                seen_inflight = True
+                break
+            time.sleep(_POLL_INTERVAL_S)
+        if not seen_inflight:
+            leader.join()
+            return None
+        crowd = [
+            threading.Thread(target=tune) for _ in range(self.followers)
+        ]
+        for t in crowd:
+            t.start()
+        for t in [leader, *crowd]:
+            t.join()
+        return outcomes
+
+    def probe_metrics(self) -> None:
+        text = self.client.metrics()
+        self.check(
+            "repro_server_requests_total" in text,
+            "/metrics exposes repro_server_requests_total",
+        )
+
+    def probe_config_artifact(self) -> None:
+        from .config import CONFIG_FORMAT, SelectionConfig
+
+        self.client.save_config(self.output)
+        cfg = SelectionConfig.load(self.output)
+        self.check(
+            CONFIG_FORMAT in self.output.read_text(encoding="utf-8")
+            and "alltoall" in cfg.collectives,
+            f"/config artifact saved to {self.output} "
+            f"({len(cfg.timings)} timings, "
+            f"collectives {list(cfg.collectives)})",
+        )
+
+    def shutdown(self) -> None:
+        self.proc.send_signal(signal.SIGTERM)
+        try:
+            rc = self.proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            self.fail("server did not exit within 30s of SIGTERM")
+            return
+        self.check(rc == 0, f"SIGTERM -> clean exit (rc={rc})")
+
+
+def run_smoke(output: Path, *, followers: int = 7) -> int:
+    """Drive one full smoke run; return the process exit status."""
+    smoke = _Smoke(output, followers)
+    if not smoke.boot():
+        if smoke.proc is not None:
+            smoke.proc.kill()
+        return 1
+    try:
+        info = smoke.probe_descriptor()
+        smoke.probe_select()
+        smoke.probe_schedule()
+        smoke.probe_coalescing(info)
+        smoke.probe_metrics()
+        smoke.probe_config_artifact()
+        smoke.shutdown()
+    finally:
+        if smoke.proc.poll() is None:
+            smoke.proc.kill()
+    if smoke.failures:
+        print(f"serve smoke: {len(smoke.failures)} failure(s)",
+              file=sys.stderr)
+        return 1
+    print("serve smoke: all probes passed")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """``python -m repro.server.smoke``: the CI serve-smoke entry point."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server.smoke",
+        description="Boot a repro-serve subprocess on an ephemeral port "
+        "and smoke-test /select, /schedule, coalesced /tune, /metrics, "
+        "/config, and clean SIGTERM shutdown.",
+    )
+    parser.add_argument("-o", "--output", type=Path,
+                        default=Path("selection_config.json"),
+                        help="where to save the exported selection-config "
+                        "artifact (default selection_config.json)")
+    parser.add_argument("--followers", type=int, default=7,
+                        help="concurrent /tune requests expected to "
+                        "coalesce behind the leader (default 7)")
+    args = parser.parse_args(argv)
+    return run_smoke(args.output, followers=args.followers)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

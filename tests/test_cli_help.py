@@ -123,7 +123,7 @@ def test_module_docstring_examples(known_flags):
     assert not problems, "\n".join(problems)
     count = re.search(r"(\w+) console scripts", doc)
     words = ["zero", "one", "two", "three", "four", "five", "six", "seven",
-             "eight", "nine", "ten"]
+             "eight", "nine", "ten", "eleven"]
     assert count and count.group(1).lower() == words[len(known_flags)], (
         f"cli.py docstring advertises {count and count.group(1)!r} console "
         f"scripts; pyproject installs {len(known_flags)}"

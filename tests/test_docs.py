@@ -58,13 +58,21 @@ def test_doc_snippets_execute(doc, min_snippets, tmp_path, monkeypatch):
             )
 
 
-def test_readme_mentions_every_console_script():
-    """Each installed CLI verb is discoverable from the README."""
+@pytest.mark.parametrize("doc", ["README.md", "CONTRIBUTING.md"])
+def test_docs_mention_every_console_script(doc):
+    """Each installed CLI verb is discoverable from the entry docs.
+
+    Both README.md and CONTRIBUTING.md enumerate the ``repro-*``
+    surface; a verb added to pyproject without a mention in either is
+    invisible to new users *and* new contributors, so the pin covers
+    both documents (this is the gate that caught the enumerations going
+    stale at ten verbs when ``repro-serve`` landed as the eleventh).
+    """
     import tomllib
 
     scripts = tomllib.loads(
         (ROOT / "pyproject.toml").read_text(encoding="utf-8")
     )["project"]["scripts"]
-    readme = (ROOT / "README.md").read_text(encoding="utf-8")
-    missing = [name for name in scripts if name not in readme]
-    assert not missing, f"console scripts absent from README.md: {missing}"
+    text = (ROOT / doc).read_text(encoding="utf-8")
+    missing = [name for name in scripts if name not in text]
+    assert not missing, f"console scripts absent from {doc}: {missing}"

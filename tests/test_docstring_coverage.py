@@ -29,6 +29,10 @@ MODULES = [
     "repro.compile",
     "repro.obs",
     "repro.recovery",
+    "repro.server",
+    "repro.server.client",
+    "repro.server.config",
+    "repro.server.smoke",
     "repro.store",
 ]
 

@@ -1,0 +1,138 @@
+"""The selection-config artifact: round trips that must be bit-exact.
+
+The artifact (:mod:`repro.server.config`) is the paper's §VI-G
+deliverable as a file, and its whole value is that it round-trips
+**losslessly** in three directions:
+
+* JSON — ``from_json(to_json())`` reproduces the document byte for byte
+  (shortest-repr floats survive JSON exactly);
+* tuner priors — re-tuning warm-started from :meth:`~repro.server.
+  SelectionConfig.sweep_priors` replays recorded timings instead of
+  simulating, and the resulting artifact is bit-identical at any
+  ``--jobs`` level and under either simulation engine;
+* online selection — :meth:`~repro.server.SelectionConfig.priors_for`
+  warm-starts :class:`repro.adapt.OnlineSelector` /
+  :func:`repro.adapt.run_adaptive` with exactly the healthy times the
+  loop's own boot sweep would have measured, so the whole adaptive
+  trail is unchanged.
+
+Version skew must fail loudly: a foreign or future document raises
+:class:`~repro.errors.SelectionError`, never a silent mis-tune.
+"""
+
+import json
+
+import pytest
+
+from repro.adapt import OnlineSelector, run_adaptive
+from repro.errors import SelectionError
+from repro.selection.table import Choice
+from repro.server import (
+    CONFIG_FORMAT,
+    CONFIG_VERSION,
+    SelectionConfig,
+    build_config,
+)
+from repro.simnet.machines import reference
+
+P = 8
+SIZES = [256, 4096]
+MACHINE = reference(P)
+COLLECTIVES = ("allreduce", "bcast")
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return build_config(MACHINE, SIZES, collectives=COLLECTIVES)
+
+
+def test_json_round_trip_is_bit_exact(cfg):
+    text = cfg.to_json()
+    again = SelectionConfig.from_json(text)
+    assert again.to_json() == text
+    assert again.machine == cfg.machine
+    assert again.nranks == P
+    assert again.sizes == SIZES
+    assert again.collectives == COLLECTIVES
+    assert again.timings == cfg.timings
+    for coll in COLLECTIVES:
+        for nbytes in SIZES:
+            assert again.select(coll, P, nbytes) == cfg.select(
+                coll, P, nbytes
+            )
+
+
+def test_save_load_round_trip(tmp_path, cfg):
+    path = cfg.save(tmp_path / "cfg.json")
+    assert SelectionConfig.load(path).to_json() == cfg.to_json()
+
+
+def test_foreign_documents_refuse_to_load(cfg):
+    with pytest.raises(SelectionError, match="malformed"):
+        SelectionConfig.from_json("{not json")
+    with pytest.raises(SelectionError, match="not a selection-config"):
+        SelectionConfig.from_json(json.dumps({"format": "something-else"}))
+    payload = json.loads(cfg.to_json())
+    payload["version"] = CONFIG_VERSION + 1
+    with pytest.raises(SelectionError, match="version"):
+        SelectionConfig.from_json(json.dumps(payload))
+    payload = json.loads(cfg.to_json())
+    del payload["timings"][0]["time"]
+    with pytest.raises(SelectionError, match="missing"):
+        SelectionConfig.from_json(json.dumps(payload))
+    assert CONFIG_FORMAT in cfg.to_json()
+
+
+@pytest.mark.parametrize("jobs", [0, 2])
+@pytest.mark.parametrize("engine", ["materialized", "collapsed"])
+def test_prior_warmed_retune_is_bit_identical(cfg, jobs, engine):
+    """Export → reimport as priors → winners (and the whole document)
+    identical, at any jobs level and under either simulation engine."""
+    warm = build_config(
+        MACHINE, SIZES, collectives=COLLECTIVES,
+        priors=cfg.sweep_priors(), jobs=jobs, engine=engine,
+    )
+    assert warm.to_json() == cfg.to_json()
+
+
+def test_partial_priors_fill_the_gaps_identically(cfg):
+    """Priors covering only some points: the rest simulate, the result
+    is still bit-identical — priors never change answers, only cost."""
+    priors = cfg.sweep_priors()
+    partial = dict(list(priors.items())[::2])  # drop every other point
+    assert 0 < len(partial) < len(priors)
+    warm = build_config(
+        MACHINE, SIZES, collectives=COLLECTIVES, priors=partial
+    )
+    assert warm.to_json() == cfg.to_json()
+
+
+def test_priors_for_warm_starts_the_online_selector(cfg):
+    priors = cfg.priors_for("allreduce", 4096)
+    assert priors and all(
+        isinstance(c, Choice) and t > 0 for c, t in priors.items()
+    )
+    selector = OnlineSelector(priors)
+    assert selector.current == cfg.select("allreduce", P, 4096)
+
+
+def test_priors_for_uncovered_point_raises(cfg):
+    with pytest.raises(SelectionError, match="no timings"):
+        cfg.priors_for("alltoall", 4096)
+    with pytest.raises(SelectionError, match="no timings"):
+        cfg.priors_for("allreduce", 12345)
+
+
+def test_adaptive_trail_is_unchanged_by_config_priors(cfg):
+    """run_adaptive warm-started from the artifact reproduces the cold
+    loop's entire trail — same static winner, same per-round times."""
+    cold = run_adaptive("allreduce", MACHINE, 4096, rounds=6)
+    warm = run_adaptive(
+        "allreduce", MACHINE, 4096, rounds=6,
+        priors=cfg.priors_for("allreduce", 4096),
+    )
+    assert warm.static_algorithm == cold.static_algorithm
+    assert warm.static_k == cold.static_k
+    assert warm.switches == cold.switches
+    assert warm.regret == cold.regret
+    assert [r.time for r in warm.records] == [r.time for r in cold.records]

@@ -1,0 +1,302 @@
+"""The tuning service end to end: endpoints, coalescing, lifecycle.
+
+One background service (module-scoped — boot sweeps only ``allreduce``
+so every other collective stays cold for the tuning tests) is shared by
+the endpoint probes; the CLI tests spawn real ``repro-serve``
+subprocesses to pin the signal contract (SIGTERM exits 0, Ctrl-C 130).
+
+The load-bearing promise throughout: anything the service answers must
+be **bit-identical** to what the in-process library produces — served
+selections equal :func:`repro.server.build_config`'s, served schedules
+re-verify against their compiled programs, and N concurrent ``/tune``
+requests share one sweep without changing its result.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.bench.sweep import clear_sim_memo
+from repro.errors import ExecutionError, SelectionError, ServerError
+from repro.server import TuningClient, TuningService, build_config, \
+    serve_background
+from repro.simnet.machines import reference
+
+ROOT = Path(__file__).resolve().parent.parent
+P = 8
+SIZES = [256, 4096]
+MACHINE = reference(P)
+
+#: Collectives the boot sweep leaves cold, one per coalescing attempt
+#: (a retried attempt needs a fresh one: the previous attempt's sweep
+#: warms the simulation memo, making a re-run near-instant).
+COLD = ("alltoall", "reduce_scatter", "gather")
+
+
+@pytest.fixture(scope="module")
+def served():
+    """(handle, client, direct config) for one shared background service."""
+    direct = build_config(MACHINE, SIZES, collectives=("allreduce",))
+    with serve_background(
+        MACHINE, SIZES, collectives=("allreduce",)
+    ) as handle:
+        yield handle, TuningClient(handle.url), direct
+
+
+def test_descriptor(served):
+    handle, client, _ = served
+    info = client.info()
+    assert info["service"] == "repro-tuning-service"
+    assert info["machine"] == MACHINE.name
+    assert info["nranks"] == P
+    assert info["sizes"] == SIZES
+    assert info["inflight"] == 0
+    assert handle.url.startswith("http://127.0.0.1:")
+
+
+def test_select_matches_in_process_tune(served):
+    _, client, direct = served
+    for nbytes in SIZES:
+        assert client.select("allreduce", P, nbytes) == direct.select(
+            "allreduce", P, nbytes
+        )
+
+
+def test_config_export_matches_in_process_tune(served):
+    _, client, direct = served
+    cfg = client.config()
+    for nbytes in SIZES:
+        assert cfg.select("allreduce", P, nbytes) == direct.select(
+            "allreduce", P, nbytes
+        )
+    assert cfg.machine == MACHINE.name
+    assert "allreduce" in cfg.collectives
+
+
+def test_schedule_by_params_and_fingerprint(served):
+    _, client, _ = served
+    schedule, compiled = client.compiled_schedule(
+        collective="allreduce", algorithm="recursive_multiplying", p=P, k=4
+    )
+    assert schedule.algorithm == "recursive_multiplying"
+    compiled.verify(schedule)  # raises CompileError on any wire corruption
+    by_fp = client.schedule(fingerprint=schedule.fingerprint())
+    assert by_fp["source_fingerprint"] == schedule.fingerprint()
+    # The 16-hex store-key prefix resolves too (what a disk store's
+    # compiled/… keys carry).
+    by_prefix = client.schedule(fingerprint=schedule.fingerprint()[:16])
+    assert by_prefix["source_fingerprint"] == schedule.fingerprint()
+
+
+def test_schedule_normalizes_fixed_radix(served):
+    """A fixed-radix schedule indexed under its structural k (e.g.
+    recursive doubling's k=2) must rebuild through the real builder."""
+    _, client, _ = served
+    schedule, _ = client.compiled_schedule(
+        collective="allreduce", algorithm="recursive_doubling", p=P, k=2
+    )
+    again = client.schedule(fingerprint=schedule.fingerprint())
+    assert again["source_fingerprint"] == schedule.fingerprint()
+
+
+def test_schedule_unknown_fingerprint_is_a_server_error(served):
+    _, client, _ = served
+    with pytest.raises(ServerError, match="fingerprint"):
+        client.schedule(fingerprint="deadbeef" * 8)
+
+
+def test_selection_miss_stays_a_selection_error(served):
+    """Error fidelity across the wire: 'no rule covers this point' must
+    re-raise as SelectionError, not a generic transport failure."""
+    _, client, _ = served
+    with pytest.raises(SelectionError, match="unknown collective"):
+        client.select("gossip", P, 4096)
+
+
+def test_tune_rejects_malformed_requests(served):
+    _, client, _ = served
+    with pytest.raises(ServerError, match="collective"):
+        client.tune("")
+
+
+def test_concurrent_tunes_coalesce(served):
+    """N concurrent /tune requests for one cold sweep share one leader.
+
+    Deterministic, no timing window: the test holds the service's sweep
+    lock, so the leader blocks mid-sweep while every follower arrives
+    and registers against the in-flight future; only then does the
+    sweep proceed.
+    """
+    handle, client, _ = served
+    service = handle.service
+    followers = 5
+    clear_sim_memo()  # in-process service: the sweep really runs
+    before_sweeps = service.sweeps_run
+    before_joined = service.coalesced
+    outcomes, lock = [], threading.Lock()
+
+    def tune():
+        out = client.tune("alltoall")
+        with lock:
+            outcomes.append(out["outcome"])
+
+    threads = [threading.Thread(target=tune) for _ in range(followers + 1)]
+    with service._sweep_lock:  # leader blocks here until we release
+        for t in threads:
+            t.start()
+        deadline = time.monotonic() + 30
+        while service.coalesced - before_joined < followers:
+            assert time.monotonic() < deadline, (
+                f"only {service.coalesced - before_joined} of {followers} "
+                f"followers coalesced before the deadline"
+            )
+            time.sleep(0.002)
+    for t in threads:
+        t.join()
+    assert outcomes.count("swept") == 1
+    assert outcomes.count("coalesced") == followers
+    assert service.sweeps_run - before_sweeps == 1
+
+
+def test_tune_merges_into_served_config(served):
+    """After /tune on a new collective, /select and /config cover it."""
+    _, client, _ = served
+    out = client.tune("alltoall")  # warm by now (coalescing test swept it)
+    assert set(out["winners"]) == {str(n) for n in SIZES}
+    choice = client.select("alltoall", P, 4096)
+    assert choice.algorithm == out["winners"]["4096"]["algorithm"]
+    assert "alltoall" in client.config().collectives
+
+
+def test_metrics_exposes_request_counters(served):
+    _, client, _ = served
+    text = client.metrics()
+    assert "repro_server_requests_total" in text
+    assert 'endpoint="/select"' in text
+
+
+def test_execute_with_served_selection(served):
+    """``execute(select=url)`` runs the served choice bit-identically to
+    naming that (algorithm, k) explicitly."""
+    from repro.api import execute
+
+    _, client, _ = served
+    count = 512  # int64 -> 4096 bytes, on the served grid
+    choice = client.select("allreduce", P, count * 8)
+    via_server = execute(
+        "allreduce", "ring", p=P, count=count, select=client.url,
+    )
+    explicit = execute(
+        "allreduce", choice.algorithm, p=P, count=count, k=choice.k,
+    )
+    assert via_server.schedule.algorithm == choice.algorithm
+    assert via_server.schedule.k == explicit.schedule.k
+    for mine, theirs in zip(via_server.buffers, explicit.buffers):
+        assert (mine == theirs).all()
+
+
+def test_execute_select_and_adapt_are_mutually_exclusive(served):
+    from repro.api import execute
+
+    _, client, _ = served
+    with pytest.raises(ExecutionError, match="mutually exclusive"):
+        execute(
+            "allreduce", "ring", p=P, count=64,
+            select=client.url, adapt="calm",
+        )
+
+
+def test_client_rejects_non_http_urls():
+    with pytest.raises(ServerError, match="http"):
+        TuningClient("ftp://example.invalid")
+
+
+def test_client_unreachable_is_a_server_error():
+    client = TuningClient("http://127.0.0.1:9", timeout=0.5)
+    with pytest.raises(ServerError, match="cannot reach"):
+        client.info()
+
+
+def test_store_backed_fingerprint_index_survives_restart(tmp_path):
+    """A /schedule served by one service resolves by fingerprint in a
+    *fresh* service over the same store — the index is rebuilt from the
+    store's compiled/… keys at boot."""
+    first = TuningService(
+        MACHINE, SIZES, collectives=("allreduce",), store=tmp_path
+    )
+    payload = first._ep_schedule(
+        {"collective": "allreduce", "algorithm": "recursive_multiplying",
+         "k": "4"}
+    )
+    fp = payload["source_fingerprint"]
+
+    second = TuningService(
+        MACHINE, SIZES, collectives=("allreduce",), store=tmp_path
+    )
+    again = second._ep_schedule({"fingerprint": fp[:16]})
+    assert again["source_fingerprint"] == fp
+    assert again["compiled_fingerprint"] == payload["compiled_fingerprint"]
+    assert again["schedule_pickle"] == payload["schedule_pickle"]
+
+
+def test_grid_warm_start_is_bit_identical(tmp_path, served):
+    """A service booted from a committed selection-config artifact
+    serves the same table as one that swept cold."""
+    _, _, direct = served
+    path = direct.save(tmp_path / "grid.json")
+    warm = TuningService(
+        MACHINE, SIZES, collectives=("allreduce",), grid=path
+    )
+    assert warm.warm_started
+    assert warm.config.to_json() == build_config(
+        MACHINE, SIZES, collectives=("allreduce",)
+    ).to_json()
+
+
+def _spawn_serve(*extra):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-c",
+            "import sys; from repro.cli import main_serve; "
+            "sys.exit(main_serve(sys.argv[1:]))",
+            "--port", "0", "--machine", "reference", "--nodes", "4",
+            "--collectives", "allreduce",
+            "--min-bytes", "64", "--max-bytes", "1024", *extra,
+        ],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True,
+    )
+    deadline = time.monotonic() + 120
+    for line in proc.stdout:
+        if line.startswith("serving on "):
+            return proc, line.split("serving on ", 1)[1].strip()
+        if time.monotonic() > deadline:  # pragma: no cover
+            break
+    proc.kill()
+    raise AssertionError("repro-serve never printed its banner")
+
+
+@pytest.mark.parametrize("sig,rc", [
+    (signal.SIGTERM, 0),
+    (signal.SIGINT, 130),
+])
+def test_cli_serve_signal_contract(sig, rc):
+    """repro-serve: SIGTERM is a clean stop (0), Ctrl-C exits 130."""
+    proc, url = _spawn_serve()
+    try:
+        assert TuningClient(url).info()["service"] == "repro-tuning-service"
+        proc.send_signal(sig)
+        assert proc.wait(timeout=30) == rc
+    finally:
+        if proc.poll() is None:  # pragma: no cover - cleanup on failure
+            proc.kill()
